@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the arbitration kernels.
+//!
+//! These measure the software cost of one arbitration pass per algorithm
+//! on the 21364's 16×7 matrix — the quantity that bounds how fast the
+//! timing simulator can run, and a proxy for each algorithm's relative
+//! combinational complexity (MCM ≫ PIM ≫ WFA > SPAA, mirroring the
+//! hardware-implementability argument of §3).
+
+use arbitration::arbiter::{Arbiter, ArbitrationInput, McmArbiter};
+use arbitration::matrix::RequestMatrix;
+use arbitration::opf::OpfArbiter;
+use arbitration::pim::PimArbiter;
+use arbitration::ports::{NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS};
+use arbitration::spaa::SpaaArbiter;
+use arbitration::wfa::{WfaArbiter, WfaStart, WfaVariant};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::RngCore;
+use simcore::SimRng;
+
+/// Pre-generates a pool of random arbitration inputs (dense, like a
+/// loaded router).
+fn input_pool(n: usize) -> Vec<ArbitrationInput> {
+    let mut rng = SimRng::from_seed(0xbe9c);
+    (0..n)
+        .map(|_| {
+            let masks: Vec<u32> = (0..NUM_ARBITER_ROWS)
+                .map(|_| (rng.next_u32() | rng.next_u32()) & 0x7f)
+                .collect();
+            let noms = masks
+                .iter()
+                .enumerate()
+                .map(|(row, &m)| (row % 2 == 0 && m != 0).then(|| rng.pick_bit(m) as u8))
+                .collect();
+            ArbitrationInput::new(
+                RequestMatrix::from_rows(masks, NUM_OUTPUT_PORTS),
+                noms,
+            )
+        })
+        .collect()
+}
+
+fn bench_algorithm(c: &mut Criterion, name: &str, mut algo: Box<dyn Arbiter>) {
+    let pool = input_pool(256);
+    let mut rng = SimRng::from_seed(1);
+    let mut i = 0;
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                i = (i + 1) % pool.len();
+                &pool[i]
+            },
+            |input| algo.arbitrate(input, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn arbiter_benches(c: &mut Criterion) {
+    bench_algorithm(c, "arbitrate/MCM", Box::new(McmArbiter::new()));
+    bench_algorithm(
+        c,
+        "arbitrate/PIM4",
+        Box::new(PimArbiter::converged(NUM_ARBITER_ROWS)),
+    );
+    bench_algorithm(c, "arbitrate/PIM1", Box::new(PimArbiter::pim1()));
+    bench_algorithm(
+        c,
+        "arbitrate/WFA-wrapped",
+        Box::new(WfaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
+    );
+    bench_algorithm(
+        c,
+        "arbitrate/WFA-plain",
+        Box::new(WfaArbiter::new(
+            NUM_ARBITER_ROWS,
+            NUM_OUTPUT_PORTS,
+            WfaVariant::Plain,
+            WfaStart::RoundRobin,
+        )),
+    );
+    bench_algorithm(
+        c,
+        "arbitrate/SPAA",
+        Box::new(SpaaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
+    );
+    bench_algorithm(
+        c,
+        "arbitrate/OPF",
+        Box::new(OpfArbiter::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
+    );
+}
+
+fn maximum_matching_bench(c: &mut Criterion) {
+    let pool = input_pool(256);
+    let mut i = 0;
+    c.bench_function("kernel/hopcroft-karp-16x7", |b| {
+        b.iter_batched(
+            || {
+                i = (i + 1) % pool.len();
+                &pool[i].requests
+            },
+            arbitration::mcm::maximum_matching,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = arbiter_benches, maximum_matching_bench
+}
+criterion_main!(benches);

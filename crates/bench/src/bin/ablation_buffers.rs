@@ -1,0 +1,76 @@
+//! Extension — buffer-depth sensitivity (the paper's closing caveat).
+//!
+//! §6: "Greater routing freedom, flit-level arbitration, and wormhole
+//! routing (with shallow buffering) may reduce the advantage of SPAA over
+//! PIM1 and WFA." We probe the shallow-buffering part: sweeping the
+//! adaptive-channel depth from the production 50 packets down toward
+//! wormhole-like scarcity, and comparing SPAA-base against WFA-base at a
+//! moderate load.
+//!
+//! With scarce buffers, credits (not arbitration speed) gate dispatch,
+//! and WFA's better matching buys back ground — the expected erosion of
+//! SPAA's edge.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_buffers [-- --paper]
+//! ```
+
+use bench::Scale;
+use network::{NetworkConfig, Torus};
+use router::{ArbAlgorithm, BufferConfig, RouterConfig};
+use simcore::sweep::parallel_map;
+use simcore::table::Table;
+use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    // A saturating load: with deep buffers this sits at the knee; with
+    // shallow buffers, credit scarcity is the binding constraint.
+    let rate = 0.028;
+    println!(
+        "Extension: adaptive buffer depth vs SPAA advantage (8x8 uniform, rate {rate}, {scale:?})"
+    );
+
+    let depths: Vec<u16> = vec![50, 16, 8, 4, 2];
+    let jobs: Vec<(u16, ArbAlgorithm)> = depths
+        .iter()
+        .flat_map(|&d| {
+            [ArbAlgorithm::SpaaBase, ArbAlgorithm::WfaBase]
+                .into_iter()
+                .map(move |a| (d, a))
+        })
+        .collect();
+    let results = parallel_map(0, jobs.clone(), |(depth, algo)| {
+        let mut router = RouterConfig::alpha_21364(algo);
+        router.buffers = BufferConfig::scaled(depth, 1);
+        let net = NetworkConfig {
+            torus: Torus::net_8x8(),
+            router,
+            seed: 0x21364,
+            warmup_cycles: scale.cycles() / 5,
+            measure_cycles: scale.cycles() - scale.cycles() / 5,
+        };
+        let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, rate);
+        let (report, _) = run_coherence_sim(net, wl);
+        (report.flits_per_router_ns, report.avg_latency_ns())
+    });
+
+    let mut t = Table::with_columns(&[
+        "adaptive depth (pkts/VC)",
+        "SPAA thr",
+        "WFA thr",
+        "SPAA throughput advantage",
+    ]);
+    for (i, &d) in depths.iter().enumerate() {
+        let (spaa_thr, _) = results[2 * i];
+        let (wfa_thr, _) = results[2 * i + 1];
+        t.row(vec![
+            d.to_string(),
+            format!("{spaa_thr:.3}"),
+            format!("{wfa_thr:.3}"),
+            format!("{:+.1}%", 100.0 * (spaa_thr / wfa_thr - 1.0)),
+        ]);
+    }
+    println!("\n{}", t.to_text());
+    println!("(§6: shallow, wormhole-like buffering should erode SPAA's advantage.)");
+}

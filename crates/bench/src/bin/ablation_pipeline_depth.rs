@@ -1,0 +1,68 @@
+//! Ablation — throughput cost per extra arbitration pipeline cycle.
+//!
+//! §1 footnote 1: "each additional cycle added to the 21364 router's
+//! arbitration pipeline degraded the network throughput by roughly 5%
+//! under heavy load. This measurement was done using SPAA." We sweep
+//! SPAA's arbitration latency from the production 3 cycles to 8 and
+//! report the sustained heavy-load throughput of each depth.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_pipeline_depth [-- --paper]
+//! ```
+
+use bench::Scale;
+use network::{NetworkConfig, Torus};
+use router::{ArbAlgorithm, RouterConfig};
+use simcore::sweep::parallel_map;
+use simcore::table::Table;
+use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    // Heavy (but pre-collapse) load on the 8x8 network.
+    let rate = 0.02;
+    println!(
+        "Ablation: SPAA arbitration depth vs throughput (8x8 uniform, rate {rate}, {scale:?} scale)"
+    );
+
+    let depths: Vec<u8> = (3..=8).collect();
+    let results = parallel_map(0, depths.clone(), |latency| {
+        let net = NetworkConfig {
+            torus: Torus::net_8x8(),
+            router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaDeep { latency }),
+            seed: 0x21364,
+            warmup_cycles: scale.cycles() / 5,
+            measure_cycles: scale.cycles() - scale.cycles() / 5,
+        };
+        let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, rate);
+        let (report, _) = run_coherence_sim(net, wl);
+        (report.flits_per_router_ns, report.avg_latency_ns())
+    });
+
+    let base = results[0].0;
+    let mut t = Table::with_columns(&[
+        "arb latency (cy)",
+        "thr (flits/router/ns)",
+        "latency (ns)",
+        "thr vs 3cy",
+        "per extra cycle",
+    ]);
+    for (i, (thr, lat)) in results.iter().enumerate() {
+        let depth = depths[i];
+        let rel = thr / base;
+        let per_cycle = if depth > 3 {
+            format!("{:+.1}%", 100.0 * (rel.powf(1.0 / (depth - 3) as f64) - 1.0))
+        } else {
+            "-".into()
+        };
+        t.row(vec![
+            depth.to_string(),
+            format!("{thr:.4}"),
+            format!("{lat:.1}"),
+            format!("{:.3}", rel),
+            per_cycle,
+        ]);
+    }
+    println!("\n{}", t.to_text());
+    println!("(paper: roughly -5% throughput per additional arbitration cycle under heavy load)");
+}

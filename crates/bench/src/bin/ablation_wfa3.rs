@@ -1,0 +1,65 @@
+//! Ablation — the value of pipelining in isolation.
+//!
+//! §5.2: "if we could implement WFA as a three-cycle arbitration
+//! mechanism like SPAA, then pipelining is the key difference between WFA
+//! and SPAA. In an 8x8 network, with random traffic SPAA provides a
+//! throughput boost of about 8% compared to such a configuration of
+//! WFA-base with 122 nanoseconds of average packet latency."
+//!
+//! We run the hypothetical 3-cycle, non-pipelined WFA
+//! ([`router::ArbAlgorithm::WfaBase3Cycle`]) against SPAA-base and
+//! WFA-base and compare throughput at the paper's reference latency.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_wfa3 [-- --paper]
+//! ```
+
+use bench::{summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use workload::TrafficPattern;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablation: pipelining in isolation (8x8 uniform, {scale:?} scale)");
+    let algos = [
+        ArbAlgorithm::WfaBase,
+        ArbAlgorithm::WfaBase3Cycle,
+        ArbAlgorithm::SpaaBase,
+    ];
+    let curves: Vec<_> = algos
+        .iter()
+        .map(|&algo| {
+            let spec = SweepSpec::new(
+                algo,
+                Torus::net_8x8(),
+                TrafficPattern::Uniform,
+                scale,
+            );
+            let curve = spec.run(0);
+            eprintln!("  swept {algo}");
+            curve
+        })
+        .collect();
+
+    println!("\n{}", summary_table(&curves, 122.0).to_text());
+
+    if let (Some(spaa), Some(wfa3)) = (
+        curves[2].throughput_at_latency(122.0),
+        curves[1].throughput_at_latency(122.0),
+    ) {
+        println!(
+            "SPAA-base vs 3-cycle WFA-base @122ns: +{:.0}% — the pipelining effect (paper: ~8%)",
+            100.0 * (spaa / wfa3 - 1.0)
+        );
+    }
+    if let (Some(wfa3), Some(wfa4)) = (
+        curves[1].throughput_at_latency(122.0),
+        curves[0].throughput_at_latency(122.0),
+    ) {
+        println!(
+            "3-cycle WFA vs 4-cycle WFA @122ns: +{:.0}% — the latency effect",
+            100.0 * (wfa3 / wfa4 - 1.0)
+        );
+    }
+}

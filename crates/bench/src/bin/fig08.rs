@@ -1,0 +1,65 @@
+//! Figure 8 — standalone matching capability vs input load.
+//!
+//! "Standalone comparison of matching capabilities of different
+//! arbitration algorithms for a single 21364 router with increasing
+//! router load for zero output port occupancy. The horizontal axis plots
+//! the input router load as a fraction of the load required to saturate
+//! MCM."
+//!
+//! Paper readings to check: MCM/WFA/PIM nearly coincide and approach 7;
+//! PIM1 sits visibly below; SPAA is lowest. At the MCM saturation load
+//! MCM-family matches are ~36% above SPAA and PIM1 ~14% above SPAA.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig08 [-- --paper]
+//! ```
+
+use bench::Scale;
+use simcore::table::Table;
+use standalone::{find_mcm_saturation_load, run_standalone, AlgoKind, StandaloneConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iterations: u32 = match scale {
+        Scale::Quick => 1000,
+        Scale::Paper => 10_000,
+    };
+    let base = StandaloneConfig {
+        iterations,
+        ..Default::default()
+    };
+    let sat = find_mcm_saturation_load(&base, 0.15);
+    println!("Figure 8: standalone matches/cycle, zero occupancy ({scale:?} scale)");
+    println!("MCM saturation load = {sat:.3} (slot-fill probability)\n");
+
+    let mut t = Table::with_columns(&["frac of MCM sat load", "MCM", "WFA", "PIM", "PIM1", "SPAA"]);
+    for frac in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let mut row = vec![format!("{frac:.1}")];
+        for kind in AlgoKind::FIGURE8 {
+            let cfg = StandaloneConfig {
+                load: (frac * sat).min(1.0),
+                ..base
+            };
+            row.push(format!("{:.2}", run_standalone(kind, &cfg).matches_per_cycle));
+        }
+        t.row(row);
+    }
+    println!("{}", t.to_text());
+
+    // The §5.1 headline ratios at the MCM saturation load.
+    let at_sat = |kind| {
+        run_standalone(
+            kind,
+            &StandaloneConfig {
+                load: sat.min(1.0),
+                ..base
+            },
+        )
+        .matches_per_cycle
+    };
+    let mcm = at_sat(AlgoKind::Mcm);
+    let pim1 = at_sat(AlgoKind::Pim1);
+    let spaa = at_sat(AlgoKind::Spaa);
+    println!("MCM / SPAA at saturation:  {:.2} (paper: ~1.36)", mcm / spaa);
+    println!("PIM1 / SPAA at saturation: {:.2} (paper: ~1.14)", pim1 / spaa);
+}

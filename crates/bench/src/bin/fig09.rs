@@ -1,0 +1,71 @@
+//! Figure 9 — standalone matching capability vs output-port occupancy.
+//!
+//! "Standalone comparison of matching capabilities of different
+//! arbitration algorithms for a single 21364 router with increasing
+//! output port occupancy at the MCM saturation load."
+//!
+//! Paper reading to check: "As the fraction of occupied output ports
+//! increases, the difference between the algorithms reduces and
+//! completely disappears when 75% of the output ports are occupied" —
+//! the observation SPAA's design rests on.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig09 [-- --paper]
+//! ```
+
+use bench::Scale;
+use simcore::table::Table;
+use standalone::{find_mcm_saturation_load, run_standalone, AlgoKind, StandaloneConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iterations: u32 = match scale {
+        Scale::Quick => 1000,
+        Scale::Paper => 10_000,
+    };
+    let base = StandaloneConfig {
+        iterations,
+        ..Default::default()
+    };
+    let sat = find_mcm_saturation_load(&base, 0.15).min(1.0);
+    println!("Figure 9: standalone matches/cycle at the MCM saturation load ({scale:?} scale)");
+    println!("MCM saturation load = {sat:.3}\n");
+
+    let mut t = Table::with_columns(&["occupancy", "MCM", "WFA", "PIM", "PIM1", "SPAA"]);
+    for occ in [0.0, 0.25, 0.5, 0.75] {
+        let mut row = vec![format!("{occ:.2}")];
+        for kind in AlgoKind::FIGURE8 {
+            let cfg = StandaloneConfig {
+                load: sat,
+                occupancy: occ,
+                ..base
+            };
+            row.push(format!("{:.2}", run_standalone(kind, &cfg).matches_per_cycle));
+        }
+        t.row(row);
+    }
+    println!("{}", t.to_text());
+
+    // Gap summary: (MCM - SPAA) / MCM at each occupancy level.
+    let mut g = Table::with_columns(&["occupancy", "MCM-SPAA gap"]);
+    for occ in [0.0, 0.25, 0.5, 0.75] {
+        let cfg = |kind| {
+            run_standalone(
+                kind,
+                &StandaloneConfig {
+                    load: sat,
+                    occupancy: occ,
+                    ..base
+                },
+            )
+            .matches_per_cycle
+        };
+        let mcm = cfg(AlgoKind::Mcm);
+        let spaa = cfg(AlgoKind::Spaa);
+        g.row(vec![
+            format!("{occ:.2}"),
+            format!("{:.1}%", 100.0 * (mcm - spaa) / mcm),
+        ]);
+    }
+    println!("{}", g.to_text());
+}

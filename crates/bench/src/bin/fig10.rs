@@ -1,0 +1,62 @@
+//! Figure 10 — BNF curves for the five arbitration algorithms.
+//!
+//! Regenerates any of the four panels: 4×4 random, 8×8 random, 8×8
+//! bit-reversal, 8×8 perfect-shuffle. The paper's headline reading:
+//! SPAA-base outperforms PIM1 and WFA-base (≈11% more throughput at 83 ns
+//! on the 4×4, ≈24% at 122 ns on the 8×8), and the rotary variants hold
+//! their throughput past saturation while the base variants collapse.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig10 -- --net 8x8 --pattern uniform [--paper]
+//! ```
+
+use bench::{curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use workload::TrafficPattern;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net = flag_value(&args, "--net").unwrap_or_else(|| "8x8".into());
+    let pattern = flag_value(&args, "--pattern").unwrap_or_else(|| "uniform".into());
+    let scale = Scale::from_args();
+
+    let torus = match net.as_str() {
+        "4x4" => Torus::net_4x4(),
+        "8x8" => Torus::net_8x8(),
+        other => panic!("unknown network {other}; use 4x4 or 8x8"),
+    };
+    let pattern = match pattern.as_str() {
+        "uniform" => TrafficPattern::Uniform,
+        "bitrev" => TrafficPattern::BitReversal,
+        "shuffle" => TrafficPattern::PerfectShuffle,
+        other => panic!("unknown pattern {other}; use uniform|bitrev|shuffle"),
+    };
+
+    println!(
+        "Figure 10: {}x{} torus, {} traffic, {:?} scale",
+        torus.width(),
+        torus.height(),
+        pattern,
+        scale
+    );
+    let curves: Vec<_> = ArbAlgorithm::FIGURE10
+        .iter()
+        .map(|&algo| {
+            let spec = SweepSpec::new(algo, torus, pattern, scale);
+            let curve = spec.run(0);
+            eprintln!("  swept {algo}");
+            curve
+        })
+        .collect();
+
+    println!("\n{}", curves_table(&curves).to_text());
+    let ref_lat = if torus.nodes() == 16 { 83.0 } else { 122.0 };
+    println!("{}", summary_table(&curves, ref_lat).to_text());
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,51 @@
+//! Figure 11a — scaling study: 2× pipeline depth at 2× clock frequency.
+//!
+//! "Results for PIM1, WFA-rotary, and SPAA-rotary for a pipeline two
+//! times longer than and running at twice the frequency of the 21364
+//! router's pipeline. The arbitration latencies for PIM1, WFA-rotary, and
+//! SPAA-rotary are 8, 8, and 6 cycles respectively. SPAA-rotary performs
+//! significantly better with longer pipelines because SPAA-rotary is
+//! pipelined, unlike the other two... at about 100 ns of average packet
+//! latency, SPAA-rotary provides greater than 60% higher throughput."
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11a [-- --paper]
+//! ```
+
+use bench::{curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use workload::TrafficPattern;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11a: 2x pipeline, 8x8 torus, uniform traffic ({scale:?} scale)");
+    let curves: Vec<_> = ArbAlgorithm::FIGURE11
+        .iter()
+        .map(|&algo| {
+            let mut spec = SweepSpec::new(
+                algo,
+                Torus::net_8x8(),
+                TrafficPattern::Uniform,
+                scale,
+            );
+            spec.scaled_2x = true;
+            let curve = spec.run(0);
+            eprintln!("  swept {algo}");
+            curve
+        })
+        .collect();
+
+    println!("\n{}", curves_table(&curves).to_text());
+    println!("{}", summary_table(&curves, 100.0).to_text());
+
+    if let (Some(spaa), Some(wfa)) = (
+        curves[2].throughput_at_latency(100.0),
+        curves[1].throughput_at_latency(100.0),
+    ) {
+        println!(
+            "SPAA-rotary vs WFA-rotary throughput @100ns: +{:.0}% (paper: >60%)",
+            100.0 * (spaa / wfa - 1.0)
+        );
+    }
+}

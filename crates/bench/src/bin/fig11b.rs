@@ -1,0 +1,57 @@
+//! Figure 11b — scaling study: 64 outstanding misses.
+//!
+//! "Higher network load, in the form of greater number of outstanding
+//! misses, can be expected from future processors with deeper pipelines.
+//! Hence, this figure assumes 64 outstanding misses, four times higher
+//! than that of the 21364 processor... even under such high network
+//! loads, SPAA-rotary outperforms both PIM1 and WFA-rotary... at about
+//! roughly 200 ns of average packet latency, SPAA-rotary provides roughly
+//! 13% higher throughput compared to WFA-rotary."
+//!
+//! This experiment keeps the closed loop engaged (that is its point) and
+//! raises the limit to 64.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11b [-- --paper]
+//! ```
+
+use bench::{curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use workload::TrafficPattern;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11b: 64 outstanding misses, 8x8 torus, uniform traffic ({scale:?} scale)");
+    let curves: Vec<_> = ArbAlgorithm::FIGURE11
+        .iter()
+        .map(|&algo| {
+            let mut spec = SweepSpec::new(
+                algo,
+                Torus::net_8x8(),
+                TrafficPattern::Uniform,
+                scale,
+            )
+            .closed_loop(64);
+            // The closed loop self-limits, so push generation hard enough
+            // to pin all 64 MSHRs at the top of the sweep.
+            spec.rates.extend([0.2, 0.5, 1.0]);
+            let curve = spec.run(0);
+            eprintln!("  swept {algo}");
+            curve
+        })
+        .collect();
+
+    println!("\n{}", curves_table(&curves).to_text());
+    println!("{}", summary_table(&curves, 200.0).to_text());
+
+    if let (Some(spaa), Some(wfa)) = (
+        curves[2].throughput_at_latency(200.0),
+        curves[1].throughput_at_latency(200.0),
+    ) {
+        println!(
+            "SPAA-rotary vs WFA-rotary throughput @200ns: +{:.0}% (paper: ~13%)",
+            100.0 * (spaa / wfa - 1.0)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 11c — scaling study: a 144-processor (12×12) network.
+//!
+//! "Like the first two scaling results, SPAA-rotary outperforms both PIM1
+//! and WFA-rotary significantly. Thus, for a 200 nanoseconds average
+//! packet latency, SPAA-rotary provides an 18% higher throughput compared
+//! to WFA-rotary. Interestingly, however, at extremely high loads,
+//! SPAA-rotary is unable to prevent throughput degradation under
+//! saturation, whereas WFA-rotary's throughput continues to increase,
+//! possibly because of its synchronization between output port arbiters."
+//!
+//! The 12×12 node count is not a power of two, so (as in the paper) only
+//! uniform traffic applies.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11c [-- --paper]
+//! ```
+
+use bench::{curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use workload::TrafficPattern;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11c: 12x12 torus, uniform traffic ({scale:?} scale)");
+    let curves: Vec<_> = ArbAlgorithm::FIGURE11
+        .iter()
+        .map(|&algo| {
+            let spec = SweepSpec::new(
+                algo,
+                Torus::net_12x12(),
+                TrafficPattern::Uniform,
+                scale,
+            );
+            let curve = spec.run(0);
+            eprintln!("  swept {algo}");
+            curve
+        })
+        .collect();
+
+    println!("\n{}", curves_table(&curves).to_text());
+    println!("{}", summary_table(&curves, 200.0).to_text());
+
+    if let (Some(spaa), Some(wfa)) = (
+        curves[2].throughput_at_latency(200.0),
+        curves[1].throughput_at_latency(200.0),
+    ) {
+        println!(
+            "SPAA-rotary vs WFA-rotary throughput @200ns: +{:.0}% (paper: ~18%)",
+            100.0 * (spaa / wfa - 1.0)
+        );
+    }
+}

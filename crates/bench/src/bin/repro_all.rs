@@ -1,0 +1,63 @@
+//! Runs every figure and ablation harness in sequence, teeing each one's
+//! output into `results/<name>.txt`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_all [-- --paper]
+//! ```
+//!
+//! Quick mode takes a few minutes on a multicore machine; `--paper` runs
+//! each point for the full 75,000 cycles of §4.3.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const JOBS: &[(&str, &[&str])] = &[
+    ("fig08", &[]),
+    ("fig09", &[]),
+    ("fig10_4x4_uniform", &["--net", "4x4", "--pattern", "uniform"]),
+    ("fig10_8x8_uniform", &["--net", "8x8", "--pattern", "uniform"]),
+    ("fig10_8x8_bitrev", &["--net", "8x8", "--pattern", "bitrev"]),
+    ("fig10_8x8_shuffle", &["--net", "8x8", "--pattern", "shuffle"]),
+    ("fig11a", &[]),
+    ("fig11b", &[]),
+    ("fig11c", &[]),
+    ("ablation_pipeline_depth", &[]),
+    ("ablation_wfa3", &[]),
+    ("ablation_buffers", &[]),
+];
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let bin_dir: PathBuf = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("create results/");
+
+    for (name, extra) in JOBS {
+        let bin = if name.starts_with("ablation") {
+            name
+        } else {
+            name.split('_').next().unwrap()
+        };
+        let mut cmd = Command::new(bin_dir.join(bin));
+        cmd.args(*extra);
+        if paper {
+            cmd.arg("--paper");
+        }
+        eprintln!("==> {name}");
+        let output = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        assert!(
+            output.status.success(),
+            "{name} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let path = out_dir.join(format!("{name}.txt"));
+        fs::write(&path, &output.stdout).expect("write result");
+        eprintln!("    -> {}", path.display());
+    }
+    eprintln!("\nAll figures regenerated under results/.");
+}

@@ -1,0 +1,250 @@
+//! Figure-regeneration harnesses for the arbitration study.
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's figures (see
+//! DESIGN.md's experiment index). This library holds the shared plumbing:
+//! BNF sweeps over injection rates, fanned out across worker threads, and
+//! consistent table output.
+//!
+//! Scale control: every harness accepts `--paper` for full paper fidelity
+//! (75,000 cycles per point, §4.3) and defaults to a reduced but
+//! shape-preserving quick mode so `cargo bench`/CI stay fast.
+
+use network::{NetworkConfig, Torus};
+use router::{ArbAlgorithm, RouterConfig};
+use simcore::bnf::{BnfCurve, BnfPoint};
+use simcore::sweep::parallel_map;
+use simcore::table::Table;
+use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
+
+/// How long each simulated point runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced cycle count: fast, same qualitative shape.
+    Quick,
+    /// The paper's 75,000-cycle runs.
+    Paper,
+}
+
+impl Scale {
+    /// Parses process arguments: `--paper` selects full scale.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Total cycles per simulated point.
+    pub fn cycles(self) -> u64 {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Paper => 75_000,
+        }
+    }
+}
+
+/// Specification of one BNF sweep (one curve of a figure).
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Curve label (algorithm name).
+    pub algorithm: ArbAlgorithm,
+    /// Torus shape.
+    pub torus: Torus,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Outstanding-miss limit; `u32::MAX` disables the closed loop so the
+    /// sweep can push the network through saturation (see
+    /// `workload::WorkloadConfig::open_loop`).
+    pub mshrs: u32,
+    /// Use the Figure 11a 2× pipeline.
+    pub scaled_2x: bool,
+    /// Injection rates to sweep (per node per cycle).
+    pub rates: Vec<f64>,
+    /// Cycles per point.
+    pub cycles: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A paper-default sweep for an algorithm on a torus/pattern: the BNF
+    /// figures sweep the injection rate open-loop so the post-saturation
+    /// region is reachable.
+    pub fn new(
+        algorithm: ArbAlgorithm,
+        torus: Torus,
+        pattern: TrafficPattern,
+        scale: Scale,
+    ) -> Self {
+        SweepSpec {
+            algorithm,
+            torus,
+            pattern,
+            mshrs: u32::MAX,
+            scaled_2x: false,
+            rates: default_rates(),
+            cycles: scale.cycles(),
+            seed: 0x21364,
+        }
+    }
+
+    /// The same sweep with the closed-loop MSHR limit engaged (used by
+    /// the Figure 11b outstanding-miss study).
+    pub fn closed_loop(mut self, mshrs: u32) -> Self {
+        self.mshrs = mshrs;
+        self
+    }
+
+    fn network_config(&self, rate_idx: usize) -> NetworkConfig {
+        let router = if self.scaled_2x {
+            RouterConfig::scaled_2x(self.algorithm)
+        } else {
+            RouterConfig::alpha_21364(self.algorithm)
+        };
+        NetworkConfig {
+            torus: self.torus,
+            router,
+            seed: self.seed ^ ((rate_idx as u64) << 32),
+            warmup_cycles: self.cycles / 5,
+            measure_cycles: self.cycles - self.cycles / 5,
+        }
+    }
+
+    /// Runs the sweep (points in parallel) into a labelled BNF curve.
+    pub fn run(&self, workers: usize) -> BnfCurve {
+        let jobs: Vec<(usize, f64)> = self.rates.iter().copied().enumerate().collect();
+        let points = parallel_map(workers, jobs, |(idx, rate)| {
+            let net = self.network_config(idx);
+            let wl = WorkloadConfig {
+                pattern: self.pattern,
+                injection_rate: rate,
+                mshrs: self.mshrs,
+                coherence: Default::default(),
+            };
+            let (report, _stats) = run_coherence_sim(net, wl);
+            BnfPoint {
+                offered: rate,
+                delivered_flits_per_router_ns: report.flits_per_router_ns,
+                avg_latency_ns: report.avg_latency_ns(),
+                packets: report.delivered_packets,
+            }
+        });
+        let mut curve = BnfCurve::new(self.algorithm.to_string());
+        for p in points {
+            curve.push(p);
+        }
+        curve
+    }
+}
+
+/// The default injection-rate grid: dense around the saturation bend
+/// (≈0.02–0.04 transactions/node/cycle on the 8×8), with a short tail
+/// into the post-saturation region where the rotary/base curves separate.
+pub fn default_rates() -> Vec<f64> {
+    vec![
+        0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.016, 0.020, 0.024, 0.028, 0.034, 0.042,
+        0.055, 0.075, 0.1,
+    ]
+}
+
+/// Renders a set of curves the way the paper's figures tabulate them:
+/// one row per operating point.
+pub fn curves_table(curves: &[BnfCurve]) -> Table {
+    let mut t = Table::with_columns(&[
+        "algorithm",
+        "offered(pkt/node/cy)",
+        "delivered(flits/router/ns)",
+        "latency(ns)",
+        "packets",
+    ]);
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                c.label.clone(),
+                format!("{:.4}", p.offered),
+                format!("{:.4}", p.delivered_flits_per_router_ns),
+                format!("{:.1}", p.avg_latency_ns),
+                p.packets.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Summarizes the paper's headline comparisons for a figure: peak and
+/// final throughput per algorithm plus throughput at a reference latency.
+pub fn summary_table(curves: &[BnfCurve], ref_latency_ns: f64) -> Table {
+    let mut t = Table::with_columns(&[
+        "algorithm",
+        "peak thr",
+        "final thr",
+        &format!("thr @ {ref_latency_ns} ns"),
+        "zero-load lat (ns)",
+    ]);
+    for c in curves {
+        t.row(vec![
+            c.label.clone(),
+            fmt_opt(c.peak_throughput()),
+            fmt_opt(c.final_throughput()),
+            fmt_opt(c.throughput_at_latency(ref_latency_ns)),
+            fmt_opt(c.zero_load_latency()),
+        ]);
+    }
+    t
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_cycles() {
+        assert_eq!(Scale::Quick.cycles(), 20_000);
+        assert_eq!(Scale::Paper.cycles(), 75_000);
+    }
+
+    #[test]
+    fn default_rate_grid_is_monotone() {
+        let rates = default_rates();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        assert!(rates.len() >= 10, "enough points to trace a curve");
+    }
+
+    #[test]
+    fn tiny_sweep_produces_ordered_curve() {
+        let mut spec = SweepSpec::new(
+            ArbAlgorithm::SpaaBase,
+            Torus::net_4x4(),
+            TrafficPattern::Uniform,
+            Scale::Quick,
+        );
+        spec.rates = vec![0.002, 0.02];
+        spec.cycles = 3000;
+        let curve = spec.run(2);
+        assert_eq!(curve.points.len(), 2);
+        assert!(
+            curve.points[1].delivered_flits_per_router_ns
+                > curve.points[0].delivered_flits_per_router_ns
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let mut c = BnfCurve::new("SPAA-base");
+        c.push(BnfPoint {
+            offered: 0.01,
+            delivered_flits_per_router_ns: 0.3,
+            avg_latency_ns: 60.0,
+            packets: 500,
+        });
+        let t = curves_table(&[c.clone()]);
+        assert_eq!(t.len(), 1);
+        let s = summary_table(&[c], 80.0);
+        assert!(s.to_text().contains("SPAA-base"));
+    }
+}

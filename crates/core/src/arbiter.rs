@@ -1,0 +1,303 @@
+//! The unified one-shot arbitration interface used by the standalone model.
+//!
+//! The §5.1 standalone experiments compare MCM, PIM, PIM1, WFA and SPAA
+//! under identical conditions ("all arbitration algorithms take one cycle
+//! to execute"). The algorithms consume different *views* of a router's
+//! arbitration state:
+//!
+//! * multi-nomination algorithms (MCM, PIM, WFA) see the full request
+//!   matrix — per input arbiter, every output it could serve;
+//! * single-nomination algorithms (SPAA, OPF) see one chosen nomination
+//!   per input arbiter, because their input stage commits to one packet
+//!   and one direction before the output stage runs.
+//!
+//! [`ArbitrationInput`] carries both views so one driver loop can evaluate
+//! every algorithm on identical router states, which is exactly how
+//! Figures 8 and 9 are produced.
+
+use crate::matching::Matching;
+use crate::matrix::RequestMatrix;
+use crate::mcm;
+use crate::opf::OpfArbiter;
+use crate::pim::PimArbiter;
+use crate::spaa::SpaaArbiter;
+use crate::wfa::WfaArbiter;
+use simcore::SimRng;
+
+/// Both views of one arbitration cycle's eligible traffic.
+///
+/// Invariant (checked by [`ArbitrationInput::validate`]): every single
+/// nomination is also present in the request matrix — the nomination is a
+/// *choice among* the requests, never something new.
+#[derive(Clone, Debug)]
+pub struct ArbitrationInput {
+    /// Full request sets, already filtered to free outputs and legal
+    /// connections.
+    pub requests: RequestMatrix,
+    /// One committed nomination per input arbiter (SPAA/OPF view).
+    pub nominations: Vec<Option<u8>>,
+}
+
+impl ArbitrationInput {
+    /// Bundles the two views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nomination vector width differs from the request
+    /// matrix's row count.
+    pub fn new(requests: RequestMatrix, nominations: Vec<Option<u8>>) -> Self {
+        assert_eq!(
+            nominations.len(),
+            requests.rows(),
+            "nomination width must match request rows"
+        );
+        ArbitrationInput {
+            requests,
+            nominations,
+        }
+    }
+
+    /// Checks the nomination-subset-of-requests invariant.
+    pub fn validate(&self) -> bool {
+        self.nominations.iter().enumerate().all(|(r, nom)| match nom {
+            Some(c) => self.requests.requested(r, *c as usize),
+            None => true,
+        })
+    }
+}
+
+/// A one-shot arbitration algorithm, as modelled by the standalone
+/// experiments.
+pub trait Arbiter {
+    /// Short display name used in figure output (e.g. `"SPAA"`).
+    fn name(&self) -> &str;
+
+    /// Produces a matching for one arbitration cycle.
+    fn arbitrate(&mut self, input: &ArbitrationInput, rng: &mut SimRng) -> Matching;
+}
+
+/// MCM as an [`Arbiter`] (the exhaustive upper bound).
+///
+/// The matching it returns is always maximum-cardinality; by default the
+/// *choice among equal-cardinality matchings* is randomized by permuting
+/// rows and columns before running Hopcroft–Karp. Without that, the
+/// deterministic tie-breaking systematically favours low-index ports and
+/// starves the rest — and in a closed-loop queue model sustained
+/// starvation translates into drops and a throughput *below* algorithms
+/// with rotating priorities, which would misrepresent MCM's role as the
+/// §5.1 upper bound.
+#[derive(Clone, Debug)]
+pub struct McmArbiter {
+    randomize: bool,
+}
+
+impl Default for McmArbiter {
+    fn default() -> Self {
+        McmArbiter { randomize: true }
+    }
+}
+
+impl McmArbiter {
+    /// MCM with randomized tie-breaking (the standalone-model default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// MCM with deterministic (low-index-first) tie-breaking.
+    pub fn deterministic() -> Self {
+        McmArbiter { randomize: false }
+    }
+}
+
+impl Arbiter for McmArbiter {
+    fn name(&self) -> &str {
+        "MCM"
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, rng: &mut SimRng) -> Matching {
+        let req = &input.requests;
+        if !self.randomize {
+            return mcm::maximum_matching(req);
+        }
+        let rows = req.rows();
+        let cols = req.cols();
+        // Random row/column relabelling: cardinality is invariant, the
+        // tie-breaking becomes fair.
+        let row_perm = permutation(rows, rng);
+        let col_perm = permutation(cols, rng);
+        let mut shuffled = RequestMatrix::new(rows, cols);
+        for (r, &pr) in row_perm.iter().enumerate() {
+            let mut mask = 0u32;
+            let orig = req.row_mask(pr);
+            for (c, &pc) in col_perm.iter().enumerate() {
+                if orig & (1 << pc) != 0 {
+                    mask |= 1 << c;
+                }
+            }
+            shuffled.set_row_mask(r, mask);
+        }
+        let m = mcm::maximum_matching(&shuffled);
+        let mut out = Matching::empty(rows, cols);
+        for (r, c) in m.pairs() {
+            out.grant(row_perm[r], col_perm[c]);
+        }
+        out
+    }
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+fn permutation(n: usize, rng: &mut SimRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        p.swap(i, j);
+    }
+    p
+}
+
+impl Arbiter for PimArbiter {
+    fn name(&self) -> &str {
+        if self.iterations() == 1 {
+            "PIM1"
+        } else {
+            "PIM"
+        }
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, rng: &mut SimRng) -> Matching {
+        PimArbiter::arbitrate(self, &input.requests, rng)
+    }
+}
+
+impl Arbiter for WfaArbiter {
+    fn name(&self) -> &str {
+        "WFA"
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, _rng: &mut SimRng) -> Matching {
+        WfaArbiter::arbitrate(self, &input.requests)
+    }
+}
+
+impl Arbiter for SpaaArbiter {
+    fn name(&self) -> &str {
+        "SPAA"
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, rng: &mut SimRng) -> Matching {
+        self.grant(&input.nominations, rng)
+    }
+}
+
+impl Arbiter for OpfArbiter {
+    fn name(&self) -> &str {
+        "OPF"
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, rng: &mut SimRng) -> Matching {
+        OpfArbiter::arbitrate(self, &input.nominations, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    /// Builds a consistent input: random requests, nominations chosen as
+    /// the lowest requested output per row.
+    fn random_input(rng: &mut SimRng, rows: usize, cols: usize) -> ArbitrationInput {
+        let masks: Vec<u32> = (0..rows)
+            .map(|_| rng.next_u32() & ((1u32 << cols) - 1))
+            .collect();
+        let noms = masks
+            .iter()
+            .map(|&m| (m != 0).then(|| m.trailing_zeros() as u8))
+            .collect();
+        ArbitrationInput::new(RequestMatrix::from_rows(masks, cols), noms)
+    }
+
+    fn all_arbiters(rows: usize, cols: usize) -> Vec<Box<dyn Arbiter>> {
+        vec![
+            Box::new(McmArbiter::new()),
+            Box::new(PimArbiter::pim1()),
+            Box::new(PimArbiter::converged(rows)),
+            Box::new(WfaArbiter::base(rows, cols)),
+            Box::new(SpaaArbiter::base(rows, cols)),
+            Box::new(OpfArbiter::new(rows, cols)),
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_yields_valid_matchings_bounded_by_mcm() {
+        let mut gen = SimRng::from_seed(50);
+        let mut rng = SimRng::from_seed(51);
+        let mut arbiters = all_arbiters(16, 7);
+        for _ in 0..100 {
+            let input = random_input(&mut gen, 16, 7);
+            assert!(input.validate());
+            let upper = mcm::maximum_matching(&input.requests).cardinality();
+            for arb in arbiters.iter_mut() {
+                let m = arb.arbitrate(&input, &mut rng);
+                assert!(
+                    m.is_valid_for(&input.requests),
+                    "{} produced an invalid matching",
+                    arb.name()
+                );
+                assert!(
+                    m.cardinality() <= upper,
+                    "{} beat MCM: {} > {upper}",
+                    arb.name(),
+                    m.cardinality()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_quality_ordering_holds_in_aggregate() {
+        // Reproduces the §5.1 qualitative ordering on random states:
+        // MCM >= WFA ~ PIM >= PIM1 >= SPAA.
+        let mut gen = SimRng::from_seed(60);
+        let mut rng = SimRng::from_seed(61);
+        let mut arbiters = all_arbiters(16, 7);
+        let mut totals = vec![0usize; arbiters.len()];
+        for _ in 0..400 {
+            let input = random_input(&mut gen, 16, 7);
+            for (i, arb) in arbiters.iter_mut().enumerate() {
+                totals[i] += arb.arbitrate(&input, &mut rng).cardinality();
+            }
+        }
+        let (mcm_t, pim1_t, pim_t, wfa_t, spaa_t) =
+            (totals[0], totals[1], totals[2], totals[3], totals[4]);
+        assert!(mcm_t >= wfa_t, "MCM {mcm_t} < WFA {wfa_t}");
+        assert!(mcm_t >= pim_t, "MCM {mcm_t} < PIM {pim_t}");
+        assert!(pim_t >= pim1_t, "PIM {pim_t} < PIM1 {pim1_t}");
+        assert!(pim1_t >= spaa_t, "PIM1 {pim1_t} < SPAA {spaa_t}");
+        assert!(wfa_t >= pim1_t, "WFA {wfa_t} < PIM1 {pim1_t}");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(McmArbiter::new().name(), "MCM");
+        assert_eq!(PimArbiter::pim1().name(), "PIM1");
+        assert_eq!(PimArbiter::new(4).name(), "PIM");
+        assert_eq!(WfaArbiter::base(16, 7).name(), "WFA");
+        assert_eq!(SpaaArbiter::base(16, 7).name(), "SPAA");
+        assert_eq!(OpfArbiter::new(16, 7).name(), "OPF");
+    }
+
+    #[test]
+    fn validate_catches_rogue_nomination() {
+        let req = RequestMatrix::from_rows(vec![0b01, 0b00], 2);
+        let bad = ArbitrationInput::new(req, vec![Some(1), None]);
+        assert!(!bad.validate());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_rejected() {
+        let req = RequestMatrix::new(4, 4);
+        let _ = ArbitrationInput::new(req, vec![None; 2]);
+    }
+}

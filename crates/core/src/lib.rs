@@ -1,0 +1,67 @@
+//! Crossbar arbitration algorithms from the Alpha 21364 router study.
+//!
+//! This crate implements the paper's contribution and all of its baselines
+//! as pure, reusable matching algorithms over a *connection matrix* — the
+//! representation the paper itself uses (§3, Figure 5): rows are input-port
+//! arbiters (the 21364 has 16: eight input ports × two buffer read ports)
+//! and columns are output-port arbiters (seven).
+//!
+//! | Algorithm | Module | Paper section |
+//! |-----------|--------|---------------|
+//! | SPAA (Simple Pipelined Arbitration Algorithm), base & rotary | [`spaa`] | §3.3 |
+//! | PIM (Parallel Iterative Matching), any iteration count; PIM1 | [`pim`] | §3.1 |
+//! | WFA (Wave-Front Arbiter), wrapped & plain, base & rotary | [`wfa`] | §3.2 |
+//! | MCM (Maximal Cardinality Matching upper bound) | [`mcm`] | §3 |
+//! | OPF (naïve oldest-packet-first strawman) | [`opf`] | Figure 2 |
+//!
+//! Output-port selection policies (random, round-robin, least-recently
+//! selected, and the Rotary Rule of §3.4) live in [`policy`].
+//!
+//! The crate knows nothing about time: the timing behaviour of each
+//! algorithm (SPAA's 3-cycle pipelined arbitration vs PIM1/WFA's 4-cycle,
+//! once-every-3-cycles arbitration) is modelled by the `router` crate on
+//! top of these kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use arbitration::prelude::*;
+//!
+//! // Three input arbiters all want output 0; one also wants output 1.
+//! let mut req = RequestMatrix::new(3, 2);
+//! req.set(0, 0);
+//! req.set(1, 0);
+//! req.set(2, 0);
+//! req.set(2, 1);
+//!
+//! let matching = mcm::maximum_matching(&req);
+//! assert_eq!(matching.cardinality(), 2); // e.g. 0->0 and 2->1
+//! assert!(matching.is_valid_for(&req));
+//! ```
+
+pub mod arbiter;
+pub mod matching;
+pub mod matrix;
+pub mod mcm;
+pub mod opf;
+pub mod pim;
+pub mod policy;
+pub mod ports;
+pub mod spaa;
+pub mod wfa;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::arbiter::{Arbiter, ArbitrationInput};
+    pub use crate::matching::Matching;
+    pub use crate::matrix::{ConnectionMatrix, RequestMatrix};
+    pub use crate::mcm;
+    pub use crate::opf::OpfArbiter;
+    pub use crate::pim::PimArbiter;
+    pub use crate::policy::{RotaryMode, SelectionPolicy, Selector};
+    pub use crate::ports::{
+        InputPort, OutputPort, ReadPort, NUM_ARBITER_ROWS, NUM_INPUT_PORTS, NUM_OUTPUT_PORTS,
+    };
+    pub use crate::spaa::SpaaArbiter;
+    pub use crate::wfa::{WfaArbiter, WfaStart, WfaVariant};
+}

@@ -1,0 +1,233 @@
+//! MCM — the Maximal Cardinality Matching upper bound (§3).
+//!
+//! The paper uses MCM, "basically MWM with all connections having equal
+//! weights", as an exhaustive upper bound on how many input/output pairs
+//! any arbitration algorithm could match; it is used only in the
+//! non-timing (standalone) model because nobody knows how to implement it
+//! in hardware within a few cycles.
+//!
+//! We compute it exactly with the Hopcroft–Karp algorithm, which finds a
+//! *maximum* cardinality matching of a bipartite graph in
+//! `O(E * sqrt(V))`. On the 21364's 16×7 matrix this is microseconds, but
+//! the implementation is fully general so property tests can hammer it on
+//! arbitrary matrices.
+
+use crate::matching::Matching;
+use crate::matrix::RequestMatrix;
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum-cardinality matching of `req`.
+///
+/// The result is the largest possible number of simultaneous
+/// (input arbiter → output port) dispatches for this request state; every
+/// other algorithm in this crate produces a matching of equal or smaller
+/// cardinality (asserted by property tests).
+///
+/// # Example
+///
+/// ```
+/// use arbitration::matrix::RequestMatrix;
+/// use arbitration::mcm::maximum_matching;
+///
+/// // A "collision" pattern: three inputs all want output 0 only.
+/// let req = RequestMatrix::from_rows(vec![0b01, 0b01, 0b01], 2);
+/// assert_eq!(maximum_matching(&req).cardinality(), 1);
+/// ```
+pub fn maximum_matching(req: &RequestMatrix) -> Matching {
+    let rows = req.rows();
+    let cols = req.cols();
+    // match_row[r] = column matched to row r (or NIL); match_col[c] likewise.
+    let mut match_row = vec![NIL; rows];
+    let mut match_col = vec![NIL; cols];
+    let mut dist = vec![u32::MAX; rows];
+    let mut queue = Vec::with_capacity(rows);
+
+    loop {
+        // BFS phase: layer unmatched rows at distance 0 and expand through
+        // alternating paths; records whether any augmenting path exists.
+        queue.clear();
+        for r in 0..rows {
+            if match_row[r] == NIL {
+                dist[r] = 0;
+                queue.push(r);
+            } else {
+                dist[r] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let r = queue[qi];
+            qi += 1;
+            let mut mask = req.row_mask(r);
+            while mask != 0 {
+                let c = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                match match_col[c] {
+                    NIL => found_augmenting = true,
+                    r2 => {
+                        if dist[r2] == u32::MAX {
+                            dist[r2] = dist[r] + 1;
+                            queue.push(r2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: greedily take vertex-disjoint shortest augmenting
+        // paths discovered by the BFS layering.
+        for r in 0..rows {
+            if match_row[r] == NIL {
+                let _ = try_augment(req, r, &mut match_row, &mut match_col, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::empty(rows, cols);
+    for (r, &c) in match_row.iter().enumerate() {
+        if c != NIL {
+            m.grant(r, c);
+        }
+    }
+    m
+}
+
+fn try_augment(
+    req: &RequestMatrix,
+    r: usize,
+    match_row: &mut [usize],
+    match_col: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    let mut mask = req.row_mask(r);
+    while mask != 0 {
+        let c = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let r2 = match_col[c];
+        let extendable = r2 == NIL
+            || (dist[r2] == dist[r] + 1 && try_augment(req, r2, match_row, match_col, dist));
+        if extendable {
+            match_row[r] = c;
+            match_col[c] = r;
+            return true;
+        }
+    }
+    // Dead end: exclude this row from further DFS in this phase.
+    dist[r] = u32::MAX;
+    false
+}
+
+/// Brute-force maximum matching cardinality by exhaustive search.
+///
+/// Exponential in the number of rows; only usable on tiny matrices. It
+/// exists purely as an oracle for testing [`maximum_matching`].
+pub fn brute_force_max_cardinality(req: &RequestMatrix) -> usize {
+    fn go(req: &RequestMatrix, row: usize, used_cols: u32) -> usize {
+        if row == req.rows() {
+            return 0;
+        }
+        // Skip this row.
+        let mut best = go(req, row + 1, used_cols);
+        // Or match it to any free requested column.
+        let mut mask = req.row_mask(row) & !used_cols;
+        while mask != 0 {
+            let c = mask.trailing_zeros();
+            mask &= mask - 1;
+            best = best.max(1 + go(req, row + 1, used_cols | (1 << c)));
+        }
+        best
+    }
+    go(req, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use simcore::SimRng;
+
+    #[test]
+    fn empty_request_empty_matching() {
+        let req = RequestMatrix::new(4, 4);
+        assert_eq!(maximum_matching(&req).cardinality(), 0);
+    }
+
+    #[test]
+    fn perfect_diagonal() {
+        let req = RequestMatrix::from_rows(vec![0b001, 0b010, 0b100], 3);
+        let m = maximum_matching(&req);
+        assert_eq!(m.cardinality(), 3);
+        assert!(m.is_valid_for(&req));
+        assert!(m.is_maximal_for(&req));
+    }
+
+    #[test]
+    fn requires_augmenting_path() {
+        // Greedy row-order matching gets stuck at 1 here; the maximum is 2:
+        // row 0 -> col 1, row 1 -> col 0.
+        let req = RequestMatrix::from_rows(vec![0b11, 0b01], 2);
+        assert_eq!(maximum_matching(&req).cardinality(), 2);
+    }
+
+    #[test]
+    fn figure2_pattern_matches_five() {
+        // The Figure 2 example: 8 input ports, oldest packets all headed to
+        // output 3, but a clever match can deliver 5 packets using the
+        // shaded choices {3, 6, 0, 4, 5} plus conflicts elsewhere.
+        // Column sets per input row (outputs requested by *any* waiting
+        // packet at that input): see Figure 2 columns 2-4.
+        let rows = vec![
+            0b0001110, // in0: {3,2,1}
+            0b0001110, // in1
+            0b0001110, // in2
+            0b0001110, // in3
+            0b1001010, // in4: {3,6,1}
+            0b0001101, // in5: {3,2,0}
+            0b0011100, // in6: {3,2,4}
+            0b0101100, // in7: {3,2,5}
+        ];
+        let req = RequestMatrix::from_rows(rows, 7);
+        // Outputs {1,2,3} serve three of in0..in3; in4 takes 6, in5 takes
+        // 0, in6 takes 4, in7 takes 5: total 7.
+        assert_eq!(maximum_matching(&req).cardinality(), 7);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        let mut rng = SimRng::from_seed(99);
+        for trial in 0..200 {
+            let rows = 1 + (rng.next_u32() % 7) as usize;
+            let cols = 1 + (rng.next_u32() % 7) as usize;
+            let masks: Vec<u32> = (0..rows)
+                .map(|_| rng.next_u32() & ((1u32 << cols) - 1))
+                .collect();
+            let req = RequestMatrix::from_rows(masks, cols);
+            let hk = maximum_matching(&req);
+            assert!(hk.is_valid_for(&req), "trial {trial}");
+            assert!(hk.is_maximal_for(&req), "trial {trial}");
+            assert_eq!(
+                hk.cardinality(),
+                brute_force_max_cardinality(&req),
+                "trial {trial}: {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_matrix() {
+        // More columns than rows: bounded by rows.
+        let req = RequestMatrix::from_rows(vec![u32::MAX >> 12; 3], 20);
+        assert_eq!(maximum_matching(&req).cardinality(), 3);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        // 16 rows all fighting for 7 columns: bounded by columns.
+        let req = RequestMatrix::from_rows(vec![0b0111_1111; 16], 7);
+        assert_eq!(maximum_matching(&req).cardinality(), 7);
+    }
+}

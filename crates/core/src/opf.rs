@@ -1,0 +1,105 @@
+//! OPF — the naïve "oldest packet first" strawman of Figure 2.
+//!
+//! OPF has each input port blindly pick its oldest waiting packet and send
+//! that nomination to the packet's output port, with no awareness of what
+//! other inputs are doing. When several oldest packets target the same
+//! output ("output port 3 can deliver only one packet"), all but one
+//! collide and the cycle's throughput craters — the figure the paper opens
+//! with to motivate smarter arbitration.
+//!
+//! OPF is SPAA's nomination rule with the dumbest possible adaptive-route
+//! choice (none: the packet's first candidate) and a random output grant.
+//! It exists for the Figure 2 demonstration and as a pedagogical baseline;
+//! the paper does not plot it (SPAA is "more like OPF" but with LRS grants
+//! and per-cycle re-nomination, which recover much of the loss).
+
+use crate::matching::Matching;
+use simcore::SimRng;
+
+/// The OPF strawman arbiter.
+#[derive(Clone, Debug)]
+pub struct OpfArbiter {
+    rows: usize,
+    cols: usize,
+}
+
+impl OpfArbiter {
+    /// Creates an OPF arbiter for a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or exceed 32.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && rows <= 32 && cols > 0 && cols <= 32);
+        OpfArbiter { rows, cols }
+    }
+
+    /// Resolves oldest-packet nominations: every contended output grants a
+    /// uniformly random nominator, everything else collides away.
+    ///
+    /// `oldest[row]` is the output wanted by the row's oldest packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or out-of-range outputs.
+    pub fn arbitrate(&mut self, oldest: &[Option<u8>], rng: &mut SimRng) -> Matching {
+        assert_eq!(oldest.len(), self.rows, "nomination width mismatch");
+        let mut contenders = vec![0u32; self.cols];
+        for (row, nom) in oldest.iter().enumerate() {
+            if let Some(c) = nom {
+                let c = *c as usize;
+                assert!(c < self.cols, "output {c} out of range");
+                contenders[c] |= 1 << row;
+            }
+        }
+        let mut m = Matching::empty(self.rows, self.cols);
+        for (c, &mask) in contenders.iter().enumerate() {
+            if mask != 0 {
+                m.grant(rng.pick_bit(mask) as usize, c);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_collision() {
+        // Figure 2: all eight input ports' oldest packets target output 3.
+        let oldest = vec![Some(3u8); 8];
+        let mut opf = OpfArbiter::new(8, 7);
+        let m = opf.arbitrate(&oldest, &mut SimRng::from_seed(1));
+        assert_eq!(m.cardinality(), 1, "OPF delivers one packet where MCM delivers 7");
+        assert_eq!(m.matched_cols(), 1 << 3);
+    }
+
+    #[test]
+    fn disjoint_nominations_all_granted() {
+        let oldest = vec![Some(0u8), Some(1), Some(2), None];
+        let mut opf = OpfArbiter::new(4, 4);
+        let m = opf.arbitrate(&oldest, &mut SimRng::from_seed(2));
+        assert_eq!(m.cardinality(), 3);
+    }
+
+    #[test]
+    fn random_winner_covers_all_contenders() {
+        let oldest = vec![Some(0u8); 4];
+        let mut opf = OpfArbiter::new(4, 2);
+        let mut rng = SimRng::from_seed(3);
+        let mut seen = 0u32;
+        for _ in 0..100 {
+            seen |= 1 << opf.arbitrate(&oldest, &mut rng).input_of(0).unwrap();
+        }
+        assert_eq!(seen, 0b1111, "every contender eventually wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_checked() {
+        let mut opf = OpfArbiter::new(4, 4);
+        let _ = opf.arbitrate(&[None; 2], &mut SimRng::from_seed(0));
+    }
+}

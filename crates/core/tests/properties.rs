@@ -1,0 +1,201 @@
+//! Property-based tests of the arbitration invariants listed in DESIGN.md.
+//!
+//! Every algorithm, on every reachable request state, must produce a valid
+//! matching bounded by MCM's maximum; the maximal algorithms (MCM, WFA)
+//! must leave no augmenting pair behind; and the single-nomination
+//! algorithms must grant every uncontended nomination.
+
+use arbitration::prelude::*;
+use arbitration::arbiter::McmArbiter;
+use arbitration::mcm::brute_force_max_cardinality;
+use proptest::prelude::*;
+use simcore::SimRng;
+
+/// Strategy: a request matrix of bounded size with arbitrary cells.
+fn request_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = RequestMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(0u32..(1u32 << cols), rows)
+            .prop_map(move |masks| RequestMatrix::from_rows(masks, cols))
+    })
+}
+
+/// Strategy: consistent (requests, nominations) pair plus an RNG seed.
+fn arbitration_input(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (ArbitrationInput, u64)> {
+    (request_matrix(max_rows, max_cols), any::<u64>(), any::<u64>()).prop_map(
+        |(req, pick_seed, rng_seed)| {
+            // Nominate a pseudo-random requested output per row.
+            let mut pick = SimRng::from_seed(pick_seed);
+            let noms = (0..req.rows())
+                .map(|r| {
+                    let mask = req.row_mask(r);
+                    (mask != 0).then(|| pick.pick_bit(mask) as u8)
+                })
+                .collect();
+            (ArbitrationInput::new(req, noms), rng_seed)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn mcm_is_maximum_and_maximal(req in request_matrix(10, 8)) {
+        let m = mcm::maximum_matching(&req);
+        prop_assert!(m.is_valid_for(&req));
+        prop_assert!(m.is_maximal_for(&req));
+        prop_assert_eq!(m.cardinality(), brute_force_max_cardinality(&req));
+    }
+
+    #[test]
+    fn wfa_is_valid_maximal_and_bounded(
+        req in request_matrix(16, 7),
+        seed in any::<u64>(),
+        rotary in any::<bool>(),
+    ) {
+        let rows = req.rows();
+        let mut wfa = if rotary {
+            // Use the low half of the rows as the "network" class.
+            let mask = (1u32 << rows.div_ceil(2)) - 1;
+            WfaArbiter::rotary(rows, req.cols(), mask)
+        } else {
+            WfaArbiter::base(rows, req.cols())
+        };
+        // Rotate the start pointer to an arbitrary phase.
+        for _ in 0..(seed % 17) {
+            let _ = wfa.arbitrate(&RequestMatrix::new(rows, req.cols()));
+        }
+        let m = wfa.arbitrate(&req);
+        prop_assert!(m.is_valid_for(&req));
+        prop_assert!(m.is_maximal_for(&req));
+        prop_assert!(m.cardinality() <= mcm::maximum_matching(&req).cardinality());
+    }
+
+    #[test]
+    fn pim_is_valid_bounded_and_monotone_in_iterations(
+        req in request_matrix(16, 7),
+        seed in any::<u64>(),
+    ) {
+        let upper = mcm::maximum_matching(&req).cardinality();
+        let mut last = 0usize;
+        // The same seed gives each iteration count the same grant draws
+        // for its first rounds, so cardinality is non-decreasing in k.
+        for k in 1..=4usize {
+            let mut rng = SimRng::from_seed(seed);
+            let m = PimArbiter::new(k).arbitrate(&req, &mut rng);
+            prop_assert!(m.is_valid_for(&req));
+            prop_assert!(m.cardinality() <= upper);
+            prop_assert!(
+                m.cardinality() >= last,
+                "PIM{} matched fewer ({}) than PIM{} ({})",
+                k, m.cardinality(), k - 1, last
+            );
+            last = m.cardinality();
+        }
+    }
+
+    #[test]
+    fn spaa_grants_exactly_one_per_contended_output(
+        (input, seed) in arbitration_input(16, 7),
+    ) {
+        let mut rng = SimRng::from_seed(seed);
+        let rows = input.requests.rows();
+        let cols = input.requests.cols();
+        let mut spaa = SpaaArbiter::base(rows, cols);
+        let m = spaa.grant(&input.nominations, &mut rng);
+        prop_assert!(m.is_valid_for(&input.requests));
+        // Cardinality is exactly the number of distinct nominated outputs.
+        let mut outputs = 0u32;
+        for nom in input.nominations.iter().flatten() {
+            outputs |= 1 << *nom;
+        }
+        prop_assert_eq!(m.cardinality(), outputs.count_ones() as usize);
+        // Every uncontended nomination is granted.
+        for (r, nom) in input.nominations.iter().enumerate() {
+            if let Some(c) = nom {
+                let contenders = input
+                    .nominations
+                    .iter()
+                    .filter(|n| n.as_ref() == Some(c))
+                    .count();
+                if contenders == 1 {
+                    prop_assert_eq!(m.output_of(r), Some(*c as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_is_valid_and_bounded_by_mcm(
+        (input, seed) in arbitration_input(16, 7),
+    ) {
+        let rows = input.requests.rows();
+        let cols = input.requests.cols();
+        let mut rng = SimRng::from_seed(seed);
+        let upper = mcm::maximum_matching(&input.requests).cardinality();
+        let mut algos: Vec<Box<dyn Arbiter>> = vec![
+            Box::new(McmArbiter::new()),
+            Box::new(PimArbiter::pim1()),
+            Box::new(PimArbiter::converged(rows)),
+            Box::new(WfaArbiter::base(rows, cols)),
+            Box::new(SpaaArbiter::base(rows, cols)),
+            Box::new(OpfArbiter::new(rows, cols)),
+        ];
+        for algo in algos.iter_mut() {
+            let m = algo.arbitrate(&input, &mut rng);
+            prop_assert!(m.is_valid_for(&input.requests), "{} invalid", algo.name());
+            prop_assert!(
+                m.cardinality() <= upper,
+                "{} beat MCM ({} > {})", algo.name(), m.cardinality(), upper
+            );
+        }
+    }
+
+    #[test]
+    fn selector_always_picks_a_requester(
+        pool in 1u32..(1 << 16),
+        seed in any::<u64>(),
+        policy_idx in 0usize..3,
+        rotary in any::<bool>(),
+    ) {
+        use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
+        use arbitration::ports::NETWORK_ROW_MASK;
+        let policy = [
+            SelectionPolicy::Random,
+            SelectionPolicy::RoundRobin,
+            SelectionPolicy::LeastRecentlySelected,
+        ][policy_idx];
+        let mode = if rotary { RotaryMode::On } else { RotaryMode::Off };
+        let mut sel = Selector::new(policy, mode, NETWORK_ROW_MASK, 16);
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..8 {
+            let row = sel.select(pool, &mut rng);
+            prop_assert!(pool & (1 << row) != 0, "selected non-requester {row}");
+            if rotary && pool & NETWORK_ROW_MASK != 0 {
+                prop_assert!(
+                    NETWORK_ROW_MASK & (1 << row) != 0,
+                    "rotary ignored a network requester"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_row_col_uniqueness_is_structural(
+        req in request_matrix(16, 7),
+        seed in any::<u64>(),
+    ) {
+        // Whatever PIM does, no row or column ever appears twice.
+        let mut rng = SimRng::from_seed(seed);
+        let m = PimArbiter::converged(req.rows()).arbitrate(&req, &mut rng);
+        let mut rows_seen = 0u32;
+        let mut cols_seen = 0u32;
+        for (r, c) in m.pairs() {
+            prop_assert!(rows_seen & (1 << r) == 0);
+            prop_assert!(cols_seen & (1 << c) == 0);
+            rows_seen |= 1 << r;
+            cols_seen |= 1 << c;
+        }
+    }
+}

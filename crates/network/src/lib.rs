@@ -1,0 +1,28 @@
+//! The 21364 interconnection network: a 2D torus of pipelined routers.
+//!
+//! This crate assembles `router` instances into the network of §2.1:
+//!
+//! * [`topology`] — torus coordinates, neighbour relations, and the
+//!   direction conventions that tie a router's output ports to its
+//!   neighbours' input ports;
+//! * [`routing`] — per-hop [`router::RouteInfo`] computation:
+//!   minimal-rectangle adaptive candidates ("the adaptive routing
+//!   algorithm has to pick one output port among a maximum of two"),
+//!   dimension-order escape hops, and the dateline VC0/VC1 selection that
+//!   keeps the escape sub-network deadlock-free;
+//! * [`sim`] — the network simulator: steps every router on each 1.2 GHz
+//!   core-clock edge, transports packets over 0.8 GHz links with three
+//!   link-clocks of wire latency, returns credits, and delivers packets to
+//!   per-node [`sim::Endpoint`]s.
+//!
+//! The traffic side (coherence transactions, MSHRs, §4.2 patterns) lives
+//! in the `workload` crate; anything implementing [`sim::Endpoint`] can
+//! drive the network.
+
+pub mod routing;
+pub mod sim;
+pub mod topology;
+
+pub use routing::route_for;
+pub use sim::{Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx};
+pub use topology::Torus;

@@ -1,0 +1,549 @@
+//! The network simulator: routers + links + endpoints.
+//!
+//! [`NetworkSim`] steps every router on each 1.2 GHz core-clock edge and
+//! moves the router outputs around:
+//!
+//! * **Forwards** cross a 0.8 GHz link with three link-clocks of wire
+//!   latency (§4.1) and enter the neighbour through the opposite input
+//!   port; the next hop's route is computed on arrival.
+//! * **Credits** return to the upstream router with the same wire latency.
+//! * **Deliveries** are handed to the destination node's [`Endpoint`] at
+//!   last-flit time.
+//!
+//! Endpoints generate traffic: each core cycle, every node's endpoint may
+//! inject packets through its local input ports (cache, memory
+//! controllers, I/O), bounded by real buffer space. The `workload` crate's
+//! coherence generator is the production endpoint; tests use simpler ones.
+
+use crate::routing::route_for;
+use crate::topology::Torus;
+use arbitration::ports::InputPort;
+use router::{CoherenceClass, IncomingPacket, Packet, Router, RouterConfig, RouterOutput, VcId};
+use simcore::stats::{Histogram, OnlineStats};
+use simcore::{SimRng, Tick};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an injection attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionOutcome {
+    /// The packet entered the router's input buffer.
+    Accepted,
+    /// The target virtual channel has no free buffer slot; try later.
+    NoBufferSpace,
+}
+
+/// Per-node view handed to an [`Endpoint`] every cycle.
+pub struct NodeCtx<'a> {
+    router: &'a mut Router,
+    torus: &'a Torus,
+    node: u16,
+    now: Tick,
+    core_period: Tick,
+    injected_packets: &'a mut u64,
+    injected_flits: &'a mut u64,
+}
+
+impl NodeCtx<'_> {
+    /// This node's id.
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The virtual channel an injected packet of `class` occupies at the
+    /// source router: the class's adaptive channel for coherence traffic,
+    /// the deadlock-free VC0 for the escape-only I/O classes, the special
+    /// channel for specials.
+    pub fn injection_vc(class: CoherenceClass) -> VcId {
+        match class {
+            CoherenceClass::Special => VcId::special(),
+            CoherenceClass::ReadIo | CoherenceClass::WriteIo => {
+                VcId::escape(class, router::EscapeVc::Vc0)
+            }
+            _ => VcId::adaptive(class),
+        }
+    }
+
+    /// True when a packet of `class` could be injected through `input`
+    /// right now.
+    pub fn can_inject(&self, input: InputPort, class: CoherenceClass) -> bool {
+        input.is_local() && self.router.free_space(input, Self::injection_vc(class)) > 0
+    }
+
+    /// Injects a packet through a local input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is a torus port (local injection only) or if the
+    /// packet's source is not this node.
+    pub fn inject(&mut self, input: InputPort, mut packet: Packet) -> InjectionOutcome {
+        assert!(input.is_local(), "injection uses local ports only");
+        assert_eq!(packet.src, self.node, "packet source must be this node");
+        let vc = Self::injection_vc(packet.class);
+        if self.router.free_space(input, vc) == 0 {
+            return InjectionOutcome::NoBufferSpace;
+        }
+        packet.injected = self.now;
+        let route = route_for(self.torus, self.node, &packet);
+        *self.injected_packets += 1;
+        *self.injected_flits += packet.len() as u64;
+        self.router.accept_packet(
+            input,
+            IncomingPacket {
+                packet,
+                route,
+                vc,
+                pin_time: self.now,
+                in_flit_period: self.core_period,
+            },
+        );
+        InjectionOutcome::Accepted
+    }
+}
+
+/// A per-node traffic agent.
+pub trait Endpoint {
+    /// Called once per core cycle; may inject packets via `ctx`.
+    fn on_cycle(&mut self, ctx: &mut NodeCtx<'_>);
+
+    /// Called when a packet addressed to this node completes delivery.
+    fn on_delivered(&mut self, packet: &Packet, now: Tick);
+}
+
+/// Network configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Torus shape.
+    pub torus: Torus,
+    /// Router configuration (shared by every node).
+    pub router: RouterConfig,
+    /// Simulation seed; routers fork per-node streams from it.
+    pub seed: u64,
+    /// Core cycles to run before statistics start (drains cold-start
+    /// transients; the paper runs 75,000 cycles total, §4.3).
+    pub warmup_cycles: u64,
+    /// Core cycles measured after warmup.
+    pub measure_cycles: u64,
+}
+
+impl NetworkConfig {
+    /// Total simulated core cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+}
+
+/// Aggregated results of one simulation.
+#[derive(Clone, Debug)]
+pub struct NetworkReport {
+    /// Packets delivered inside the measurement window.
+    pub delivered_packets: u64,
+    /// Flits delivered inside the measurement window.
+    pub delivered_flits: u64,
+    /// Mean network-transit latency (ns), injection to last-flit delivery
+    /// — the paper's "average latency of a packet through the network"
+    /// (§4.3).
+    pub latency: OnlineStats,
+    /// Transit-latency distribution (ns).
+    pub latency_hist: Histogram,
+    /// Mean end-to-end latency (ns), packet creation to delivery,
+    /// additionally counting source queueing.
+    pub total_latency: OnlineStats,
+    /// Delivered throughput in flits/router/ns — the paper's BNF x-axis.
+    pub flits_per_router_ns: f64,
+    /// Packets injected over the whole run (including warmup).
+    pub injected_packets: u64,
+    /// Flits injected over the whole run.
+    pub injected_flits: u64,
+    /// Packets still buffered in the network at the end.
+    pub in_flight_packets: u64,
+    /// Sum of router nomination counters.
+    pub nominations: u64,
+    /// Sum of router grant counters.
+    pub grants: u64,
+    /// Sum of router collision counters.
+    pub collisions: u64,
+    /// Sum of escape-channel dispatches.
+    pub escape_dispatches: u64,
+    /// Routers that engaged anti-starvation drain mode at least once.
+    pub drain_engagements: u64,
+}
+
+impl NetworkReport {
+    /// Mean latency in nanoseconds (NaN-free; 0 when nothing delivered).
+    pub fn avg_latency_ns(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+/// Ordered pending-delivery record (payload excluded from the key).
+#[derive(Clone, Copy, Debug)]
+struct PendingDelivery {
+    at: Tick,
+    seq: u64,
+    node: u16,
+    packet: Packet,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator.
+pub struct NetworkSim<E: Endpoint> {
+    cfg: NetworkConfig,
+    torus: Torus,
+    routers: Vec<Router>,
+    endpoints: Vec<E>,
+    deliveries: BinaryHeap<Reverse<PendingDelivery>>,
+    delivery_seq: u64,
+    scratch: Vec<RouterOutput>,
+    cycle: u64,
+    injected_packets: u64,
+    injected_flits: u64,
+    measured_packets: u64,
+    measured_flits: u64,
+    latency: OnlineStats,
+    latency_hist: Histogram,
+    total_latency: OnlineStats,
+}
+
+impl<E: Endpoint> NetworkSim<E> {
+    /// Builds a simulator with one endpoint per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `endpoints.len()` equals the node count.
+    pub fn new(cfg: NetworkConfig, endpoints: Vec<E>) -> Self {
+        let torus = cfg.torus;
+        assert_eq!(
+            endpoints.len(),
+            torus.nodes() as usize,
+            "one endpoint per node"
+        );
+        let root = SimRng::from_seed(cfg.seed);
+        let routers = (0..torus.nodes())
+            .map(|id| Router::new(id, cfg.router.clone(), root.fork(id as u64)))
+            .collect();
+        NetworkSim {
+            torus,
+            routers,
+            endpoints,
+            deliveries: BinaryHeap::new(),
+            delivery_seq: 0,
+            scratch: Vec::with_capacity(64),
+            cycle: 0,
+            injected_packets: 0,
+            injected_flits: 0,
+            measured_packets: 0,
+            measured_flits: 0,
+            latency: OnlineStats::new(),
+            latency_hist: Histogram::new(0.0, 2000.0, 200),
+            total_latency: OnlineStats::new(),
+            cfg,
+        }
+    }
+
+    /// The torus shape.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Immutable router access (tests, statistics).
+    pub fn router(&self, node: u16) -> &Router {
+        &self.routers[node as usize]
+    }
+
+    /// Endpoint access after a run.
+    pub fn endpoint(&self, node: u16) -> &E {
+        &self.endpoints[node as usize]
+    }
+
+    /// Runs the configured warmup + measurement window and reports.
+    pub fn run(&mut self) -> NetworkReport {
+        let total = self.cfg.total_cycles();
+        while self.cycle < total {
+            self.step_cycle();
+        }
+        self.report()
+    }
+
+    /// Advances exactly one core cycle (exposed for incremental tests).
+    pub fn step_cycle(&mut self) {
+        let core = self.cfg.router.timing.core;
+        let now = core.edge(self.cycle);
+        let warmup_end = core.edge(self.cfg.warmup_cycles);
+
+        // 1. Routers arbitrate and emit events.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..self.routers.len() {
+            scratch.clear();
+            self.routers[i].step(now, &mut scratch);
+            for ev in scratch.drain(..) {
+                self.apply_event(i as u16, ev);
+            }
+        }
+        self.scratch = scratch;
+
+        // 2. Deliveries due now reach their endpoints.
+        while let Some(&Reverse(d)) = self.deliveries.peek() {
+            if d.at > now {
+                break;
+            }
+            self.deliveries.pop();
+            self.endpoints[d.node as usize].on_delivered(&d.packet, d.at);
+            if d.at >= warmup_end {
+                let transit_ns = (d.at - d.packet.injected).as_ns();
+                self.latency.record(transit_ns);
+                self.latency_hist.record(transit_ns);
+                self.total_latency.record((d.at - d.packet.birth).as_ns());
+                self.measured_packets += 1;
+                self.measured_flits += d.packet.len() as u64;
+            }
+        }
+
+        // 3. Endpoints generate new traffic.
+        let core_period = core.period();
+        for node in 0..self.routers.len() {
+            let mut ctx = NodeCtx {
+                router: &mut self.routers[node],
+                torus: &self.torus,
+                node: node as u16,
+                now,
+                core_period,
+                injected_packets: &mut self.injected_packets,
+                injected_flits: &mut self.injected_flits,
+            };
+            self.endpoints[node].on_cycle(&mut ctx);
+        }
+
+        self.cycle += 1;
+    }
+
+    fn apply_event(&mut self, from: u16, ev: RouterOutput) {
+        let timing = &self.cfg.router.timing;
+        match ev {
+            RouterOutput::Forward(o) => {
+                let neighbor = self.torus.neighbor(from, o.output);
+                let entry = Torus::entry_port(o.output);
+                let packet = o.packet;
+                let pin_time = o.first_flit + timing.link_latency_ticks();
+                let route = route_for(&self.torus, neighbor, &packet);
+                self.routers[neighbor as usize].accept_packet(
+                    entry,
+                    IncomingPacket {
+                        packet,
+                        route,
+                        vc: o.downstream_vc,
+                        pin_time,
+                        in_flit_period: o.flit_period,
+                    },
+                );
+            }
+            RouterOutput::Delivered { packet, at, .. } => {
+                let seq = self.delivery_seq;
+                self.delivery_seq += 1;
+                self.deliveries.push(Reverse(PendingDelivery {
+                    at,
+                    seq,
+                    node: from,
+                    packet,
+                }));
+            }
+            RouterOutput::Credit { input, vc, at } => {
+                let dir = Torus::input_direction(input);
+                let upstream = self.torus.neighbor(from, dir);
+                let output = Torus::feeder_port(input);
+                self.routers[upstream as usize].accept_credit(
+                    output,
+                    vc,
+                    at + timing.link_latency_ticks(),
+                );
+            }
+        }
+    }
+
+    /// Builds the report for the window simulated so far.
+    pub fn report(&self) -> NetworkReport {
+        let measure_ns = self
+            .cfg
+            .router
+            .timing
+            .core
+            .cycles(self.cfg.measure_cycles)
+            .as_ns();
+        let routers = self.routers.len() as f64;
+        let mut nominations = 0;
+        let mut grants = 0;
+        let mut collisions = 0;
+        let mut escapes = 0;
+        let mut drains = 0;
+        let mut in_flight = 0u64;
+        for r in &self.routers {
+            nominations += r.stats().nominations.get();
+            grants += r.stats().grants.get();
+            collisions += r.stats().collisions.get();
+            escapes += r.stats().escape_dispatches.get();
+            drains += r.stats().drain_engagements.get();
+            in_flight += r.accounted_packets() as u64;
+        }
+        let in_flight = in_flight + self.deliveries.len() as u64;
+        NetworkReport {
+            delivered_packets: self.measured_packets,
+            delivered_flits: self.measured_flits,
+            latency: self.latency.clone(),
+            latency_hist: self.latency_hist.clone(),
+            total_latency: self.total_latency.clone(),
+            flits_per_router_ns: self.measured_flits as f64 / (routers * measure_ns),
+            injected_packets: self.injected_packets,
+            injected_flits: self.injected_flits,
+            in_flight_packets: in_flight,
+            nominations,
+            grants,
+            collisions,
+            escape_dispatches: escapes,
+            drain_engagements: drains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use router::ArbAlgorithm;
+
+    /// Injects one request to a fixed destination, then goes quiet.
+    struct OneShot {
+        dest: u16,
+        sent: bool,
+        received: Vec<(u64, Tick)>,
+    }
+
+    impl Endpoint for OneShot {
+        fn on_cycle(&mut self, ctx: &mut NodeCtx<'_>) {
+            if !self.sent && ctx.node() == 0 {
+                let p = Packet::new(
+                    router::packet::PacketId(1),
+                    CoherenceClass::Request,
+                    0,
+                    self.dest,
+                    ctx.now(),
+                    0,
+                );
+                if ctx.inject(InputPort::Cache, p) == InjectionOutcome::Accepted {
+                    self.sent = true;
+                }
+            }
+        }
+
+        fn on_delivered(&mut self, packet: &Packet, now: Tick) {
+            self.received.push((packet.id.0, now));
+        }
+    }
+
+    fn sim(dest: u16, algo: ArbAlgorithm) -> NetworkSim<OneShot> {
+        let cfg = NetworkConfig {
+            torus: Torus::net_4x4(),
+            router: RouterConfig::alpha_21364(algo),
+            seed: 7,
+            warmup_cycles: 0,
+            measure_cycles: 2000,
+        };
+        let endpoints = (0..16)
+            .map(|_| OneShot {
+                dest,
+                sent: false,
+                received: Vec::new(),
+            })
+            .collect();
+        NetworkSim::new(cfg, endpoints)
+    }
+
+    #[test]
+    fn single_packet_crosses_the_torus() {
+        for algo in [
+            ArbAlgorithm::SpaaBase,
+            ArbAlgorithm::SpaaRotary,
+            ArbAlgorithm::WfaBase,
+            ArbAlgorithm::WfaRotary,
+            ArbAlgorithm::Pim1,
+        ] {
+            let mut s = sim(10, algo); // (2,2): two hops in each dimension
+            let report = s.run();
+            assert_eq!(report.delivered_packets, 1, "{algo}");
+            assert_eq!(report.delivered_flits, 3, "{algo}");
+            let ep = s.endpoint(10);
+            assert_eq!(ep.received.len(), 1, "{algo}");
+            assert_eq!(report.in_flight_packets, 0, "{algo}: network drained");
+        }
+    }
+
+    #[test]
+    fn self_addressed_packet_is_delivered_locally() {
+        let mut s = sim(0, ArbAlgorithm::SpaaBase);
+        let report = s.run();
+        assert_eq!(report.delivered_packets, 1);
+        assert_eq!(s.endpoint(0).received.len(), 1);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_arithmetic() {
+        // One 3-flit request to an adjacent node (1 hop) under SPAA:
+        //   inject:    3 cycles local decode (pin at t=0)
+        //   LA..GA:    2 cycles
+        //   to pin:    7 cycles, aligned to the link clock
+        //   wire:      3 link clocks
+        //   arrive:    decode 4 cycles, LA..GA 2, local output delay 7
+        //   drain:     3 flits at core rate
+        // The exact number is checked against the model once and pinned to
+        // catch accidental pipeline regressions.
+        let mut s = sim(1, ArbAlgorithm::SpaaBase);
+        let report = s.run();
+        assert_eq!(report.delivered_packets, 1);
+        let lat = report.avg_latency_ns();
+        // 12 core cycles + link alignment at hop 1; 13 cycles + drain at
+        // the destination; 3.75 ns of wire. Expect ~25-35 ns.
+        assert!(
+            (20.0..40.0).contains(&lat),
+            "unexpected zero-load latency {lat} ns"
+        );
+    }
+
+    #[test]
+    fn every_node_can_reach_every_other() {
+        // One packet from node 0 to each destination in turn.
+        for dest in 0..16u16 {
+            let mut s = sim(dest, ArbAlgorithm::SpaaBase);
+            let report = s.run();
+            assert_eq!(report.delivered_packets, 1, "dest {dest}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim(9, ArbAlgorithm::Pim1);
+            let r = s.run();
+            (r.delivered_packets, r.latency.mean().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,241 @@
+//! 2D-torus geometry (§2.1, Figure 3).
+//!
+//! Nodes are numbered row-major; the four torus directions map to router
+//! ports as **North = −y, South = +y, East = +x, West = −x**, all with
+//! wraparound. A packet leaving router A through its North output arrives
+//! at the node above, entering through that router's *South* input — every
+//! link connects an output port to the opposite input port.
+
+use arbitration::ports::{InputPort, OutputPort};
+
+/// A `width × height` torus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    width: u16,
+    height: u16,
+}
+
+impl Torus {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are at least 2 (a 1-wide ring would
+    /// make a direction its own opposite) and the node count fits `u16`.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width >= 2 && height >= 2, "torus needs at least 2x2 nodes");
+        assert!(
+            (width as u32) * (height as u32) <= u16::MAX as u32,
+            "too many nodes"
+        );
+        Torus { width, height }
+    }
+
+    /// The paper's 16-processor network.
+    pub fn net_4x4() -> Self {
+        Torus::new(4, 4)
+    }
+
+    /// The paper's 64-processor network.
+    pub fn net_8x8() -> Self {
+        Torus::new(8, 8)
+    }
+
+    /// The §5.3 144-processor scaling network.
+    pub fn net_12x12() -> Self {
+        Torus::new(12, 12)
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.width * self.height
+    }
+
+    /// Node id of `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn node(&self, x: u16, y: u16) -> u16 {
+        assert!(x < self.width && y < self.height, "coordinate out of range");
+        y * self.width + x
+    }
+
+    /// Coordinates of a node id.
+    pub fn coords(&self, node: u16) -> (u16, u16) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// The neighbour reached through a torus output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is not a torus port.
+    pub fn neighbor(&self, node: u16, dir: OutputPort) -> u16 {
+        let (x, y) = self.coords(node);
+        let (nx, ny) = match dir {
+            OutputPort::North => (x, (y + self.height - 1) % self.height),
+            OutputPort::South => (x, (y + 1) % self.height),
+            OutputPort::East => ((x + 1) % self.width, y),
+            OutputPort::West => ((x + self.width - 1) % self.width, y),
+            _ => panic!("{dir} is not a torus direction"),
+        };
+        self.node(nx, ny)
+    }
+
+    /// The input port through which traffic sent via `dir` enters the
+    /// neighbour (always the opposite side).
+    pub fn entry_port(dir: OutputPort) -> InputPort {
+        match dir {
+            OutputPort::North => InputPort::South,
+            OutputPort::South => InputPort::North,
+            OutputPort::East => InputPort::West,
+            OutputPort::West => InputPort::East,
+            _ => panic!("{dir} is not a torus direction"),
+        }
+    }
+
+    /// The output port that feeds an input port (inverse of
+    /// [`Torus::entry_port`]): credits for input `p` return to the
+    /// neighbour in `p`'s direction, through this port.
+    pub fn feeder_port(input: InputPort) -> OutputPort {
+        match input {
+            InputPort::North => OutputPort::South,
+            InputPort::South => OutputPort::North,
+            InputPort::East => OutputPort::West,
+            InputPort::West => OutputPort::East,
+            _ => panic!("{input} is not a torus direction"),
+        }
+    }
+
+    /// The torus direction of an input port (which neighbour it faces).
+    pub fn input_direction(input: InputPort) -> OutputPort {
+        match input {
+            InputPort::North => OutputPort::North,
+            InputPort::South => OutputPort::South,
+            InputPort::East => OutputPort::East,
+            InputPort::West => OutputPort::West,
+            _ => panic!("{input} is not a torus direction"),
+        }
+    }
+
+    /// Minimal hop distance between two nodes.
+    pub fn distance(&self, a: u16, b: u16) -> u16 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ring_distance(ax, bx, self.width);
+        let dy = ring_distance(ay, by, self.height);
+        dx + dy
+    }
+
+    /// Average minimal hop distance over all (src, dest) pairs with
+    /// uniform random destinations (used to sanity-check zero-load
+    /// latencies against §4.3).
+    pub fn mean_uniform_distance(&self) -> f64 {
+        let n = self.nodes() as u32;
+        let mut total = 0u64;
+        for a in 0..self.nodes() {
+            for b in 0..self.nodes() {
+                total += self.distance(a, b) as u64;
+            }
+        }
+        total as f64 / (n as f64 * n as f64)
+    }
+}
+
+fn ring_distance(a: u16, b: u16, extent: u16) -> u16 {
+    let d = (b + extent - a) % extent;
+    d.min(extent - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_coord_round_trip() {
+        let t = Torus::net_8x8();
+        for n in 0..t.nodes() {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node(x, y), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let t = Torus::net_4x4();
+        // Node 0 is (0,0): North wraps to (0,3) = 12, West wraps to (3,0).
+        assert_eq!(t.neighbor(0, OutputPort::North), 12);
+        assert_eq!(t.neighbor(0, OutputPort::West), 3);
+        assert_eq!(t.neighbor(0, OutputPort::South), 4);
+        assert_eq!(t.neighbor(0, OutputPort::East), 1);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let t = Torus::net_4x4();
+        for n in 0..t.nodes() {
+            for dir in [
+                OutputPort::North,
+                OutputPort::South,
+                OutputPort::East,
+                OutputPort::West,
+            ] {
+                let m = t.neighbor(n, dir);
+                let back = Torus::feeder_port(Torus::entry_port(dir));
+                assert_eq!(
+                    t.neighbor(m, Torus::input_direction(Torus::entry_port(dir))), n,
+                    "walking back along the entry direction returns home"
+                );
+                assert_eq!(back, dir, "feeder/entry are inverses");
+            }
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let t = Torus::net_4x4();
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 3), 1, "wraparound shortcut");
+        assert_eq!(t.distance(0, 10), 4, "(0,0) to (2,2): 2+2");
+        assert_eq!(t.distance(0, 5), 2);
+        // Symmetric.
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_uniform_distance_4x4() {
+        // Each dimension of extent 4 has ring distances {0,1,2,1} => mean
+        // 1.0; two dimensions => 2.0 expected hops.
+        let t = Torus::net_4x4();
+        assert!((t.mean_uniform_distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a torus direction")]
+    fn local_port_is_not_a_direction() {
+        let t = Torus::net_4x4();
+        let _ = t.neighbor(0, OutputPort::L0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_torus_rejected() {
+        let _ = Torus::new(1, 8);
+    }
+}

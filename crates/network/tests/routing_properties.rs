@@ -1,0 +1,142 @@
+//! Property-based tests of the routing substrate: minimal progress,
+//! dimension order, dateline discipline — the invariants deadlock freedom
+//! rests on (§2.1).
+
+use arbitration::ports::OutputPort;
+use network::{route_for, Torus};
+use proptest::prelude::*;
+use router::packet::PacketId;
+use router::{CoherenceClass, EscapeVc, Packet, RouteInfo};
+use simcore::Tick;
+
+fn packet(src: u16, dest: u16) -> Packet {
+    Packet::new(PacketId(0), CoherenceClass::Request, src, dest, Tick::ZERO, 0)
+}
+
+/// Strategy: a torus between 2×2 and 12×12 plus two node indices.
+fn torus_and_nodes() -> impl Strategy<Value = (Torus, u16, u16)> {
+    (2u16..=12, 2u16..=12).prop_flat_map(|(w, h)| {
+        let n = w * h;
+        (Just(Torus::new(w, h)), 0..n, 0..n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn adaptive_candidates_always_make_minimal_progress(
+        (torus, here, dest) in torus_and_nodes(),
+    ) {
+        prop_assume!(here != dest);
+        let route = route_for(&torus, here, &packet(here, dest));
+        let RouteInfo::Transit { adaptive, escape, .. } = route else {
+            return Err(TestCaseError::fail("transit expected"));
+        };
+        // 1 or 2 candidates, all productive.
+        prop_assert!(adaptive.count_ones() >= 1 && adaptive.count_ones() <= 2);
+        let d0 = torus.distance(here, dest);
+        let mut m = adaptive;
+        while m != 0 {
+            let dir = OutputPort::from_index(m.trailing_zeros() as usize);
+            m &= m - 1;
+            let next = torus.neighbor(here, dir);
+            prop_assert_eq!(torus.distance(next, dest), d0 - 1);
+        }
+        // The escape hop is one of the adaptive candidates.
+        prop_assert!(adaptive & escape.mask() as u8 != 0);
+    }
+
+    #[test]
+    fn escape_path_is_minimal_and_dimension_ordered(
+        (torus, src, dest) in torus_and_nodes(),
+    ) {
+        // Walk the escape network all the way; it must arrive in exactly
+        // distance(src,dest) hops with all x-hops before any y-hop.
+        let mut here = src;
+        let mut hops = 0u16;
+        let mut seen_y = false;
+        while here != dest {
+            let route = route_for(&torus, here, &packet(src, dest));
+            let RouteInfo::Transit { escape, .. } = route else {
+                return Err(TestCaseError::fail("transit expected"));
+            };
+            match escape {
+                OutputPort::East | OutputPort::West => prop_assert!(!seen_y),
+                _ => seen_y = true,
+            }
+            here = torus.neighbor(here, escape);
+            hops += 1;
+            prop_assert!(hops <= torus.distance(src, dest));
+        }
+        prop_assert_eq!(hops, torus.distance(src, dest));
+    }
+
+    #[test]
+    fn dateline_vc_switches_at_most_once_per_dimension(
+        (torus, src, dest) in torus_and_nodes(),
+    ) {
+        // Along an escape walk, within each dimension the VC sequence is
+        // VC0* then VC1* (never back to VC0): the dateline is crossed at
+        // most once.
+        let mut here = src;
+        let mut last_dim_dir: Option<OutputPort> = None;
+        let mut seen_vc1_in_dim = false;
+        while here != dest {
+            let route = route_for(&torus, here, &packet(src, dest));
+            let RouteInfo::Transit { escape, escape_vc, .. } = route else {
+                return Err(TestCaseError::fail("transit expected"));
+            };
+            let same_dim = matches!(
+                (last_dim_dir, escape),
+                (Some(OutputPort::East | OutputPort::West), OutputPort::East | OutputPort::West)
+                    | (Some(OutputPort::North | OutputPort::South), OutputPort::North | OutputPort::South)
+            );
+            if !same_dim {
+                seen_vc1_in_dim = false;
+            }
+            match escape_vc {
+                EscapeVc::Vc0 => prop_assert!(
+                    !seen_vc1_in_dim,
+                    "VC0 after VC1 within one dimension breaks the dateline ordering"
+                ),
+                EscapeVc::Vc1 => seen_vc1_in_dim = true,
+            }
+            last_dim_dir = Some(escape);
+            here = torus.neighbor(here, escape);
+        }
+    }
+
+    #[test]
+    fn local_routes_only_at_destination(
+        (torus, here, dest) in torus_and_nodes(),
+    ) {
+        let route = route_for(&torus, here, &packet(here, dest));
+        prop_assert_eq!(route.is_local(), here == dest);
+    }
+
+    #[test]
+    fn neighbor_walk_round_trips(
+        (torus, node, _unused) in torus_and_nodes(),
+        dir_idx in 0usize..4,
+    ) {
+        let dir = OutputPort::from_index(dir_idx);
+        let there = torus.neighbor(node, dir);
+        let back = Torus::feeder_port(Torus::entry_port(dir));
+        prop_assert_eq!(back, dir);
+        // Walking the opposite direction returns home.
+        let opposite = Torus::input_direction(Torus::entry_port(dir));
+        prop_assert_eq!(torus.neighbor(there, opposite), node);
+    }
+
+    #[test]
+    fn distance_is_a_metric(
+        (torus, a, b) in torus_and_nodes(),
+    ) {
+        prop_assert_eq!(torus.distance(a, a), 0);
+        prop_assert_eq!(torus.distance(a, b), torus.distance(b, a));
+        // Triangle inequality through an arbitrary midpoint.
+        let mid = (a as u32 * 7 + b as u32 * 3) as u16 % torus.nodes();
+        prop_assert!(
+            torus.distance(a, b) <= torus.distance(a, mid) + torus.distance(mid, b)
+        );
+    }
+}

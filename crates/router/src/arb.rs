@@ -1,0 +1,201 @@
+//! Arbitration-driver state shared by the router's two timing engines.
+//!
+//! The router runs one of two drivers (§3):
+//!
+//! * the **SPAA pipeline** — every read port may launch a new nomination
+//!   each cycle (up to `latency - 1` in flight), grants resolve at the GA
+//!   stage `latency - 1` cycles later, and losers reset for the next
+//!   cycle;
+//! * the **windowed matrix** driver for PIM1/WFA — every
+//!   `initiation_interval` cycles the router snapshots its eligible
+//!   traffic into a request matrix, runs the matching kernel, and applies
+//!   the grants at the GA stage of that window.
+//!
+//! This module holds the bookkeeping types; the drivers themselves are
+//! methods on [`crate::router::Router`].
+
+use crate::entry::EntryId;
+use crate::vc::VcId;
+use simcore::Tick;
+
+/// One in-flight SPAA nomination awaiting its GA stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nomination {
+    /// Connection-matrix row of the nominating read port.
+    pub row: u8,
+    /// Input port index (row / 2).
+    pub input: u8,
+    /// Nominated entry.
+    pub entry: EntryId,
+    /// Target output port index.
+    pub output: u8,
+    /// Downstream virtual channel (None for local delivery).
+    pub downstream_vc: Option<VcId>,
+    /// GA time.
+    pub decide_at: Tick,
+}
+
+impl PartialOrd for Nomination {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Nomination {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Heap ordering: earliest GA first (callers wrap in Reverse), then
+        // deterministic tiebreaks over every remaining field so the order
+        // is total and consistent with `Eq`.
+        (
+            self.decide_at,
+            self.row,
+            self.entry,
+            self.output,
+            self.input,
+            self.downstream_vc,
+        )
+            .cmp(&(
+                other.decide_at,
+                other.row,
+                other.entry,
+                other.output,
+                other.input,
+                other.downstream_vc,
+            ))
+    }
+}
+
+/// Per-read-port arbitration state.
+#[derive(Clone, Debug, Default)]
+pub struct ReadPortState {
+    /// Entries with nominations currently in flight (awaiting GA); at
+    /// most `latency - 1` of them, so the Vec never grows past a handful.
+    pub inflight: Vec<EntryId>,
+    /// The read port streams a granted packet's flits until this time and
+    /// cannot arbitrate while busy.
+    pub busy_until: Tick,
+    /// Deterministic flip for [`crate::config::AdaptiveChoice::Alternate`].
+    pub flip: bool,
+}
+
+impl ReadPortState {
+    /// True when the read port can run LA at `now` with at most
+    /// `max_inflight` nominations outstanding.
+    ///
+    /// `lookahead` is the arbitration-plus-output pipeline depth: a read
+    /// port may arbitrate for its *next* packet while the tail of the
+    /// current one is still streaming, as long as the new flit train would
+    /// start no earlier than the old one ends (the dispatch path enforces
+    /// the actual serialization).
+    pub fn can_arbitrate(&self, now: Tick, lookahead: Tick, max_inflight: u8) -> bool {
+        self.busy_until <= now + lookahead && self.inflight.len() < max_inflight as usize
+    }
+
+    /// Removes one in-flight entry id (its nomination reached GA).
+    pub fn retire(&mut self, entry: EntryId) {
+        if let Some(pos) = self.inflight.iter().position(|&e| e == entry) {
+            self.inflight.swap_remove(pos);
+        }
+    }
+}
+
+/// A grant candidate recorded while building a window snapshot: the entry
+/// that row would dispatch through that output, and the downstream VC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Chosen entry.
+    pub entry: EntryId,
+    /// Downstream virtual channel (None for local delivery).
+    pub downstream_vc: Option<VcId>,
+}
+
+/// The per-window snapshot for the PIM1/WFA driver.
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// `candidates[row][col]`.
+    pub candidates: Vec<Vec<Option<Candidate>>>,
+    /// Request mask per row.
+    pub row_masks: Vec<u32>,
+}
+
+impl WindowSnapshot {
+    /// An empty snapshot for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        WindowSnapshot {
+            candidates: vec![vec![None; cols]; rows],
+            row_masks: vec![0; rows],
+        }
+    }
+
+    /// Records that `row` could dispatch `cand` through `col` (first
+    /// writer wins: rows are scanned oldest-first, so the earliest
+    /// candidate is the one the hardware's entry table would pick).
+    pub fn offer(&mut self, row: usize, col: usize, cand: Candidate) {
+        if self.candidates[row][col].is_none() {
+            self.candidates[row][col] = Some(cand);
+            self.row_masks[row] |= 1 << col;
+        }
+    }
+
+    /// True when no row has any request.
+    pub fn is_empty(&self) -> bool {
+        self.row_masks.iter().all(|&m| m == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_port_gating() {
+        let mut rp = ReadPortState::default();
+        let la = Tick::new(0);
+        assert!(rp.can_arbitrate(Tick::ZERO, la, 2));
+        rp.inflight = vec![4, 9];
+        assert!(!rp.can_arbitrate(Tick::ZERO, la, 2), "in-flight limit");
+        rp.retire(4);
+        assert!(rp.can_arbitrate(Tick::ZERO, la, 2));
+        rp.retire(4); // unknown ids are ignored
+        rp.inflight.clear();
+        rp.busy_until = Tick::new(100);
+        assert!(!rp.can_arbitrate(Tick::new(99), la, 2), "streaming");
+        assert!(rp.can_arbitrate(Tick::new(100), la, 2));
+        // With lookahead, arbitration overlaps the stream tail.
+        assert!(rp.can_arbitrate(Tick::new(60), Tick::new(40), 2));
+        assert!(!rp.can_arbitrate(Tick::new(59), Tick::new(40), 2));
+    }
+
+    #[test]
+    fn snapshot_first_offer_wins() {
+        let mut s = WindowSnapshot::new(2, 3);
+        assert!(s.is_empty());
+        let a = Candidate {
+            entry: 7,
+            downstream_vc: None,
+        };
+        let b = Candidate {
+            entry: 9,
+            downstream_vc: None,
+        };
+        s.offer(0, 1, a);
+        s.offer(0, 1, b);
+        assert_eq!(s.candidates[0][1], Some(a), "oldest candidate retained");
+        assert_eq!(s.row_masks[0], 0b010);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn nomination_ordering_is_by_time() {
+        let n = |t: u64, row: u8| Nomination {
+            row,
+            input: row / 2,
+            entry: 0,
+            output: 0,
+            downstream_vc: None,
+            decide_at: Tick::new(t),
+        };
+        assert!(n(10, 3) < n(20, 1));
+        assert!(n(10, 1) < n(10, 3));
+    }
+}

@@ -1,0 +1,248 @@
+//! Router configuration: which arbitration algorithm, with which knobs.
+
+use crate::antistarve::AntiStarvationConfig;
+use crate::timing::{ArbTiming, RouterTiming};
+use crate::vc::BufferConfig;
+use std::fmt;
+
+/// The arbitration algorithms evaluated by the paper's timing model
+/// (§4.1), plus the two ablations discussed in the text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArbAlgorithm {
+    /// One-iteration Parallel Iterative Matching: 4-cycle arbitration,
+    /// restart every 3 cycles, random grant/accept.
+    Pim1,
+    /// Wave-Front Arbiter with round-robin start: 4 cycles, restart every
+    /// 3 cycles.
+    WfaBase,
+    /// WFA with the Rotary Rule start priority.
+    WfaRotary,
+    /// SPAA with least-recently-selected output grants: 3 cycles,
+    /// pipelined (new arbitration every cycle).
+    SpaaBase,
+    /// SPAA with the Rotary Rule at the output arbiters.
+    SpaaRotary,
+    /// Ablation (§5.2): a hypothetical WFA implemented in 3 cycles like
+    /// SPAA but still unable to pipeline (restart every 3 cycles). Used to
+    /// isolate the value of pipelining ("about 8%").
+    WfaBase3Cycle,
+    /// Ablation (§1 footnote): SPAA with an artificially deepened
+    /// arbitration pipeline, used to measure the ~5%-per-cycle throughput
+    /// cost of extra arbitration stages.
+    SpaaDeep {
+        /// Total arbitration latency in cycles (≥ 3).
+        latency: u8,
+    },
+}
+
+impl ArbAlgorithm {
+    /// The five paper configurations of Figure 10, in plot order.
+    pub const FIGURE10: [ArbAlgorithm; 5] = [
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::WfaBase,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::SpaaBase,
+        ArbAlgorithm::SpaaRotary,
+    ];
+
+    /// The three scaling-study configurations of Figure 11.
+    pub const FIGURE11: [ArbAlgorithm; 3] = [
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::SpaaRotary,
+    ];
+
+    /// Arbitration timing at the base (1×) pipeline scale.
+    pub fn timing(self) -> ArbTiming {
+        match self {
+            ArbAlgorithm::Pim1 | ArbAlgorithm::WfaBase | ArbAlgorithm::WfaRotary => {
+                ArbTiming::new(4, 3)
+            }
+            ArbAlgorithm::SpaaBase | ArbAlgorithm::SpaaRotary => ArbTiming::new(3, 1),
+            ArbAlgorithm::WfaBase3Cycle => ArbTiming::new(3, 3),
+            ArbAlgorithm::SpaaDeep { latency } => ArbTiming::new(latency as u32, 1),
+        }
+    }
+
+    /// Arbitration timing at the Figure 11a double-depth scale
+    /// (PIM1/WFA: 8 cycles every 6; SPAA: 6 cycles, still every cycle).
+    pub fn timing_2x(self) -> ArbTiming {
+        match self {
+            ArbAlgorithm::Pim1 | ArbAlgorithm::WfaBase | ArbAlgorithm::WfaRotary => {
+                ArbTiming::new(8, 6)
+            }
+            ArbAlgorithm::SpaaBase | ArbAlgorithm::SpaaRotary => ArbTiming::new(6, 1),
+            ArbAlgorithm::WfaBase3Cycle => ArbTiming::new(6, 6),
+            ArbAlgorithm::SpaaDeep { latency } => ArbTiming::new(latency as u32 * 2, 1),
+        }
+    }
+
+    /// True for the SPAA family (single-nomination, pipelined driver).
+    pub fn is_spaa(self) -> bool {
+        matches!(
+            self,
+            ArbAlgorithm::SpaaBase | ArbAlgorithm::SpaaRotary | ArbAlgorithm::SpaaDeep { .. }
+        )
+    }
+
+    /// True when the Rotary Rule is active.
+    pub fn is_rotary(self) -> bool {
+        matches!(self, ArbAlgorithm::WfaRotary | ArbAlgorithm::SpaaRotary)
+    }
+}
+
+impl fmt::Display for ArbAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbAlgorithm::Pim1 => f.write_str("PIM1"),
+            ArbAlgorithm::WfaBase => f.write_str("WFA-base"),
+            ArbAlgorithm::WfaRotary => f.write_str("WFA-rotary"),
+            ArbAlgorithm::SpaaBase => f.write_str("SPAA-base"),
+            ArbAlgorithm::SpaaRotary => f.write_str("SPAA-rotary"),
+            ArbAlgorithm::WfaBase3Cycle => f.write_str("WFA-base-3cy"),
+            ArbAlgorithm::SpaaDeep { latency } => write!(f, "SPAA-deep{latency}"),
+        }
+    }
+}
+
+/// How an input arbiter picks between two adaptive candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdaptiveChoice {
+    /// Prefer the candidate whose downstream virtual channel holds more
+    /// credits (congestion-aware; ties broken toward the lower port
+    /// index). The default.
+    #[default]
+    MostCredits,
+    /// Alternate deterministically per read port.
+    Alternate,
+    /// Uniformly random.
+    Random,
+}
+
+/// Full configuration of one router instance.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Arbitration algorithm (fixes the arbiter driver and its timing).
+    pub algorithm: ArbAlgorithm,
+    /// Pipeline depth scale: `false` = 21364, `true` = Figure 11a 2×.
+    pub scaled_2x: bool,
+    /// Clock and fixed-delay set.
+    pub timing: RouterTiming,
+    /// Input-buffer partition.
+    pub buffers: BufferConfig,
+    /// How many waiting packets per VC an input arbiter examines per
+    /// cycle when looking for an eligible nomination (the entry table is
+    /// not infinitely associative; 8 models a realistic window).
+    pub scan_window: usize,
+    /// Adaptive direction choice policy.
+    pub adaptive_choice: AdaptiveChoice,
+    /// Anti-starvation coloring (backs the Rotary Rule, §3.4).
+    pub antistarvation: AntiStarvationConfig,
+}
+
+impl RouterConfig {
+    /// The production 21364 configuration for a given algorithm.
+    pub fn alpha_21364(algorithm: ArbAlgorithm) -> Self {
+        RouterConfig {
+            algorithm,
+            scaled_2x: false,
+            timing: RouterTiming::alpha_21364(),
+            buffers: BufferConfig::alpha_21364(),
+            scan_window: 8,
+            adaptive_choice: AdaptiveChoice::MostCredits,
+            antistarvation: AntiStarvationConfig::default(),
+        }
+    }
+
+    /// The Figure 11a configuration: doubled pipeline at doubled clock.
+    pub fn scaled_2x(algorithm: ArbAlgorithm) -> Self {
+        RouterConfig {
+            scaled_2x: true,
+            timing: RouterTiming::scaled_2x(),
+            ..RouterConfig::alpha_21364(algorithm)
+        }
+    }
+
+    /// The arbitration timing implied by `algorithm` and the scale flag.
+    pub fn arb_timing(&self) -> ArbTiming {
+        if self.scaled_2x {
+            self.algorithm.timing_2x()
+        } else {
+            self.algorithm.timing()
+        }
+    }
+
+    /// The LA-stage port-free prediction horizon, in core cycles.
+    ///
+    /// The entry table's "is the targeted output port free" readiness test
+    /// can anticipate a port freeing this many cycles ahead — the horizon
+    /// is a property of the *datapath design* (its nominal SPAA depth plus
+    /// the GA-to-pin delay), not of whichever arbitration algorithm runs.
+    /// An algorithm whose GA stage lands later than the horizon can see
+    /// (PIM1/WFA's 4th cycle, or an artificially deepened SPAA) therefore
+    /// pays idle port cycles between back-to-back packets — which is
+    /// exactly how "each additional cycle added to the arbitration
+    /// pipeline degraded the network throughput by roughly 5%" (§1).
+    pub fn la_lookahead(&self) -> simcore::time::Cycles {
+        let production_spaa_latency = if self.scaled_2x { 6 } else { 3 };
+        simcore::time::Cycles::new(self.timing.output_delay.get() + production_spaa_latency - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timings() {
+        assert_eq!(ArbAlgorithm::SpaaBase.timing(), ArbTiming::new(3, 1));
+        assert_eq!(ArbAlgorithm::SpaaRotary.timing(), ArbTiming::new(3, 1));
+        assert_eq!(ArbAlgorithm::Pim1.timing(), ArbTiming::new(4, 3));
+        assert_eq!(ArbAlgorithm::WfaBase.timing(), ArbTiming::new(4, 3));
+        assert_eq!(ArbAlgorithm::WfaRotary.timing(), ArbTiming::new(4, 3));
+    }
+
+    #[test]
+    fn figure11a_timings() {
+        // "The arbitration latencies for PIM1, WFA-rotary, and SPAA-rotary
+        //  are 8, 8, and 6 cycles respectively."
+        assert_eq!(ArbAlgorithm::Pim1.timing_2x(), ArbTiming::new(8, 6));
+        assert_eq!(ArbAlgorithm::WfaRotary.timing_2x(), ArbTiming::new(8, 6));
+        assert_eq!(ArbAlgorithm::SpaaRotary.timing_2x(), ArbTiming::new(6, 1));
+    }
+
+    #[test]
+    fn ablation_timings() {
+        assert_eq!(ArbAlgorithm::WfaBase3Cycle.timing(), ArbTiming::new(3, 3));
+        assert_eq!(
+            ArbAlgorithm::SpaaDeep { latency: 5 }.timing(),
+            ArbTiming::new(5, 1)
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ArbAlgorithm::SpaaBase.is_spaa());
+        assert!(ArbAlgorithm::SpaaDeep { latency: 4 }.is_spaa());
+        assert!(!ArbAlgorithm::WfaBase.is_spaa());
+        assert!(ArbAlgorithm::SpaaRotary.is_rotary());
+        assert!(ArbAlgorithm::WfaRotary.is_rotary());
+        assert!(!ArbAlgorithm::Pim1.is_rotary());
+    }
+
+    #[test]
+    fn config_selects_scaled_timing() {
+        let base = RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary);
+        assert_eq!(base.arb_timing(), ArbTiming::new(3, 1));
+        let scaled = RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary);
+        assert_eq!(scaled.arb_timing(), ArbTiming::new(6, 1));
+        assert_eq!(scaled.timing.input_delay.get(), 8);
+    }
+
+    #[test]
+    fn display_labels_match_figures() {
+        assert_eq!(ArbAlgorithm::WfaRotary.to_string(), "WFA-rotary");
+        assert_eq!(ArbAlgorithm::SpaaBase.to_string(), "SPAA-base");
+        assert_eq!(ArbAlgorithm::SpaaDeep { latency: 6 }.to_string(), "SPAA-deep6");
+    }
+}

@@ -1,0 +1,369 @@
+//! The entry table: per-input-port packet buffering and arbitration state.
+//!
+//! The 21364's decode stage "writes the relevant information into an entry
+//! table, which contains the arbitration status of packets and is used in
+//! the subsequent arbitration pipeline stages" (§2.2). This module models
+//! that table: a slab of [`Entry`] records per input port, with per-VC
+//! age-ordered queues that the input arbiters scan during LA.
+
+use crate::packet::Packet;
+use crate::route::RouteInfo;
+use crate::vc::{BufferConfig, VcId, NUM_VCS};
+use simcore::Tick;
+
+/// Index of an entry within one input port's slab.
+pub type EntryId = u32;
+
+/// Arbitration status of a buffered packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryState {
+    /// Buffered and (at or after `not_before`) eligible for nomination.
+    Waiting {
+        /// Earliest time the packet may be (re)nominated; set one cycle
+        /// ahead when a nomination loses output arbitration (SPAA step 3).
+        not_before: Tick,
+    },
+    /// Nominated by a read port; the output arbiter decides at `decide_at`.
+    Nominated {
+        /// Nominating read port (0 or 1).
+        read_port: u8,
+        /// Target output port index.
+        output: u8,
+        /// GA time.
+        decide_at: Tick,
+    },
+    /// Granted: flits are streaming out; the buffer slot frees at
+    /// `done_at` (when the read port finishes reading the tail flit).
+    Departing {
+        /// Slot release time.
+        done_at: Tick,
+    },
+}
+
+/// One buffered packet with its routing and arbitration state.
+#[derive(Clone, Copy, Debug)]
+pub struct Entry {
+    /// The packet itself.
+    pub packet: Packet,
+    /// Routing choices at this router.
+    pub route: RouteInfo,
+    /// The virtual channel whose buffer the packet occupies.
+    pub vc: VcId,
+    /// When the header became visible to the input arbiters (after input
+    /// synchronization/decode delays).
+    pub eligible_at: Tick,
+    /// Reception period of this packet's flits (link period for network
+    /// inputs, core period for local injections) — needed for cut-through
+    /// tail timing on the way out.
+    pub in_flit_period: Tick,
+    /// Arbitration status.
+    pub state: EntryState,
+}
+
+impl Entry {
+    /// True when the entry may be nominated at `now`.
+    #[inline]
+    pub fn nominable(&self, now: Tick) -> bool {
+        matches!(self.state, EntryState::Waiting { not_before } if not_before <= now)
+            && self.eligible_at <= now
+    }
+}
+
+/// One input port's entry table and VC queues.
+#[derive(Clone, Debug)]
+pub struct InputBuffer {
+    slab: Vec<Option<Entry>>,
+    free: Vec<EntryId>,
+    /// Age-ordered ids per VC (front = oldest). Entries leave the queue
+    /// when granted, but stay in the slab until their tail departs.
+    queues: [std::collections::VecDeque<EntryId>; NUM_VCS],
+    /// Buffered-packet count per VC, including departing entries (the
+    /// physical slot is held until the tail flit is read out).
+    occupancy: [u16; NUM_VCS],
+    /// Bit `v` set while `queues[v]` is non-empty (fast LA skipping).
+    non_empty: u32,
+    caps: BufferConfig,
+}
+
+impl InputBuffer {
+    /// Creates an empty buffer with the given partition.
+    pub fn new(caps: BufferConfig) -> Self {
+        InputBuffer {
+            slab: Vec::new(),
+            free: Vec::new(),
+            queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
+            occupancy: [0; NUM_VCS],
+            non_empty: 0,
+            caps,
+        }
+    }
+
+    /// Mask (over VC indices) of VCs with at least one queued entry.
+    #[inline]
+    pub fn non_empty_mask(&self) -> u32 {
+        self.non_empty
+    }
+
+    /// Free packet slots remaining in `vc`.
+    #[inline]
+    pub fn space(&self, vc: VcId) -> usize {
+        self.caps.capacity(vc) - self.occupancy[vc.index()] as usize
+    }
+
+    /// Current occupancy of `vc` in packets.
+    #[inline]
+    pub fn occupancy(&self, vc: VcId) -> usize {
+        self.occupancy[vc.index()] as usize
+    }
+
+    /// Total packets buffered across all VCs.
+    pub fn total_occupancy(&self) -> usize {
+        self.occupancy.iter().map(|&o| o as usize).sum()
+    }
+
+    /// Inserts a packet entry, claiming one slot of its VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is full — credit-based flow control upstream must
+    /// never let that happen, so it is a model invariant, not an expected
+    /// runtime condition.
+    pub fn insert(&mut self, entry: Entry) -> EntryId {
+        let vc = entry.vc;
+        assert!(
+            self.space(vc) > 0,
+            "buffer overflow on {vc}: flow control violated"
+        );
+        self.occupancy[vc.index()] += 1;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = Some(entry);
+                id
+            }
+            None => {
+                self.slab.push(Some(entry));
+                (self.slab.len() - 1) as EntryId
+            }
+        };
+        self.queues[vc.index()].push_back(id);
+        self.non_empty |= 1 << vc.index();
+        id
+    }
+
+    /// Immutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    #[inline]
+    pub fn entry(&self, id: EntryId) -> &Entry {
+        self.slab[id as usize].as_ref().expect("stale entry id")
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    #[inline]
+    pub fn entry_mut(&mut self, id: EntryId) -> &mut Entry {
+        self.slab[id as usize].as_mut().expect("stale entry id")
+    }
+
+    /// The age-ordered id queue of one VC.
+    #[inline]
+    pub fn queue(&self, vc: VcId) -> &std::collections::VecDeque<EntryId> {
+        &self.queues[vc.index()]
+    }
+
+    /// Removes an id from its VC queue (on grant: the packet no longer
+    /// competes in LA, though its slot remains held).
+    pub fn dequeue(&mut self, id: EntryId) {
+        let vc = self.entry(id).vc;
+        self.queues[vc.index()].retain(|&e| e != id);
+        if self.queues[vc.index()].is_empty() {
+            self.non_empty &= !(1 << vc.index());
+        }
+    }
+
+    /// Releases an entry's slot (tail flit read out). Returns the freed
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn release(&mut self, id: EntryId) -> Entry {
+        let entry = self.slab[id as usize].take().expect("stale entry id");
+        self.occupancy[entry.vc.index()] -= 1;
+        self.free.push(id);
+        // Granted entries were dequeued already; releasing a waiting entry
+        // (e.g. in teardown paths) must also purge the queue.
+        self.queues[entry.vc.index()].retain(|&e| e != id);
+        if self.queues[entry.vc.index()].is_empty() {
+            self.non_empty &= !(1 << entry.vc.index());
+        }
+        entry
+    }
+
+    /// Counts entries that became eligible at or before `cutoff` and are
+    /// still waiting (the anti-starvation "old" census).
+    pub fn count_old(&self, cutoff: Tick) -> u32 {
+        let mut n = 0;
+        for q in &self.queues {
+            for &id in q {
+                let e = self.entry(id);
+                if e.eligible_at <= cutoff && matches!(e.state, EntryState::Waiting { .. }) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Iterates over the ids of all queued (not yet granted) entries.
+    pub fn queued_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.queues.iter().flatten().copied()
+    }
+
+    /// Number of buffered packets that still *belong* to this router —
+    /// everything except departing entries, whose ownership has moved to
+    /// the downstream router (or the delivery queue). Used for
+    /// packet-conservation accounting.
+    pub fn owned_packets(&self) -> usize {
+        self.slab
+            .iter()
+            .flatten()
+            .filter(|e| !matches!(e.state, EntryState::Departing { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{CoherenceClass, PacketId};
+    use crate::route::RouteInfo;
+    use arbitration::ports::OutputPort;
+
+    fn entry(vc: VcId, at: u64) -> Entry {
+        Entry {
+            packet: Packet::new(
+                PacketId(at),
+                CoherenceClass::Request,
+                0,
+                1,
+                Tick::new(at),
+                0,
+            ),
+            route: RouteInfo::transit(
+                OutputPort::North.mask() as u8,
+                OutputPort::North,
+                crate::route::EscapeVc::Vc0,
+            ),
+            vc,
+            eligible_at: Tick::new(at),
+            in_flit_period: Tick::new(30),
+            state: EntryState::Waiting {
+                not_before: Tick::ZERO,
+            },
+        }
+    }
+
+    fn vc() -> VcId {
+        VcId::adaptive(CoherenceClass::Request)
+    }
+
+    #[test]
+    fn insert_and_release_round_trip() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        assert_eq!(buf.space(vc()), 50);
+        let id = buf.insert(entry(vc(), 5));
+        assert_eq!(buf.space(vc()), 49);
+        assert_eq!(buf.total_occupancy(), 1);
+        assert_eq!(buf.queue(vc()).len(), 1);
+        let e = buf.release(id);
+        assert_eq!(e.packet.id, PacketId(5));
+        assert_eq!(buf.space(vc()), 50);
+        assert!(buf.queue(vc()).is_empty());
+    }
+
+    #[test]
+    fn queue_preserves_age_order() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let a = buf.insert(entry(vc(), 1));
+        let b = buf.insert(entry(vc(), 2));
+        let c = buf.insert(entry(vc(), 3));
+        assert_eq!(buf.queue(vc()).iter().copied().collect::<Vec<_>>(), vec![a, b, c]);
+        buf.dequeue(b);
+        assert_eq!(buf.queue(vc()).iter().copied().collect::<Vec<_>>(), vec![a, c]);
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let a = buf.insert(entry(vc(), 1));
+        buf.release(a);
+        let b = buf.insert(entry(vc(), 2));
+        assert_eq!(a, b, "freed slot is reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn overflow_is_an_invariant_violation() {
+        let mut buf = InputBuffer::new(BufferConfig::uniform(1));
+        buf.insert(entry(vc(), 1));
+        buf.insert(entry(vc(), 2));
+    }
+
+    #[test]
+    fn nominable_respects_not_before_and_eligibility() {
+        let mut e = entry(vc(), 100);
+        assert!(!e.nominable(Tick::new(99)), "not yet decoded");
+        assert!(e.nominable(Tick::new(100)));
+        e.state = EntryState::Waiting {
+            not_before: Tick::new(150),
+        };
+        assert!(!e.nominable(Tick::new(120)), "reset backoff holds");
+        assert!(e.nominable(Tick::new(150)));
+        e.state = EntryState::Departing {
+            done_at: Tick::new(500),
+        };
+        assert!(!e.nominable(Tick::new(200)));
+    }
+
+    #[test]
+    fn old_census() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        buf.insert(entry(vc(), 10));
+        buf.insert(entry(vc(), 20));
+        buf.insert(entry(vc(), 300));
+        assert_eq!(buf.count_old(Tick::new(25)), 2);
+        assert_eq!(buf.count_old(Tick::new(5)), 0);
+    }
+
+    #[test]
+    fn non_empty_mask_tracks_queues() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        assert_eq!(buf.non_empty_mask(), 0);
+        let a = buf.insert(entry(vc(), 1));
+        assert_eq!(buf.non_empty_mask(), 1 << vc().index());
+        buf.dequeue(a);
+        assert_eq!(buf.non_empty_mask(), 0, "dequeue clears the bit");
+        buf.release(a);
+        let b = buf.insert(entry(vc(), 2));
+        buf.release(b);
+        assert_eq!(buf.non_empty_mask(), 0, "release clears the bit");
+    }
+
+    #[test]
+    fn occupancy_counts_per_vc() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let other = VcId::adaptive(CoherenceClass::BlockResponse);
+        buf.insert(entry(vc(), 1));
+        buf.insert(entry(other, 2));
+        assert_eq!(buf.occupancy(vc()), 1);
+        assert_eq!(buf.occupancy(other), 1);
+        assert_eq!(buf.total_occupancy(), 2);
+        assert_eq!(buf.queued_ids().count(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Output ports, flit-departure timing and credit bookkeeping.
+//!
+//! Output ports are busy for a packet's whole flit train ("the port can be
+//! busy for two, three, 18, or 19 cycles", §2.1). Torus ports serialize
+//! flits on the 0.8 GHz link clock; local ports sink one flit per 1.2 GHz
+//! core cycle. Virtual cut-through lets a packet's head leave before its
+//! tail has arrived, so departure times also respect the *arrival* rate of
+//! the packet's flits (a fast local port cannot outrun a slow inbound
+//! link).
+//!
+//! Credits implement the VCT flow control of §2.1: an upstream router may
+//! dispatch a packet toward a torus neighbour only while the downstream
+//! input port has a free packet buffer in the target VC. Credits are
+//! consumed at grant time and returned (one link latency later) when the
+//! downstream buffer slot is released.
+
+use crate::timing::RouterTiming;
+use crate::vc::{VcId, NUM_VCS};
+use arbitration::ports::OutputPort;
+use simcore::Tick;
+
+/// Departure schedule of one granted packet through an output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlitSchedule {
+    /// When the first flit crosses the output pin.
+    pub first_flit: Tick,
+    /// When the last flit starts crossing.
+    pub last_flit_start: Tick,
+    /// When the last flit has fully crossed (port and buffer release
+    /// time; also the downstream tail-arrival minus link latency).
+    pub done: Tick,
+}
+
+/// One output port's occupancy state.
+#[derive(Clone, Debug)]
+pub struct OutputState {
+    port: OutputPort,
+    /// Time the current (or last) packet's final flit clears the port.
+    busy_until: Tick,
+    /// Total flits ever sent (statistics).
+    flits_sent: u64,
+    /// Total packets ever sent.
+    packets_sent: u64,
+    /// Busy ticks accumulated (for occupancy statistics).
+    busy_ticks: u64,
+}
+
+impl OutputState {
+    /// A fresh, idle output port.
+    pub fn new(port: OutputPort) -> Self {
+        OutputState {
+            port,
+            busy_until: Tick::ZERO,
+            flits_sent: 0,
+            packets_sent: 0,
+            busy_ticks: 0,
+        }
+    }
+
+    /// Which port this is.
+    pub fn port(&self) -> OutputPort {
+        self.port
+    }
+
+    /// Flit period of this port: link clock for torus ports, core clock
+    /// for the local sink and I/O ports.
+    pub fn flit_period(&self, timing: &RouterTiming) -> Tick {
+        if self.port.is_network() {
+            timing.link.period()
+        } else {
+            timing.core.period()
+        }
+    }
+
+    /// True when a grant issued at GA time `ga` could stream its first
+    /// flit (at `ga + output_delay`) without colliding with the current
+    /// packet's tail. This is what the LA "is the output port free"
+    /// readiness test and the GA re-check both consult.
+    pub fn grantable(&self, ga: Tick, timing: &RouterTiming) -> bool {
+        ga + timing.core_cycles(timing.output_delay) >= self.busy_until
+    }
+
+    /// Commits a granted packet to this port and returns its flit
+    /// schedule.
+    ///
+    /// * `ga` — the GA (output arbitration) time of the grant.
+    /// * `len_flits` — packet length.
+    /// * `head_arrival`/`in_flit_period` — when the packet's flits become
+    ///   available in the input buffer, for the cut-through constraint.
+    /// * `not_before` — earliest permitted first-flit time (used to keep a
+    ///   read port's consecutive flit trains from overlapping when its
+    ///   arbitration pipeline runs ahead of its data path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not [`OutputState::grantable`] at `ga` —
+    /// callers must check first (the arbiters do).
+    pub fn dispatch(
+        &mut self,
+        ga: Tick,
+        len_flits: u32,
+        head_arrival: Tick,
+        in_flit_period: Tick,
+        not_before: Tick,
+        timing: &RouterTiming,
+    ) -> FlitSchedule {
+        assert!(self.grantable(ga, timing), "dispatch on busy port {:?}", self.port);
+        let out_p = self.flit_period(timing);
+        let earliest = (ga + timing.core_cycles(timing.output_delay))
+            .max(not_before)
+            .max(self.busy_until);
+        // Torus flits leave on link clock edges ("the input port
+        // arbitration internally nominates packets at the appropriate
+        // cycles so that packets leaving the router are synchronized with
+        // the off-chip network clock", §2.2).
+        let first_flit = if self.port.is_network() {
+            timing.link.next_edge_at_or_after(earliest)
+        } else {
+            earliest
+        };
+        let n = (len_flits - 1) as u64;
+        // Cut-through: flit i cannot leave before it has been received.
+        let own_rate_last = first_flit + Tick::new(n * out_p.as_ticks());
+        let arrival_last = head_arrival + Tick::new(n * in_flit_period.as_ticks());
+        let last_flit_start = own_rate_last.max(arrival_last);
+        let done = last_flit_start + out_p;
+        self.busy_ticks += (done - first_flit).as_ticks();
+        self.busy_until = done;
+        self.flits_sent += len_flits as u64;
+        self.packets_sent += 1;
+        FlitSchedule {
+            first_flit,
+            last_flit_start,
+            done,
+        }
+    }
+
+    /// Time the port frees (for tests and statistics).
+    pub fn busy_until(&self) -> Tick {
+        self.busy_until
+    }
+
+    /// Flits sent so far.
+    pub fn flits_sent(&self) -> u64 {
+        self.flits_sent
+    }
+
+    /// Packets sent so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Accumulated busy time in ticks.
+    pub fn busy_ticks(&self) -> u64 {
+        self.busy_ticks
+    }
+}
+
+/// Per-torus-output credit counters for the downstream router's buffers.
+#[derive(Clone, Debug)]
+pub struct CreditBank {
+    /// `credits[dir][vc]` = free downstream packet slots; `dir` indexes
+    /// the four torus outputs.
+    credits: [[u16; NUM_VCS]; 4],
+}
+
+impl CreditBank {
+    /// Initializes every torus neighbour's credit pool from the (shared)
+    /// downstream buffer partition.
+    pub fn new(downstream: &crate::vc::BufferConfig) -> Self {
+        let mut credits = [[0u16; NUM_VCS]; 4];
+        for pool in credits.iter_mut() {
+            for vc in VcId::all() {
+                pool[vc.index()] = downstream.capacity(vc) as u16;
+            }
+        }
+        CreditBank { credits }
+    }
+
+    /// Free downstream slots for `vc` behind torus output `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a torus port.
+    #[inline]
+    pub fn available(&self, port: OutputPort, vc: VcId) -> u16 {
+        assert!(port.is_network(), "credits exist only for torus outputs");
+        self.credits[port.index()][vc.index()]
+    }
+
+    /// Consumes one credit at grant time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available (arbiters must check first).
+    pub fn consume(&mut self, port: OutputPort, vc: VcId) {
+        let c = &mut self.credits[port.index()][vc.index()];
+        assert!(*c > 0, "credit underflow on {port} {vc}");
+        *c -= 1;
+    }
+
+    /// Returns one credit (downstream slot released).
+    pub fn refund(&mut self, port: OutputPort, vc: VcId) {
+        self.credits[port.index()][vc.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::CoherenceClass;
+    use crate::vc::BufferConfig;
+
+    fn timing() -> RouterTiming {
+        RouterTiming::alpha_21364()
+    }
+
+    #[test]
+    fn network_port_aligns_to_link_clock() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::North);
+        // GA at core cycle 5 (tick 100); +7 cycles output delay = tick 240,
+        // which is already a link edge (240 = 8 × 30).
+        let sched = out.dispatch(Tick::new(100), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        assert_eq!(sched.first_flit, Tick::new(240));
+        // 3 flits at 30 ticks each.
+        assert_eq!(sched.last_flit_start, Tick::new(300));
+        assert_eq!(sched.done, Tick::new(330));
+        assert_eq!(out.flits_sent(), 3);
+        assert_eq!(out.packets_sent(), 1);
+
+        // GA at tick 120: +140 = 260, aligned up to the 270 link edge.
+        let mut out2 = OutputState::new(OutputPort::South);
+        let sched2 = out2.dispatch(Tick::new(120), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        assert_eq!(sched2.first_flit, Tick::new(270));
+    }
+
+    #[test]
+    fn local_port_streams_at_core_rate() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::L0);
+        let sched = out.dispatch(Tick::new(100), 3, Tick::ZERO, t.core.period(), Tick::ZERO, &t);
+        assert_eq!(sched.first_flit, Tick::new(240));
+        assert_eq!(sched.done, Tick::new(240 + 3 * 20));
+    }
+
+    #[test]
+    fn cut_through_tail_constraint() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::L0);
+        // 19 flits still arriving on a slow link (30 ticks/flit) while the
+        // local port could drain at 20 ticks/flit: the tail dominates.
+        let head_arrival = Tick::new(200);
+        let sched = out.dispatch(Tick::new(200), 19, head_arrival, Tick::new(30), Tick::ZERO, &t);
+        let arrival_last = head_arrival + Tick::new(18 * 30);
+        assert_eq!(sched.last_flit_start, arrival_last);
+        assert_eq!(sched.done, arrival_last + t.core.period());
+    }
+
+    #[test]
+    fn grantable_lookahead_allows_back_to_back() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::East);
+        let s1 = out.dispatch(Tick::new(0), 19, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        // The port may be re-granted output_delay cycles before it frees,
+        // so the next packet's first flit chains right behind the tail.
+        let ga2 = s1.done - t.core_cycles(t.output_delay);
+        assert!(out.grantable(ga2, &t));
+        assert!(!out.grantable(ga2 - Tick::new(20), &t));
+        let s2 = out.dispatch(ga2, 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        assert!(s2.first_flit >= s1.done);
+        assert!(s2.first_flit - s1.done < t.link.period(), "no idle gap");
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch on busy port")]
+    fn dispatch_on_busy_port_panics() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::East);
+        out.dispatch(Tick::new(0), 19, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        out.dispatch(Tick::new(20), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+    }
+
+    #[test]
+    fn credits_lifecycle() {
+        let mut bank = CreditBank::new(&BufferConfig::alpha_21364());
+        let vc = VcId::adaptive(CoherenceClass::Request);
+        assert_eq!(bank.available(OutputPort::North, vc), 50);
+        bank.consume(OutputPort::North, vc);
+        assert_eq!(bank.available(OutputPort::North, vc), 49);
+        bank.refund(OutputPort::North, vc);
+        assert_eq!(bank.available(OutputPort::North, vc), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn credit_underflow_panics() {
+        let mut bank = CreditBank::new(&BufferConfig::uniform(1));
+        let vc = VcId::special();
+        bank.consume(OutputPort::West, vc);
+        bank.consume(OutputPort::West, vc);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus outputs")]
+    fn local_ports_have_no_credits() {
+        let bank = CreditBank::new(&BufferConfig::alpha_21364());
+        let _ = bank.available(OutputPort::L0, VcId::special());
+    }
+
+    #[test]
+    fn busy_fraction_accumulates() {
+        let t = timing();
+        let mut out = OutputState::new(OutputPort::South);
+        let s = out.dispatch(Tick::ZERO, 2, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        assert_eq!(out.busy_ticks(), (s.done - s.first_flit).as_ticks());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-hop routing state handed to the router by the network layer.
+//!
+//! The 21364 routes adaptively within the *minimum rectangle* (§2.1): at
+//! any router a packet has at most two candidate productive directions.
+//! Blocked packets fall back to the deadlock-free channels VC0/VC1, which
+//! follow strict dimension-order routing with a dateline VC switch — the
+//! Duato-style escape construction that makes the adaptive network
+//! deadlock-free. Packets may return from the escape channels to the
+//! adaptive channel at a later router (virtual cut-through permits this).
+//!
+//! The router crate is topology-agnostic, so it receives this pre-computed
+//! [`RouteInfo`] with each arriving packet; the `network` crate derives it
+//! from torus coordinates.
+
+use arbitration::ports::OutputPort;
+
+/// Which deadlock-free channel an escape hop must use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EscapeVc {
+    /// Before crossing the dimension's dateline.
+    Vc0,
+    /// After crossing the dimension's dateline.
+    Vc1,
+}
+
+/// Routing information for one packet at one router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteInfo {
+    /// The packet terminates here; it may be delivered through any output
+    /// port in `outputs` (for coherence traffic the two local sink ports
+    /// L0/L1; for I/O traffic the I/O port).
+    Local {
+        /// Mask of acceptable delivery output ports.
+        outputs: u8,
+    },
+    /// The packet continues through the torus.
+    Transit {
+        /// Mask of productive adaptive directions (1 or 2 bits among the
+        /// four torus outputs) — the minimal-rectangle choice set.
+        adaptive: u8,
+        /// The dimension-order escape direction.
+        escape: OutputPort,
+        /// The escape channel the dateline rule prescribes for that hop.
+        escape_vc: EscapeVc,
+    },
+}
+
+impl RouteInfo {
+    /// Builds a local-delivery route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty or names a torus output.
+    pub fn local(outputs: u8) -> Self {
+        assert!(outputs != 0, "local route needs at least one sink port");
+        assert!(
+            u32::from(outputs) & OutputPort::NETWORK_MASK == 0,
+            "local delivery cannot use torus ports"
+        );
+        RouteInfo::Local { outputs }
+    }
+
+    /// Builds a transit route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adaptive` has more than two bits or any non-torus bit,
+    /// or if `escape` is not a torus port. An empty adaptive mask is legal
+    /// (I/O-class packets route exclusively on the escape channels).
+    pub fn transit(adaptive: u8, escape: OutputPort, escape_vc: EscapeVc) -> Self {
+        assert!(
+            u32::from(adaptive) & !OutputPort::NETWORK_MASK == 0,
+            "adaptive candidates must be torus ports"
+        );
+        assert!(
+            adaptive.count_ones() <= 2,
+            "at most two adaptive candidates in the minimal rectangle"
+        );
+        assert!(escape.is_network(), "escape must be a torus port");
+        RouteInfo::Transit {
+            adaptive,
+            escape,
+            escape_vc,
+        }
+    }
+
+    /// True when the packet is at its destination router.
+    pub fn is_local(&self) -> bool {
+        matches!(self, RouteInfo::Local { .. })
+    }
+
+    /// The adaptive candidate mask (empty for local routes).
+    pub fn adaptive_mask(&self) -> u8 {
+        match self {
+            RouteInfo::Local { .. } => 0,
+            RouteInfo::Transit { adaptive, .. } => *adaptive,
+        }
+    }
+
+    /// Every output this packet could ever leave through here, ignoring
+    /// occupancy and credit — used for request-matrix construction.
+    pub fn all_outputs_mask(&self) -> u8 {
+        match self {
+            RouteInfo::Local { outputs } => *outputs,
+            RouteInfo::Transit {
+                adaptive, escape, ..
+            } => adaptive | escape.mask() as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_route() {
+        let r = RouteInfo::local((OutputPort::L0.mask() | OutputPort::L1.mask()) as u8);
+        assert!(r.is_local());
+        assert_eq!(r.adaptive_mask(), 0);
+        assert_eq!(r.all_outputs_mask(), 0b0011_0000);
+    }
+
+    #[test]
+    fn transit_route() {
+        let r = RouteInfo::transit(
+            (OutputPort::North.mask() | OutputPort::East.mask()) as u8,
+            OutputPort::East,
+            EscapeVc::Vc0,
+        );
+        assert!(!r.is_local());
+        assert_eq!(r.adaptive_mask(), 0b0101);
+        assert_eq!(r.all_outputs_mask(), 0b0101);
+    }
+
+    #[test]
+    fn escape_only_transit_is_legal() {
+        // I/O packets: no adaptive candidates at all.
+        let r = RouteInfo::transit(0, OutputPort::West, EscapeVc::Vc1);
+        assert_eq!(r.adaptive_mask(), 0);
+        assert_eq!(r.all_outputs_mask(), OutputPort::West.mask() as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two adaptive candidates")]
+    fn three_candidates_rejected() {
+        let _ = RouteInfo::transit(0b0111, OutputPort::North, EscapeVc::Vc0);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus ports")]
+    fn local_sink_in_adaptive_rejected() {
+        let _ = RouteInfo::transit(0b1_0000, OutputPort::North, EscapeVc::Vc0);
+    }
+
+    #[test]
+    #[should_panic(expected = "local delivery cannot use torus ports")]
+    fn torus_bit_in_local_rejected() {
+        let _ = RouteInfo::local(0b0000_0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn empty_local_rejected() {
+        let _ = RouteInfo::local(0);
+    }
+}

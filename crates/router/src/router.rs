@@ -1,0 +1,999 @@
+//! The router proper: ports, entry tables, and the arbitration engines.
+//!
+//! A [`Router`] is stepped on every core-clock edge by the network layer.
+//! Packets arrive through [`Router::accept_packet`] (from links or local
+//! injection), credits through [`Router::accept_credit`], and everything
+//! the router does to the outside world comes back as [`RouterOutput`]
+//! events: packets forwarded onto links, packets delivered to the local
+//! ports, and credits returned upstream.
+//!
+//! Flit movement is computed analytically (see [`crate::output`]); the
+//! per-cycle work is exactly the arbitration the paper studies: the LA
+//! (input-port) and GA (output-port) stages of §2.2, driven either as
+//! SPAA's per-cycle pipeline or as PIM1/WFA's every-3-cycles matrix window
+//! (§3).
+
+use crate::antistarve::AntiStarvation;
+use crate::arb::{Candidate, Nomination, ReadPortState, WindowSnapshot};
+use crate::config::{AdaptiveChoice, ArbAlgorithm, RouterConfig};
+use crate::entry::{Entry, EntryId, EntryState, InputBuffer};
+use crate::output::{CreditBank, OutputState};
+use crate::packet::Packet;
+use crate::route::RouteInfo;
+use crate::stats::RouterStats;
+use crate::vc::{VcId, NUM_VCS};
+use arbitration::matrix::{ConnectionMatrix, RequestMatrix};
+use arbitration::pim::PimArbiter;
+use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
+use arbitration::ports::{
+    InputPort, OutputPort, NETWORK_ROW_MASK, NUM_ARBITER_ROWS, NUM_INPUT_PORTS, NUM_OUTPUT_PORTS,
+};
+use arbitration::wfa::WfaArbiter;
+use simcore::{SimRng, Tick};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A packet being handed to a router, with its routing pre-computed.
+#[derive(Clone, Copy, Debug)]
+pub struct IncomingPacket {
+    /// The packet.
+    pub packet: Packet,
+    /// Routing choices at this router (computed by the network layer).
+    pub route: RouteInfo,
+    /// Virtual channel whose buffer the packet occupies here.
+    pub vc: VcId,
+    /// Header arrival time at the input pin (or injection time for local
+    /// ports).
+    pub pin_time: Tick,
+    /// Reception period of the packet's flits.
+    pub in_flit_period: Tick,
+}
+
+/// A packet leaving through a torus output port.
+#[derive(Clone, Copy, Debug)]
+pub struct OutgoingPacket {
+    /// The packet (hop count already incremented).
+    pub packet: Packet,
+    /// The torus output port used.
+    pub output: OutputPort,
+    /// The downstream virtual channel the packet will occupy.
+    pub downstream_vc: VcId,
+    /// First flit time at this router's output pin.
+    pub first_flit: Tick,
+    /// Flit serialization period on the wire.
+    pub flit_period: Tick,
+    /// Time the last flit clears this router.
+    pub last_flit_done: Tick,
+}
+
+/// Everything a router tells the outside world during a step.
+#[derive(Clone, Copy, Debug)]
+pub enum RouterOutput {
+    /// A packet was dispatched toward a torus neighbour.
+    Forward(OutgoingPacket),
+    /// A packet was delivered through a local sink port.
+    Delivered {
+        /// The delivered packet.
+        packet: Packet,
+        /// Which sink port it used.
+        output: OutputPort,
+        /// Delivery completion time (last flit).
+        at: Tick,
+    },
+    /// A buffer slot freed: return one credit to the upstream router
+    /// feeding `input`. Emitted only for torus input ports.
+    Credit {
+        /// The input port whose buffer released a slot.
+        input: InputPort,
+        /// The virtual channel of the freed slot.
+        vc: VcId,
+        /// Release time (upstream sees it one link latency later).
+        at: Tick,
+    },
+}
+
+/// Ordered pending-arrival record. Ordering (and equality) use only the
+/// unique `(eligible_at, seq)` key so the heap order is total.
+#[derive(Clone, Copy, Debug)]
+struct PendingArrival {
+    eligible_at: Tick,
+    seq: u64,
+    input: u8,
+    incoming: IncomingPacket,
+}
+
+impl PartialEq for PendingArrival {
+    fn eq(&self, other: &Self) -> bool {
+        (self.eligible_at, self.seq) == (other.eligible_at, other.seq)
+    }
+}
+impl Eq for PendingArrival {}
+impl PartialOrd for PendingArrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingArrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.eligible_at, self.seq).cmp(&(other.eligible_at, other.seq))
+    }
+}
+
+/// What an entry could do this cycle, with the downstream VC resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Eligibility {
+    /// Nothing possible right now.
+    None,
+    /// Deliverable through these local ports.
+    Local {
+        /// Free, wired sink ports.
+        outputs: u8,
+    },
+    /// Forwardable adaptively through any of these torus ports.
+    Adaptive {
+        /// Free, wired, credited adaptive candidates.
+        outputs: u8,
+        /// The class's adaptive VC downstream.
+        vc: VcId,
+    },
+    /// Only the dimension-order escape hop is available.
+    Escape {
+        /// The escape output port index.
+        output: usize,
+        /// The deadlock-free VC downstream.
+        vc: VcId,
+    },
+}
+
+/// One router of the 21364 torus.
+#[derive(Clone, Debug)]
+pub struct Router {
+    id: u16,
+    cfg: RouterConfig,
+    conn: ConnectionMatrix,
+    inputs: Vec<InputBuffer>,
+    outputs: Vec<OutputState>,
+    credits: CreditBank,
+    /// SPAA output arbiters (one selector per output port).
+    selectors: Vec<Selector>,
+    /// WFA kernel (windowed driver).
+    wfa: Option<WfaArbiter>,
+    /// PIM kernel (windowed driver).
+    pim: Option<PimArbiter>,
+    rng: SimRng,
+    read_ports: Vec<ReadPortState>,
+    /// Per read port: VC ids in least-recently-selected-first order.
+    vc_lru: Vec<Vec<u8>>,
+    /// Arrivals not yet decoded into the entry table.
+    pending_arrivals: BinaryHeap<Reverse<PendingArrival>>,
+    arrival_seq: u64,
+    /// Slots reserved by pending arrivals, per (input, vc).
+    reserved: [[u16; NUM_VCS]; NUM_INPUT_PORTS],
+    /// Inbound credit refunds (time, output, vc).
+    pending_credits: BinaryHeap<Reverse<(Tick, u8, u8)>>,
+    /// Buffer releases (time, input, entry).
+    releases: BinaryHeap<Reverse<(Tick, u8, EntryId)>>,
+    /// SPAA nominations awaiting GA.
+    ga_queue: BinaryHeap<Reverse<Nomination>>,
+    /// Next window start for the PIM1/WFA driver.
+    next_window: Tick,
+    antistarve: AntiStarvation,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// Builds a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured SPAA arbitration latency is below 2 cycles
+    /// (LA and GA cannot share a cycle).
+    pub fn new(id: u16, cfg: RouterConfig, rng: SimRng) -> Self {
+        let arb = cfg.arb_timing();
+        if cfg.algorithm.is_spaa() {
+            assert!(arb.latency.get() >= 2, "SPAA needs at least LA and GA cycles");
+        }
+        let rotary = if cfg.algorithm.is_rotary() {
+            RotaryMode::On
+        } else {
+            RotaryMode::Off
+        };
+        let selectors = (0..NUM_OUTPUT_PORTS)
+            .map(|_| {
+                Selector::new(
+                    SelectionPolicy::LeastRecentlySelected,
+                    rotary,
+                    NETWORK_ROW_MASK,
+                    NUM_ARBITER_ROWS,
+                )
+            })
+            .collect();
+        let wfa = match cfg.algorithm {
+            ArbAlgorithm::WfaBase | ArbAlgorithm::WfaBase3Cycle => {
+                Some(WfaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS))
+            }
+            ArbAlgorithm::WfaRotary => Some(WfaArbiter::rotary(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                NETWORK_ROW_MASK,
+            )),
+            _ => None,
+        };
+        let pim = matches!(cfg.algorithm, ArbAlgorithm::Pim1).then(PimArbiter::pim1);
+        let inputs = (0..NUM_INPUT_PORTS)
+            .map(|_| InputBuffer::new(cfg.buffers.clone()))
+            .collect();
+        let credits = CreditBank::new(&cfg.buffers);
+        let antistarve = AntiStarvation::new(cfg.antistarvation);
+        Router {
+            id,
+            cfg,
+            conn: ConnectionMatrix::alpha_21364(),
+            inputs,
+            outputs: OutputPort::ALL.iter().map(|&p| OutputState::new(p)).collect(),
+            credits,
+            selectors,
+            wfa,
+            pim,
+            rng,
+            read_ports: vec![ReadPortState::default(); NUM_ARBITER_ROWS],
+            vc_lru: vec![(0..NUM_VCS as u8).collect(); NUM_ARBITER_ROWS],
+            pending_arrivals: BinaryHeap::new(),
+            arrival_seq: 0,
+            reserved: [[0; NUM_VCS]; NUM_INPUT_PORTS],
+            pending_credits: BinaryHeap::new(),
+            releases: BinaryHeap::new(),
+            ga_queue: BinaryHeap::new(),
+            next_window: Tick::ZERO,
+            antistarve,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Output-port states (for utilization statistics).
+    pub fn outputs(&self) -> &[OutputState] {
+        &self.outputs
+    }
+
+    /// Total packets currently buffered (including pending arrivals).
+    pub fn buffered_packets(&self) -> usize {
+        self.inputs.iter().map(|b| b.total_occupancy()).sum::<usize>()
+            + self.pending_arrivals.len()
+    }
+
+    /// Packets this router is accountable for: pending arrivals plus
+    /// buffered entries that have not begun departing. Departing packets
+    /// are already counted by their destination (the downstream router's
+    /// pending arrivals, or the network's delivery queue), so summing
+    /// `accounted_packets` across routers never double-counts.
+    pub fn accounted_packets(&self) -> usize {
+        self.inputs.iter().map(|b| b.owned_packets()).sum::<usize>()
+            + self.pending_arrivals.len()
+    }
+
+    /// Free buffer slots of `vc` at `input`, accounting for in-flight
+    /// arrivals. Local injectors must check this before injecting.
+    pub fn free_space(&self, input: InputPort, vc: VcId) -> usize {
+        self.inputs[input.index()]
+            .space(vc)
+            .saturating_sub(self.reserved[input.index()][vc.index()] as usize)
+    }
+
+    /// Hands the router a packet. For torus inputs the caller must have
+    /// consumed a credit upstream; for local inputs the caller must have
+    /// checked [`Router::free_space`].
+    pub fn accept_packet(&mut self, input: InputPort, incoming: IncomingPacket) {
+        let delay = if input.is_network() {
+            self.cfg.timing.input_delay
+        } else {
+            self.cfg.timing.local_input_delay
+        };
+        let eligible_at = incoming.pin_time + self.cfg.timing.core_cycles(delay);
+        self.reserved[input.index()][incoming.vc.index()] += 1;
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.pending_arrivals.push(Reverse(PendingArrival {
+            eligible_at,
+            seq,
+            input: input.index() as u8,
+            incoming,
+        }));
+    }
+
+    /// Hands the router a credit refund for torus output `output` (the
+    /// downstream router released a `vc` buffer slot; `at` already
+    /// includes the credit wire latency).
+    pub fn accept_credit(&mut self, output: OutputPort, vc: VcId, at: Tick) {
+        assert!(output.is_network(), "credits only exist for torus outputs");
+        self.pending_credits
+            .push(Reverse((at, output.index() as u8, vc.index() as u8)));
+    }
+
+    /// Advances the router by one core-clock edge at time `now`, appending
+    /// its externally visible events to `out`.
+    pub fn step(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        self.process_arrivals(now);
+        self.process_credits(now);
+        self.process_releases(now, out);
+        self.antistarve_scan(now);
+        if self.cfg.algorithm.is_spaa() {
+            self.spaa_ga_phase(now, out);
+            self.spaa_la_phase(now);
+        } else if now >= self.next_window {
+            self.run_window(now, out);
+            let ii = self.cfg.arb_timing().initiation_interval;
+            self.next_window = now + self.cfg.timing.core_cycles(ii);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping phases
+    // ------------------------------------------------------------------
+
+    fn process_arrivals(&mut self, now: Tick) {
+        while let Some(Reverse(head)) = self.pending_arrivals.peek().copied() {
+            if head.eligible_at > now {
+                break;
+            }
+            self.pending_arrivals.pop();
+            let incoming = head.incoming;
+            let input = head.input as usize;
+            self.reserved[input][incoming.vc.index()] -= 1;
+            self.inputs[input].insert(Entry {
+                packet: incoming.packet,
+                route: incoming.route,
+                vc: incoming.vc,
+                eligible_at: head.eligible_at,
+                in_flit_period: incoming.in_flit_period,
+                state: EntryState::Waiting {
+                    not_before: Tick::ZERO,
+                },
+            });
+            self.stats.packets_in.bump();
+        }
+    }
+
+    fn process_credits(&mut self, now: Tick) {
+        while let Some(&Reverse((t, o, v))) = self.pending_credits.peek() {
+            if t > now {
+                break;
+            }
+            self.pending_credits.pop();
+            self.credits
+                .refund(OutputPort::from_index(o as usize), VcId::from_index(v as usize));
+        }
+    }
+
+    fn process_releases(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        while let Some(&Reverse((t, p, id))) = self.releases.peek() {
+            if t > now {
+                break;
+            }
+            self.releases.pop();
+            let input = InputPort::from_index(p as usize);
+            let entry = self.inputs[p as usize].release(id);
+            if input.is_network() {
+                out.push(RouterOutput::Credit {
+                    input,
+                    vc: entry.vc,
+                    at: t,
+                });
+            }
+        }
+    }
+
+    fn antistarve_scan(&mut self, now: Tick) {
+        if !self.antistarve.scan_due(now) {
+            return;
+        }
+        let cfg = *self.antistarve.config();
+        let age = self.cfg.timing.core_cycles(cfg.age_threshold);
+        let period = self.cfg.timing.core_cycles(cfg.scan_period);
+        let cutoff = now.saturating_sub(age);
+        let was_draining = self.antistarve.draining();
+        let old: u32 = self.inputs.iter().map(|b| b.count_old(cutoff)).sum();
+        self.antistarve.record_scan(now, old, age, period);
+        if !was_draining && self.antistarve.draining() {
+            self.stats.drain_engagements.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared arbitration helpers
+    // ------------------------------------------------------------------
+
+    /// Mask of output ports the LA stage considers free at `now`: ports
+    /// whose current packet clears within the entry table's fixed
+    /// prediction horizon ([`RouterConfig::la_lookahead`]).
+    fn free_outputs_for_la(&self, now: Tick) -> u8 {
+        let horizon = now + self.cfg.timing.core_cycles(self.cfg.la_lookahead());
+        let mut mask = 0u8;
+        for (i, o) in self.outputs.iter().enumerate() {
+            if o.busy_until() <= horizon {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Dispatch options for `entry` from `row` right now: either local
+    /// sink ports, adaptive candidates (with the class's adaptive VC), or
+    /// — only when every adaptive option is blocked ("packets adaptively
+    /// route within the adaptive channel until they get blocked", §2.1) —
+    /// the dimension-order escape hop with its deadlock-free VC. The VC is
+    /// decided *here*, because the escape direction often coincides with
+    /// an adaptive candidate and the output index alone cannot identify
+    /// the channel.
+    fn eligibility(&self, row: usize, entry: &Entry, free: u8) -> Eligibility {
+        let wired = self.conn.row_mask(row) as u8 & free;
+        match &entry.route {
+            RouteInfo::Local { outputs } => Eligibility::Local {
+                outputs: outputs & wired,
+            },
+            RouteInfo::Transit {
+                adaptive,
+                escape,
+                escape_vc,
+            } => {
+                let class = entry.packet.class;
+                if class.may_route_adaptively() {
+                    let vc = VcId::adaptive(class);
+                    let mut a = adaptive & wired;
+                    let mut m = a;
+                    while m != 0 {
+                        let bit = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if self.credits.available(OutputPort::from_index(bit), vc) == 0 {
+                            a &= !(1 << bit);
+                        }
+                    }
+                    if a != 0 {
+                        return Eligibility::Adaptive { outputs: a, vc };
+                    }
+                }
+                // Blocked adaptively (or an escape-only class): take the
+                // dimension-order hop.
+                let vc = if class == crate::packet::CoherenceClass::Special {
+                    VcId::special()
+                } else {
+                    VcId::escape(class, *escape_vc)
+                };
+                let bit = 1u8 << escape.index();
+                if bit & wired != 0 && self.credits.available(*escape, vc) > 0 {
+                    Eligibility::Escape {
+                        output: escape.index(),
+                        vc,
+                    }
+                } else {
+                    Eligibility::None
+                }
+            }
+        }
+    }
+
+    /// Picks one (output, downstream VC) from an eligibility result per
+    /// the configured adaptive-choice policy. Returns `None` when the
+    /// eligibility is empty.
+    fn choose_output(&mut self, row: usize, elig: Eligibility) -> Option<(usize, Option<VcId>)> {
+        match elig {
+            Eligibility::None => None,
+            Eligibility::Escape { output, vc } => Some((output, Some(vc))),
+            Eligibility::Local { outputs } => {
+                if outputs == 0 {
+                    return None;
+                }
+                if outputs.count_ones() == 1 {
+                    return Some((outputs.trailing_zeros() as usize, None));
+                }
+                // Among local sinks, prefer the one freeing earliest.
+                let mut best = outputs.trailing_zeros() as usize;
+                let mut m = outputs & (outputs - 1);
+                while m != 0 {
+                    let bit = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if self.outputs[bit].busy_until() < self.outputs[best].busy_until() {
+                        best = bit;
+                    }
+                }
+                Some((best, None))
+            }
+            Eligibility::Adaptive { outputs, vc } => {
+                debug_assert!(outputs != 0);
+                if outputs.count_ones() == 1 {
+                    return Some((outputs.trailing_zeros() as usize, Some(vc)));
+                }
+                let out = match self.cfg.adaptive_choice {
+                    AdaptiveChoice::MostCredits => {
+                        let mut best = usize::MAX;
+                        let mut best_credit = 0u16;
+                        let mut m = outputs;
+                        while m != 0 {
+                            let bit = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let credit =
+                                self.credits.available(OutputPort::from_index(bit), vc);
+                            if best == usize::MAX || credit > best_credit {
+                                best = bit;
+                                best_credit = credit;
+                            }
+                        }
+                        best
+                    }
+                    AdaptiveChoice::Alternate => {
+                        let flip = &mut self.read_ports[row].flip;
+                        *flip = !*flip;
+                        if *flip {
+                            31 - (outputs as u32).leading_zeros() as usize
+                        } else {
+                            outputs.trailing_zeros() as usize
+                        }
+                    }
+                    AdaptiveChoice::Random => self.rng.pick_bit(outputs as u32) as usize,
+                };
+                Some((out, Some(vc)))
+            }
+        }
+    }
+
+    /// Scans one read port's VCs (least-recently-selected first) for the
+    /// oldest nominable entry, returning its id, output and downstream VC.
+    fn pick_nomination(
+        &mut self,
+        row: usize,
+        now: Tick,
+        free: u8,
+    ) -> Option<(EntryId, usize, Option<VcId>)> {
+        let input = row / 2;
+        let drain_cutoff = self.antistarve.cutoff();
+        let non_empty = self.inputs[input].non_empty_mask();
+        if non_empty == 0 || free == 0 {
+            return None;
+        }
+        // Anti-starvation drain: old packets take priority, so scan for
+        // them first; fall back to a normal scan when none can move.
+        let mut found = None;
+        if drain_cutoff.is_some() {
+            found = self.scan_for_nomination(row, now, free, non_empty, drain_cutoff);
+        }
+        if found.is_none() {
+            found = self.scan_for_nomination(row, now, free, non_empty, None);
+        }
+        let (pos, id, elig) = found?;
+        let (out, vc_down) = self.choose_output(row, elig)?;
+        // Selecting from a VC makes it most-recently selected.
+        let vc = self.vc_lru[row].remove(pos);
+        self.vc_lru[row].push(vc);
+        Some((id, out, vc_down))
+    }
+
+    /// One LA scan pass over a read port's VCs in LRU order. With
+    /// `only_older_than = Some(cutoff)`, only anti-starvation "old"
+    /// entries qualify.
+    fn scan_for_nomination(
+        &self,
+        row: usize,
+        now: Tick,
+        free: u8,
+        non_empty: u32,
+        only_older_than: Option<Tick>,
+    ) -> Option<(usize, EntryId, Eligibility)> {
+        let input = row / 2;
+        for (pos, &vc_idx) in self.vc_lru[row].iter().enumerate() {
+            if non_empty & (1 << vc_idx) == 0 {
+                continue;
+            }
+            let vc = VcId::from_index(vc_idx as usize);
+            let buf = &self.inputs[input];
+            for (scanned, &id) in buf.queue(vc).iter().enumerate() {
+                if scanned >= self.cfg.scan_window {
+                    break;
+                }
+                let entry = buf.entry(id);
+                if !entry.nominable(now) {
+                    continue;
+                }
+                if let Some(cutoff) = only_older_than {
+                    if entry.eligible_at > cutoff {
+                        continue;
+                    }
+                }
+                let elig = self.eligibility(row, entry, free);
+                if matches!(elig, Eligibility::None)
+                    || matches!(elig, Eligibility::Local { outputs: 0 })
+                {
+                    continue;
+                }
+                return Some((pos, id, elig));
+            }
+        }
+        None
+    }
+
+    /// Commits a grant: streams the packet out and emits events.
+    fn dispatch(
+        &mut self,
+        row: usize,
+        id: EntryId,
+        output: usize,
+        downstream_vc: Option<VcId>,
+        ga: Tick,
+        out: &mut Vec<RouterOutput>,
+    ) {
+        let input = row / 2;
+        let entry = *self.inputs[input].entry(id);
+        let sched = self.outputs[output].dispatch(
+            ga,
+            entry.packet.len(),
+            entry.eligible_at,
+            entry.in_flit_period,
+            // A read port streams one packet at a time: the next train may
+            // be granted early but starts after the previous one ends.
+            self.read_ports[row].busy_until,
+            &self.cfg.timing,
+        );
+        let port = OutputPort::from_index(output);
+        let mut packet = entry.packet;
+        self.stats.grants.bump();
+        self.stats.packets_out.bump();
+        self.stats.flits_out.add(packet.len() as u64);
+        match downstream_vc {
+            Some(vc) => {
+                self.credits.consume(port, vc);
+                if !vc.is_adaptive() && vc != VcId::special() {
+                    self.stats.escape_dispatches.bump();
+                }
+                packet.hops += 1;
+                out.push(RouterOutput::Forward(OutgoingPacket {
+                    packet,
+                    output: port,
+                    downstream_vc: vc,
+                    first_flit: sched.first_flit,
+                    flit_period: self.outputs[output].flit_period(&self.cfg.timing),
+                    last_flit_done: sched.done,
+                }));
+            }
+            None => {
+                self.stats.packets_delivered.bump();
+                self.stats.flits_delivered.add(packet.len() as u64);
+                out.push(RouterOutput::Delivered {
+                    packet,
+                    output: port,
+                    at: sched.done,
+                });
+            }
+        }
+        // Dispatching from a VC makes it the most-recently-selected VC of
+        // this read port (the LA ordering key, §3).
+        let vc_idx = entry.vc.index() as u8;
+        if let Some(pos) = self.vc_lru[row].iter().position(|&v| v == vc_idx) {
+            self.vc_lru[row].remove(pos);
+            self.vc_lru[row].push(vc_idx);
+        }
+        // The read port streams the flits; the buffer slot frees with the
+        // tail.
+        self.read_ports[row].busy_until = sched.done;
+        let e = self.inputs[input].entry_mut(id);
+        e.state = EntryState::Departing { done_at: sched.done };
+        self.inputs[input].dequeue(id);
+        self.releases
+            .push(Reverse((sched.done, input as u8, id)));
+    }
+
+    // ------------------------------------------------------------------
+    // SPAA driver (§3.3)
+    // ------------------------------------------------------------------
+
+    fn spaa_ga_phase(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        // Pop all nominations maturing now, grouped per output.
+        let mut due: Vec<Nomination> = Vec::new();
+        while let Some(&Reverse(n)) = self.ga_queue.peek() {
+            if n.decide_at > now {
+                break;
+            }
+            self.ga_queue.pop();
+            // Stale-check: the entry must still hold this nomination
+            // (grants of sibling nominations cancel the others).
+            let entry = self.inputs[n.input as usize].entry(n.entry);
+            let live = matches!(
+                entry.state,
+                EntryState::Nominated { read_port, output, decide_at }
+                    if read_port == n.row % 2 && output == n.output && decide_at == n.decide_at
+            );
+            self.read_ports[n.row as usize].retire(n.entry);
+            if live {
+                due.push(n);
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+        for output in 0..NUM_OUTPUT_PORTS {
+            let mut contenders = 0u32;
+            for n in &due {
+                if n.output as usize == output {
+                    contenders |= 1 << n.row;
+                }
+            }
+            if contenders == 0 {
+                continue;
+            }
+            // Re-check the port (another grant may have claimed it since
+            // LA time) and pick a winner. During an anti-starvation drain,
+            // old contenders pre-empt everyone — including the Rotary
+            // Rule, whose starvation this mechanism exists to break.
+            let winner_row = if self.outputs[output].grantable(now, &self.cfg.timing) {
+                let pool = match self.antistarve.cutoff() {
+                    Some(cutoff) => {
+                        let mut old = 0u32;
+                        for n in &due {
+                            if n.output as usize == output
+                                && self.inputs[n.input as usize].entry(n.entry).eligible_at
+                                    <= cutoff
+                            {
+                                old |= 1 << n.row;
+                            }
+                        }
+                        if old != 0 {
+                            old
+                        } else {
+                            contenders
+                        }
+                    }
+                    None => contenders,
+                };
+                Some(self.selectors[output].select(pool, &mut self.rng))
+            } else {
+                None
+            };
+            for n in due.clone() {
+                if n.output as usize != output {
+                    continue;
+                }
+                if Some(n.row as usize) == winner_row {
+                    // Double-check credit at GA: it was reserved
+                    // implicitly at LA by eligibility, but a sibling grant
+                    // may have raced it away.
+                    let ok = match n.downstream_vc {
+                        Some(vc) => {
+                            self.credits
+                                .available(OutputPort::from_index(output), vc)
+                                > 0
+                        }
+                        None => true,
+                    };
+                    if ok {
+                        self.dispatch(
+                            n.row as usize,
+                            n.entry,
+                            output,
+                            n.downstream_vc,
+                            now,
+                            out,
+                        );
+                        // A granted read port abandons its other in-flight
+                        // nominations (it is now busy streaming).
+                        self.cancel_other_nominations(n.row as usize, n.entry, now);
+                        continue;
+                    }
+                }
+                // Loser (or no winner): reset for re-nomination next cycle
+                // (SPAA step 3).
+                self.stats.collisions.bump();
+                let e = self.inputs[n.input as usize].entry_mut(n.entry);
+                e.state = EntryState::Waiting {
+                    not_before: now + self.cfg.timing.core.period(),
+                };
+            }
+        }
+    }
+
+    /// Resets any still-nominated entries of `row` other than `granted`
+    /// (a granted read port is busy streaming and abandons its other
+    /// in-flight nominations).
+    fn cancel_other_nominations(&mut self, row: usize, granted: EntryId, now: Tick) {
+        let input = row / 2;
+        let rp = (row % 2) as u8;
+        let ids: Vec<EntryId> = self.read_ports[row].inflight.clone();
+        for id in ids {
+            if id == granted {
+                continue;
+            }
+            let e = self.inputs[input].entry_mut(id);
+            if matches!(e.state, EntryState::Nominated { read_port, .. } if read_port == rp) {
+                e.state = EntryState::Waiting {
+                    not_before: now + self.cfg.timing.core.period(),
+                };
+            }
+        }
+    }
+
+    fn spaa_la_phase(&mut self, now: Tick) {
+        let arb = self.cfg.arb_timing();
+        let ga_delay = self
+            .cfg
+            .timing
+            .core_cycles(simcore::time::Cycles::new(arb.latency.get() - 1));
+        let ga = now + ga_delay;
+        let free = self.free_outputs_for_la(now);
+        if free == 0 {
+            return;
+        }
+        let max_inflight = (arb.latency.get() - 1).min(8) as u8;
+        let lookahead = self.cfg.timing.core_cycles(self.cfg.la_lookahead());
+        for row in 0..NUM_ARBITER_ROWS {
+            if !self.read_ports[row].can_arbitrate(now, lookahead, max_inflight) {
+                continue;
+            }
+            if let Some((id, output, vc_down)) = self.pick_nomination(row, now, free) {
+                let input = row / 2;
+                let e = self.inputs[input].entry_mut(id);
+                e.state = EntryState::Nominated {
+                    read_port: (row % 2) as u8,
+                    output: output as u8,
+                    decide_at: ga,
+                };
+                self.read_ports[row].inflight.push(id);
+                self.stats.nominations.bump();
+                self.ga_queue.push(Reverse(Nomination {
+                    row: row as u8,
+                    input: input as u8,
+                    entry: id,
+                    output: output as u8,
+                    downstream_vc: vc_down,
+                    decide_at: ga,
+                }));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Windowed driver for PIM1 / WFA (§3.1, §3.2)
+    // ------------------------------------------------------------------
+
+    fn run_window(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        let arb = self.cfg.arb_timing();
+        let ga = now
+            + self
+                .cfg
+                .timing
+                .core_cycles(simcore::time::Cycles::new(arb.latency.get() - 1));
+        let free = self.free_outputs_for_la(now);
+        if free == 0 {
+            return;
+        }
+        let mut snapshot = WindowSnapshot::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS);
+        // Anti-starvation: old entries claim matrix cells first (offers
+        // are first-writer-wins), then the general population fills in.
+        if let Some(cutoff) = self.antistarve.cutoff() {
+            self.fill_snapshot(&mut snapshot, now, free, Some(cutoff));
+        }
+        self.fill_snapshot(&mut snapshot, now, free, None);
+        if snapshot.is_empty() {
+            return;
+        }
+        let req = RequestMatrix::from_rows(snapshot.row_masks.clone(), NUM_OUTPUT_PORTS);
+        let nominations = req.request_count() as u64;
+        self.stats.nominations.add(nominations);
+        let matching = if let Some(wfa) = self.wfa.as_mut() {
+            wfa.arbitrate(&req)
+        } else if let Some(pim) = self.pim.as_mut() {
+            pim.arbitrate(&req, &mut self.rng)
+        } else {
+            unreachable!("windowed driver requires a WFA or PIM kernel")
+        };
+        // Apply grants; a packet reachable from both read ports of a port
+        // pair must not dispatch twice ("the input port arbiters in a pair
+        // must synchronize to ensure that they do not choose the same
+        // packet", §3.3 — the same applies to the matrix algorithms).
+        let mut dispatched: Vec<(usize, EntryId)> = Vec::new();
+        for (row, col) in matching.pairs() {
+            let cand: Candidate = snapshot.candidates[row][col].expect("granted cell has candidate");
+            let input = row / 2;
+            if dispatched.iter().any(|&(p, id)| p == input && id == cand.entry) {
+                self.stats.collisions.bump();
+                continue;
+            }
+            dispatched.push((input, cand.entry));
+            self.dispatch(row, cand.entry, col, cand.downstream_vc, ga, out);
+        }
+    }
+
+    fn fill_snapshot(
+        &self,
+        snap: &mut WindowSnapshot,
+        now: Tick,
+        free: u8,
+        only_older_than: Option<Tick>,
+    ) {
+        let lookahead = self.cfg.timing.core_cycles(self.cfg.la_lookahead());
+        for row in 0..NUM_ARBITER_ROWS {
+            if !self.read_ports[row].can_arbitrate(now, lookahead, 1) {
+                continue;
+            }
+            let input = row / 2;
+            let non_empty = self.inputs[input].non_empty_mask();
+            if non_empty == 0 {
+                continue;
+            }
+            for &vc_idx in &self.vc_lru[row] {
+                if non_empty & (1 << vc_idx) == 0 {
+                    continue;
+                }
+                let vc = VcId::from_index(vc_idx as usize);
+                let buf = &self.inputs[input];
+                for (scanned, &id) in buf.queue(vc).iter().enumerate() {
+                    if scanned >= self.cfg.scan_window {
+                        break;
+                    }
+                    let entry = buf.entry(id);
+                    if !entry.nominable(now) {
+                        continue;
+                    }
+                    if let Some(cutoff) = only_older_than {
+                        if entry.eligible_at > cutoff {
+                            continue;
+                        }
+                    }
+                    match self.eligibility(row, entry, free) {
+                        Eligibility::None => {}
+                        Eligibility::Local { outputs } => {
+                            let mut m = outputs;
+                            while m != 0 {
+                                let col = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                snap.offer(
+                                    row,
+                                    col,
+                                    Candidate {
+                                        entry: id,
+                                        downstream_vc: None,
+                                    },
+                                );
+                            }
+                        }
+                        Eligibility::Adaptive { outputs, vc } => {
+                            let mut m = outputs;
+                            while m != 0 {
+                                let col = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                snap.offer(
+                                    row,
+                                    col,
+                                    Candidate {
+                                        entry: id,
+                                        downstream_vc: Some(vc),
+                                    },
+                                );
+                            }
+                        }
+                        Eligibility::Escape { output, vc } => {
+                            snap.offer(
+                                row,
+                                output,
+                                Candidate {
+                                    entry: id,
+                                    downstream_vc: Some(vc),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Per-router statistics counters.
+
+use simcore::stats::Counter;
+
+/// Counters one router accumulates while simulating.
+#[derive(Clone, Debug, Default)]
+pub struct RouterStats {
+    /// Packets accepted into input buffers (network + local).
+    pub packets_in: Counter,
+    /// Packets dispatched through any output port.
+    pub packets_out: Counter,
+    /// Flits dispatched through any output port.
+    pub flits_out: Counter,
+    /// Packets delivered to the local sinks (L0/L1/I-O at destination).
+    pub packets_delivered: Counter,
+    /// Flits delivered to the local sinks.
+    pub flits_delivered: Counter,
+    /// Nominations issued by the input arbiters.
+    pub nominations: Counter,
+    /// Grants issued by the output arbiters.
+    pub grants: Counter,
+    /// Nominations that lost output arbitration (SPAA collisions /
+    /// window-losers).
+    pub collisions: Counter,
+    /// Dispatches that used an escape (VC0/VC1) channel downstream.
+    pub escape_dispatches: Counter,
+    /// Times the anti-starvation drain mode engaged.
+    pub drain_engagements: Counter,
+}
+
+impl RouterStats {
+    /// Fraction of nominations that won arbitration (1.0 when no
+    /// nominations were made).
+    pub fn grant_rate(&self) -> f64 {
+        if self.nominations.get() == 0 {
+            1.0
+        } else {
+            self.grants.get() as f64 / self.nominations.get() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_rate() {
+        let mut s = RouterStats::default();
+        assert_eq!(s.grant_rate(), 1.0);
+        s.nominations.add(10);
+        s.grants.add(7);
+        s.collisions.add(3);
+        assert!((s.grant_rate() - 0.7).abs() < 1e-12);
+    }
+}

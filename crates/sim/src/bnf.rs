@@ -1,0 +1,169 @@
+//! Burton Normal Form (BNF) performance curves.
+//!
+//! The paper expresses every timing result as a BNF graph (§4.3): average
+//! packet latency in nanoseconds on the vertical axis against delivered
+//! throughput in flits/router/ns on the horizontal axis. Each point of a
+//! curve comes from one simulation at a fixed offered load; sweeping the
+//! offered load traces the curve. Saturation collapse appears as the curve
+//! bending *backwards* — higher offered load yielding lower delivered
+//! throughput at much higher latency — which is exactly the behaviour the
+//! Rotary Rule is designed to prevent (§3.4).
+
+use std::fmt;
+
+/// One measured operating point of a network configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BnfPoint {
+    /// The offered load knob that produced this point (new-packet
+    /// generation probability per processor per core cycle).
+    pub offered: f64,
+    /// Delivered throughput in flits/router/ns.
+    pub delivered_flits_per_router_ns: f64,
+    /// Average packet latency in nanoseconds (creation to last-flit
+    /// delivery, including source queueing).
+    pub avg_latency_ns: f64,
+    /// Number of packets the latency average is over.
+    pub packets: u64,
+}
+
+impl BnfPoint {
+    /// True when this point's latency exceeds `cap`, a crude indicator that
+    /// the configuration is past saturation.
+    pub fn is_saturated(&self, cap_ns: f64) -> bool {
+        self.avg_latency_ns > cap_ns
+    }
+}
+
+impl fmt::Display for BnfPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offered={:.4} delivered={:.4} flits/router/ns latency={:.1} ns (n={})",
+            self.offered, self.delivered_flits_per_router_ns, self.avg_latency_ns, self.packets
+        )
+    }
+}
+
+/// A labelled series of [`BnfPoint`]s (one algorithm on one figure).
+#[derive(Clone, Debug, Default)]
+pub struct BnfCurve {
+    /// Series label, e.g. `"SPAA-rotary"`.
+    pub label: String,
+    /// Points in offered-load order.
+    pub points: Vec<BnfPoint>,
+}
+
+impl BnfCurve {
+    /// Creates an empty curve with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BnfCurve {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point (points should be pushed in offered-load order).
+    pub fn push(&mut self, p: BnfPoint) {
+        self.points.push(p);
+    }
+
+    /// The highest delivered throughput on the curve, if any.
+    pub fn peak_throughput(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.delivered_flits_per_router_ns)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Delivered throughput at the largest offered load — used to detect
+    /// post-saturation collapse (`final_throughput() << peak_throughput()`).
+    pub fn final_throughput(&self) -> Option<f64> {
+        self.points.last().map(|p| p.delivered_flits_per_router_ns)
+    }
+
+    /// Interpolated delivered throughput at a given latency level.
+    ///
+    /// This is how the paper quotes comparisons ("at about 122 ns of
+    /// average packet latency, SPAA provides 24% higher throughput"): find
+    /// where each curve crosses the latency level and compare throughputs.
+    /// Returns `None` if the curve never reaches `latency_ns`.
+    pub fn throughput_at_latency(&self, latency_ns: f64) -> Option<f64> {
+        // Walk in offered-load order and find the first crossing.
+        let mut prev: Option<&BnfPoint> = None;
+        for p in &self.points {
+            if p.avg_latency_ns >= latency_ns {
+                return Some(match prev {
+                    Some(q) if p.avg_latency_ns > q.avg_latency_ns => {
+                        let t = (latency_ns - q.avg_latency_ns)
+                            / (p.avg_latency_ns - q.avg_latency_ns);
+                        q.delivered_flits_per_router_ns
+                            + t * (p.delivered_flits_per_router_ns
+                                - q.delivered_flits_per_router_ns)
+                    }
+                    _ => p.delivered_flits_per_router_ns,
+                });
+            }
+            prev = Some(p);
+        }
+        None
+    }
+
+    /// Minimum (zero-load) latency of the curve, if any.
+    pub fn zero_load_latency(&self) -> Option<f64> {
+        self.points.first().map(|p| p.avg_latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(offered: f64, thr: f64, lat: f64) -> BnfPoint {
+        BnfPoint {
+            offered,
+            delivered_flits_per_router_ns: thr,
+            avg_latency_ns: lat,
+            packets: 1000,
+        }
+    }
+
+    #[test]
+    fn peak_and_final() {
+        let mut c = BnfCurve::new("SPAA-base");
+        c.push(pt(0.01, 0.2, 50.0));
+        c.push(pt(0.02, 0.5, 60.0));
+        c.push(pt(0.04, 0.7, 90.0));
+        c.push(pt(0.08, 0.4, 300.0)); // saturation collapse
+        assert_eq!(c.peak_throughput(), Some(0.7));
+        assert_eq!(c.final_throughput(), Some(0.4));
+        assert_eq!(c.zero_load_latency(), Some(50.0));
+    }
+
+    #[test]
+    fn throughput_at_latency_interpolates() {
+        let mut c = BnfCurve::new("x");
+        c.push(pt(0.01, 0.2, 50.0));
+        c.push(pt(0.02, 0.6, 100.0));
+        // Halfway in latency => halfway in throughput.
+        let t = c.throughput_at_latency(75.0).unwrap();
+        assert!((t - 0.4).abs() < 1e-12);
+        // Below the first point: clamps to the first point's throughput.
+        assert_eq!(c.throughput_at_latency(10.0), Some(0.2));
+        // Beyond the curve: not reached.
+        assert_eq!(c.throughput_at_latency(500.0), None);
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = BnfCurve::new("empty");
+        assert_eq!(c.peak_throughput(), None);
+        assert_eq!(c.final_throughput(), None);
+        assert_eq!(c.throughput_at_latency(100.0), None);
+    }
+
+    #[test]
+    fn saturation_flag() {
+        assert!(pt(0.1, 0.1, 400.0).is_saturated(300.0));
+        assert!(!pt(0.1, 0.1, 100.0).is_saturated(300.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Miss Status Holding Registers — the closed-loop load limiter (§3.4).
+//!
+//! "A 21364 processor can have only 16 outstanding cache miss requests to
+//! remote memory or caches. This limits the load the 21364 network can
+//! observe." The Figure 11b scaling study raises the limit to 64 to model
+//! future processors.
+
+/// A fixed-capacity outstanding-miss table.
+#[derive(Clone, Debug)]
+pub struct MshrTable {
+    capacity: u32,
+    outstanding: u32,
+    /// Total allocations (statistics).
+    allocated: u64,
+    /// Attempts rejected because the table was full.
+    rejected: u64,
+}
+
+impl MshrTable {
+    /// Creates a table with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "an MSHR table needs at least one entry");
+        MshrTable {
+            capacity,
+            outstanding: 0,
+            allocated: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The 21364's 16-entry table.
+    pub fn alpha_21364() -> Self {
+        MshrTable::new(16)
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Currently outstanding misses.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// True when another miss could be issued.
+    pub fn available(&self) -> bool {
+        self.outstanding < self.capacity
+    }
+
+    /// Tries to allocate an entry; returns whether it succeeded.
+    pub fn try_allocate(&mut self) -> bool {
+        if self.outstanding < self.capacity {
+            self.outstanding += 1;
+            self.allocated += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Releases an entry (block response arrived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry is outstanding — that would mean a duplicate or
+    /// spurious response.
+    pub fn release(&mut self) {
+        assert!(self.outstanding > 0, "MSHR release without allocation");
+        self.outstanding -= 1;
+    }
+
+    /// Total successful allocations.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Total rejected attempts (a congestion indicator).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut m = MshrTable::new(2);
+        assert!(m.available());
+        assert!(m.try_allocate());
+        assert!(m.try_allocate());
+        assert!(!m.available());
+        assert!(!m.try_allocate(), "full table rejects");
+        assert_eq!(m.outstanding(), 2);
+        assert_eq!(m.rejected(), 1);
+        m.release();
+        assert!(m.available());
+        assert!(m.try_allocate());
+        assert_eq!(m.allocated(), 3);
+    }
+
+    #[test]
+    fn paper_capacity() {
+        assert_eq!(MshrTable::alpha_21364().capacity(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without allocation")]
+    fn spurious_release_panics() {
+        MshrTable::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = MshrTable::new(0);
+    }
+}

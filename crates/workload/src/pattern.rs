@@ -1,0 +1,228 @@
+//! Destination-selection patterns (§4.2).
+//!
+//! "If the bit-coordinate of the source processor can be represented as
+//! (a_{n-1}, …, a_1, a_0), then the destination bit-coordinates for
+//! bit-reversal and perfect-shuffle are (a_0, a_1, …, a_{n-2}, a_{n-1})
+//! and (a_{n-2}, a_{n-3}, …, a_0, a_{n-1}) respectively."
+//!
+//! The bit patterns are defined only for power-of-two node counts; the
+//! paper accordingly evaluates the 12×12 network with uniform traffic
+//! only. Beyond the paper's three patterns, [`TrafficPattern::Transpose`]
+//! and [`TrafficPattern::Tornado`] are provided for extension studies.
+
+use network::Torus;
+use simcore::SimRng;
+use std::fmt;
+
+/// A destination-selection rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniformly random destination, excluding the source.
+    Uniform,
+    /// Bit-reversal permutation of the node index.
+    BitReversal,
+    /// Perfect-shuffle (rotate-left-by-one) of the node index.
+    PerfectShuffle,
+    /// Matrix transpose: (x, y) → (y, x) (extension; needs a square torus).
+    Transpose,
+    /// Tornado: half-way around the ring in x (extension).
+    Tornado,
+}
+
+impl TrafficPattern {
+    /// The three patterns the paper evaluates.
+    pub const PAPER: [TrafficPattern; 3] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::BitReversal,
+        TrafficPattern::PerfectShuffle,
+    ];
+
+    /// True when the pattern is usable on the given torus.
+    pub fn supports(&self, torus: &Torus) -> bool {
+        match self {
+            TrafficPattern::Uniform => true,
+            TrafficPattern::BitReversal | TrafficPattern::PerfectShuffle => {
+                torus.nodes().is_power_of_two()
+            }
+            TrafficPattern::Transpose => torus.width() == torus.height(),
+            TrafficPattern::Tornado => true,
+        }
+    }
+
+    /// Picks a destination for traffic sourced at `src`.
+    ///
+    /// Deterministic patterns may map a node to itself (e.g. palindromic
+    /// indices under bit-reversal); such packets are delivered locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern does not support the torus shape
+    /// (see [`TrafficPattern::supports`]).
+    pub fn dest(&self, torus: &Torus, src: u16, rng: &mut SimRng) -> u16 {
+        assert!(
+            self.supports(torus),
+            "{self} is undefined on a {}x{} torus",
+            torus.width(),
+            torus.height()
+        );
+        let n = torus.nodes();
+        match self {
+            TrafficPattern::Uniform => {
+                if n == 1 {
+                    return src;
+                }
+                // Uniform over the other n-1 nodes.
+                let k = rng.below(n as usize - 1) as u16;
+                if k >= src {
+                    k + 1
+                } else {
+                    k
+                }
+            }
+            TrafficPattern::BitReversal => {
+                let bits = n.trailing_zeros();
+                let mut v = 0u16;
+                for b in 0..bits {
+                    if src & (1 << b) != 0 {
+                        v |= 1 << (bits - 1 - b);
+                    }
+                }
+                v
+            }
+            TrafficPattern::PerfectShuffle => {
+                let bits = n.trailing_zeros();
+                let msb = (src >> (bits - 1)) & 1;
+                ((src << 1) & (n - 1)) | msb
+            }
+            TrafficPattern::Transpose => {
+                let (x, y) = torus.coords(src);
+                torus.node(y, x)
+            }
+            TrafficPattern::Tornado => {
+                let (x, y) = torus.coords(src);
+                // Just under half-way around keeps the direction unique.
+                let shift = (torus.width() - 1) / 2;
+                torus.node((x + shift.max(1)) % torus.width(), y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::BitReversal => "bit-reversal",
+            TrafficPattern::PerfectShuffle => "perfect-shuffle",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::Tornado => "tornado",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(11)
+    }
+
+    #[test]
+    fn uniform_never_targets_self_and_covers_everyone() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.dest(&t, 5, &mut r);
+            assert_ne!(d, 5);
+            seen[d as usize] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        let mut counts = [0usize; 16];
+        for _ in 0..15_000 {
+            counts[TrafficPattern::Uniform.dest(&t, 0, &mut r) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if i == 0 {
+                assert_eq!(c, 0);
+            } else {
+                assert!((800..1200).contains(&c), "node {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_matches_definition() {
+        let t = Torus::net_4x4(); // 16 nodes, 4 bits
+        let mut r = rng();
+        // 0b0001 -> 0b1000, 0b0110 -> 0b0110 (palindrome), 0b0011 -> 0b1100.
+        assert_eq!(TrafficPattern::BitReversal.dest(&t, 0b0001, &mut r), 0b1000);
+        assert_eq!(TrafficPattern::BitReversal.dest(&t, 0b0110, &mut r), 0b0110);
+        assert_eq!(TrafficPattern::BitReversal.dest(&t, 0b0011, &mut r), 0b1100);
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        let t = Torus::net_8x8();
+        let mut r = rng();
+        for src in 0..64 {
+            let once = TrafficPattern::BitReversal.dest(&t, src, &mut r);
+            let twice = TrafficPattern::BitReversal.dest(&t, once, &mut r);
+            assert_eq!(twice, src);
+        }
+    }
+
+    #[test]
+    fn perfect_shuffle_matches_definition() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        // (a2,a1,a0,a3): 0b1000 -> 0b0001; 0b0001 -> 0b0010.
+        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b1000, &mut r), 0b0001);
+        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b0001, &mut r), 0b0010);
+        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b1111, &mut r), 0b1111);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let t = Torus::net_8x8();
+        let mut r = rng();
+        let mut hit = [false; 64];
+        for src in 0..64 {
+            let d = TrafficPattern::PerfectShuffle.dest(&t, src, &mut r);
+            assert!(!hit[d as usize], "duplicate image {d}");
+            hit[d as usize] = true;
+        }
+    }
+
+    #[test]
+    fn bit_patterns_require_power_of_two() {
+        let t12 = Torus::net_12x12();
+        assert!(!TrafficPattern::BitReversal.supports(&t12));
+        assert!(!TrafficPattern::PerfectShuffle.supports(&t12));
+        assert!(TrafficPattern::Uniform.supports(&t12));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined on a 12x12")]
+    fn unsupported_pattern_panics() {
+        let t12 = Torus::net_12x12();
+        let _ = TrafficPattern::BitReversal.dest(&t12, 0, &mut rng());
+    }
+
+    #[test]
+    fn transpose_and_tornado() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        assert_eq!(TrafficPattern::Transpose.dest(&t, t.node(1, 2), &mut r), t.node(2, 1));
+        let d = TrafficPattern::Tornado.dest(&t, t.node(0, 0), &mut r);
+        assert_eq!(d, t.node(1, 0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Coherence transactions and their packet-level encoding (§4.2).
+//!
+//! A transaction is either:
+//!
+//! * **two-hop** (70%): requester → home (3-flit request), home →
+//!   requester (19-flit block response after the 73 ns memory lookup); or
+//! * **three-hop** (30%): requester → home (request), home → owner
+//!   (3-flit forward after the directory/memory lookup), owner → requester
+//!   (block response after the 25-cycle L2 lookup).
+//!
+//! The routers treat packets as opaque; the participants recover the
+//! transaction roles from a [`TxnTag`] packed into `Packet::txn`.
+
+use simcore::time::Cycles;
+
+/// Protocol latencies and the transaction mix (§4.1–4.2 defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoherenceParams {
+    /// Memory response time at the home node.
+    pub memory_latency_ns: f64,
+    /// On-chip L2 lookup time at a remote owner, in core cycles.
+    pub l2_latency: Cycles,
+    /// Fraction of transactions that take three coherence hops.
+    pub three_hop_fraction: f64,
+}
+
+impl Default for CoherenceParams {
+    fn default() -> Self {
+        CoherenceParams {
+            memory_latency_ns: 73.0,
+            l2_latency: Cycles::new(25),
+            three_hop_fraction: 0.3,
+        }
+    }
+}
+
+/// Transaction metadata packed into the 64-bit `Packet::txn` field.
+///
+/// Layout: bits 0..16 requester node, 16..32 owner node (three-hop only),
+/// bit 32 three-hop flag, bits 33..64 sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TxnTag {
+    /// The node whose cache miss started the transaction.
+    pub requester: u16,
+    /// The remote owner a three-hop transaction forwards to.
+    pub owner: u16,
+    /// Whether this is a three-hop transaction.
+    pub three_hop: bool,
+    /// Per-requester sequence number.
+    pub seq: u32,
+}
+
+impl TxnTag {
+    /// Packs into a `u64`.
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.seq < (1 << 31));
+        (self.requester as u64)
+            | ((self.owner as u64) << 16)
+            | ((self.three_hop as u64) << 32)
+            | ((self.seq as u64) << 33)
+    }
+
+    /// Unpacks from a `u64`.
+    pub fn unpack(v: u64) -> Self {
+        TxnTag {
+            requester: (v & 0xffff) as u16,
+            owner: ((v >> 16) & 0xffff) as u16,
+            three_hop: (v >> 32) & 1 == 1,
+            seq: (v >> 33) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trip() {
+        let tag = TxnTag {
+            requester: 63,
+            owner: 17,
+            three_hop: true,
+            seq: 123_456,
+        };
+        assert_eq!(TxnTag::unpack(tag.pack()), tag);
+        let two = TxnTag {
+            requester: 0,
+            owner: 0,
+            three_hop: false,
+            seq: 0,
+        };
+        assert_eq!(TxnTag::unpack(two.pack()), two);
+    }
+
+    #[test]
+    fn tag_fields_do_not_alias() {
+        let a = TxnTag {
+            requester: 0xffff,
+            owner: 0,
+            three_hop: false,
+            seq: 0,
+        };
+        let u = TxnTag::unpack(a.pack());
+        assert_eq!(u.owner, 0);
+        assert!(!u.three_hop);
+        assert_eq!(u.seq, 0);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let p = CoherenceParams::default();
+        assert_eq!(p.memory_latency_ns, 73.0);
+        assert_eq!(p.l2_latency, Cycles::new(25));
+        assert_eq!(p.three_hop_fraction, 0.3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: simulate the 21364 network and print the paper's metrics.
+//!
+//! Runs a 4×4 torus of SPAA-rotary routers under the paper's coherence
+//! workload (70% 2-hop / 30% 3-hop transactions, 16 outstanding misses)
+//! and prints delivered throughput, average packet latency, and a latency
+//! histogram summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alpha21364::prelude::*;
+
+fn main() {
+    let net = NetworkConfig {
+        torus: Torus::net_4x4(),
+        router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
+        seed: 0x21364,
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+    };
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
+
+    println!(
+        "Simulating a {}x{} torus with {} for {} core cycles at 1.2 GHz...",
+        net.torus.width(),
+        net.torus.height(),
+        net.router.algorithm,
+        net.total_cycles()
+    );
+    let (report, stats) = run_coherence_sim(net, wl);
+
+    println!();
+    println!("delivered packets     : {}", report.delivered_packets);
+    println!("delivered flits       : {}", report.delivered_flits);
+    println!(
+        "delivered throughput  : {:.4} flits/router/ns (max 2.4, §4.3)",
+        report.flits_per_router_ns
+    );
+    println!(
+        "avg packet latency    : {:.1} ns through the network",
+        report.avg_latency_ns()
+    );
+    println!(
+        "  incl. source queue  : {:.1} ns",
+        report.total_latency.mean()
+    );
+    println!(
+        "  p50 / p99           : {:.0} / {:.0} ns",
+        report.latency_hist.quantile(0.50).unwrap_or(0.0),
+        report.latency_hist.quantile(0.99).unwrap_or(0.0)
+    );
+    println!();
+    println!("transactions started  : {}", stats.transactions_started);
+    println!("transactions completed: {}", stats.transactions_completed);
+    println!(
+        "arbitration grant rate: {:.1}% ({} grants / {} nominations)",
+        100.0 * report.grants as f64 / report.nominations.max(1) as f64,
+        report.grants,
+        report.nominations
+    );
+    println!("escape-channel hops   : {}", report.escape_dispatches);
+}

@@ -1,0 +1,74 @@
+//! The Rotary Rule in action: saturation collapse and its prevention.
+//!
+//! Reproduces the §3.4/§5.2 story on a small scale: an 8×8 torus is
+//! pushed past its saturation point with open-loop injection. With
+//! SPAA-base, tree saturation sets in — buffers fill, backpressure
+//! spreads, and delivered throughput *collapses* even though offered load
+//! keeps rising. With SPAA-rotary, in-network packets are prioritized
+//! over new injections ("vehicles in the rotary exit before vehicles may
+//! enter"), the trees drain, and throughput holds.
+//!
+//! ```text
+//! cargo run --release --example saturation_rotary
+//! ```
+
+use alpha21364::prelude::*;
+
+fn run_point(algorithm: ArbAlgorithm, rate: f64) -> (f64, f64, u64) {
+    let net = NetworkConfig {
+        torus: Torus::net_8x8(),
+        router: RouterConfig::alpha_21364(algorithm),
+        seed: 7,
+        warmup_cycles: 3_000,
+        measure_cycles: 9_000,
+    };
+    let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, rate);
+    let (report, _) = run_coherence_sim(net, wl);
+    (
+        report.flits_per_router_ns,
+        report.avg_latency_ns(),
+        report.drain_engagements,
+    )
+}
+
+fn main() {
+    println!("Offered-load sweep on the 8x8 torus (open loop):\n");
+    println!("{:<8} {:>12} {:>24} {:>24}", "", "", "SPAA-base", "SPAA-rotary");
+    println!(
+        "{:<8} {:>12} {:>11} {:>12} {:>11} {:>12}",
+        "rate", "regime", "thr", "latency", "thr", "latency"
+    );
+    for &(rate, regime) in &[
+        (0.004, "light"),
+        (0.012, "moderate"),
+        (0.020, "near sat."),
+        (0.032, "beyond"),
+        (0.060, "deep sat."),
+    ] {
+        let (bt, bl, _) = run_point(ArbAlgorithm::SpaaBase, rate);
+        let (rt, rl, drains) = run_point(ArbAlgorithm::SpaaRotary, rate);
+        println!(
+            "{:<8} {:>12} {:>8.3}    {:>8.0} ns {:>8.3}    {:>8.0} ns{}",
+            rate,
+            regime,
+            bt,
+            bl,
+            rt,
+            rl,
+            if drains > 0 { "  (anti-starvation active)" } else { "" }
+        );
+    }
+
+    let (base_peak, _, _) = run_point(ArbAlgorithm::SpaaBase, 0.02);
+    let (base_deep, _, _) = run_point(ArbAlgorithm::SpaaBase, 0.06);
+    let (rot_deep, _, _) = run_point(ArbAlgorithm::SpaaRotary, 0.06);
+    println!();
+    println!(
+        "SPAA-base keeps only {:.0}% of its peak throughput in deep saturation;",
+        100.0 * base_deep / base_peak
+    );
+    println!(
+        "the Rotary Rule preserves {:.0}% — the §3.4 safety net.",
+        100.0 * rot_deep / base_peak
+    );
+}

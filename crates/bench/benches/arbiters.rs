@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks of the arbitration kernels.
+//! Micro-benchmarks of the arbitration kernels.
 //!
 //! These measure the software cost of one arbitration pass per algorithm
 //! on the 21364's 16×7 matrix — the quantity that bounds how fast the
@@ -13,8 +13,7 @@ use arbitration::pim::PimArbiter;
 use arbitration::ports::{NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS};
 use arbitration::spaa::SpaaArbiter;
 use arbitration::wfa::{WfaArbiter, WfaStart, WfaVariant};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::RngCore;
+use bench::harness::Harness;
 use simcore::SimRng;
 
 /// Pre-generates a pool of random arbitration inputs (dense, like a
@@ -31,46 +30,42 @@ fn input_pool(n: usize) -> Vec<ArbitrationInput> {
                 .enumerate()
                 .map(|(row, &m)| (row % 2 == 0 && m != 0).then(|| rng.pick_bit(m) as u8))
                 .collect();
-            ArbitrationInput::new(
-                RequestMatrix::from_rows(masks, NUM_OUTPUT_PORTS),
-                noms,
-            )
+            ArbitrationInput::new(RequestMatrix::from_rows(masks, NUM_OUTPUT_PORTS), noms)
         })
         .collect()
 }
 
-fn bench_algorithm(c: &mut Criterion, name: &str, mut algo: Box<dyn Arbiter>) {
+// Unlike criterion's iter_batched, the harness times the whole closure,
+// so the pool rotation (~1 ns of modulo + index) is inside every
+// measurement. It is identical across kernels, so relative comparisons —
+// the point of this group — are unaffected.
+fn bench_algorithm(h: &mut Harness, name: &str, mut algo: Box<dyn Arbiter>) {
     let pool = input_pool(256);
     let mut rng = SimRng::from_seed(1);
     let mut i = 0;
-    c.bench_function(name, |b| {
-        b.iter_batched(
-            || {
-                i = (i + 1) % pool.len();
-                &pool[i]
-            },
-            |input| algo.arbitrate(input, &mut rng),
-            BatchSize::SmallInput,
-        )
+    h.bench(name, move || {
+        i = (i + 1) % pool.len();
+        algo.arbitrate(&pool[i], &mut rng)
     });
 }
 
-fn arbiter_benches(c: &mut Criterion) {
-    bench_algorithm(c, "arbitrate/MCM", Box::new(McmArbiter::new()));
+fn main() {
+    let mut h = Harness::new("arbitrate");
+    bench_algorithm(&mut h, "MCM", Box::new(McmArbiter::new()));
     bench_algorithm(
-        c,
-        "arbitrate/PIM4",
+        &mut h,
+        "PIM4",
         Box::new(PimArbiter::converged(NUM_ARBITER_ROWS)),
     );
-    bench_algorithm(c, "arbitrate/PIM1", Box::new(PimArbiter::pim1()));
+    bench_algorithm(&mut h, "PIM1", Box::new(PimArbiter::pim1()));
     bench_algorithm(
-        c,
-        "arbitrate/WFA-wrapped",
+        &mut h,
+        "WFA-wrapped",
         Box::new(WfaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
     );
     bench_algorithm(
-        c,
-        "arbitrate/WFA-plain",
+        &mut h,
+        "WFA-plain",
         Box::new(WfaArbiter::new(
             NUM_ARBITER_ROWS,
             NUM_OUTPUT_PORTS,
@@ -79,35 +74,24 @@ fn arbiter_benches(c: &mut Criterion) {
         )),
     );
     bench_algorithm(
-        c,
-        "arbitrate/SPAA",
+        &mut h,
+        "SPAA",
         Box::new(SpaaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
     );
     bench_algorithm(
-        c,
-        "arbitrate/OPF",
+        &mut h,
+        "OPF",
         Box::new(OpfArbiter::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
     );
-}
 
-fn maximum_matching_bench(c: &mut Criterion) {
+    h.finish();
+
+    let mut k = Harness::new("kernel");
     let pool = input_pool(256);
     let mut i = 0;
-    c.bench_function("kernel/hopcroft-karp-16x7", |b| {
-        b.iter_batched(
-            || {
-                i = (i + 1) % pool.len();
-                &pool[i].requests
-            },
-            arbitration::mcm::maximum_matching,
-            BatchSize::SmallInput,
-        )
+    k.bench("hopcroft-karp-16x7", move || {
+        i = (i + 1) % pool.len();
+        arbitration::mcm::maximum_matching(&pool[i].requests)
     });
+    k.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = arbiter_benches, maximum_matching_bench
-}
-criterion_main!(benches);

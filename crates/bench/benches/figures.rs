@@ -1,4 +1,4 @@
-//! Criterion benchmarks of the figure pipelines at reduced scale.
+//! Benchmarks of the figure pipelines at reduced scale.
 //!
 //! One benchmark per paper experiment family, sized so a full
 //! `cargo bench` stays in CI territory. These measure the *simulator's*
@@ -6,44 +6,11 @@
 //! binaries in `src/bin/` produce the actual tables (use `--paper` there
 //! for the 75,000-cycle fidelity of §4.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use network::{NetworkConfig, Torus};
 use router::{ArbAlgorithm, RouterConfig};
 use standalone::{run_standalone, AlgoKind, StandaloneConfig};
 use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
-
-/// One standalone Figure-8 point (all five algorithms, 200 iterations).
-fn fig08_point(c: &mut Criterion) {
-    c.bench_function("figures/fig08-point", |b| {
-        b.iter(|| {
-            let cfg = StandaloneConfig {
-                load: 0.6,
-                iterations: 200,
-                ..Default::default()
-            };
-            let total: f64 = AlgoKind::FIGURE8
-                .iter()
-                .map(|&k| run_standalone(k, &cfg).matches_per_cycle)
-                .sum();
-            assert!(total > 0.0);
-        })
-    });
-}
-
-/// One Figure-9 occupancy point.
-fn fig09_point(c: &mut Criterion) {
-    c.bench_function("figures/fig09-point", |b| {
-        b.iter(|| {
-            let cfg = StandaloneConfig {
-                load: 0.6,
-                occupancy: 0.5,
-                iterations: 200,
-                ..Default::default()
-            };
-            run_standalone(AlgoKind::Mcm, &cfg).matches_per_cycle
-        })
-    });
-}
 
 fn timing_point(torus: Torus, algo: ArbAlgorithm, rate: f64, cycles: u64) -> f64 {
     let net = NetworkConfig {
@@ -57,40 +24,56 @@ fn timing_point(torus: Torus, algo: ArbAlgorithm, rate: f64, cycles: u64) -> f64
     run_coherence_sim(net, wl).0.flits_per_router_ns
 }
 
-/// One Figure-10 4×4 BNF point under SPAA.
-fn fig10_4x4_point(c: &mut Criterion) {
-    c.bench_function("figures/fig10-4x4-spaa-point", |b| {
-        b.iter(|| timing_point(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 0.01, 2_000))
-    });
-}
+fn main() {
+    let mut h = Harness::new("figures");
 
-/// One Figure-10 8×8 BNF point under WFA (the windowed driver).
-fn fig10_8x8_point(c: &mut Criterion) {
-    c.bench_function("figures/fig10-8x8-wfa-point", |b| {
-        b.iter(|| timing_point(Torus::net_8x8(), ArbAlgorithm::WfaRotary, 0.005, 1_500))
+    // One standalone Figure-8 point (all five algorithms, 200 iterations).
+    h.bench("fig08-point", || {
+        let cfg = StandaloneConfig {
+            load: 0.6,
+            iterations: 200,
+            ..Default::default()
+        };
+        let total: f64 = AlgoKind::FIGURE8
+            .iter()
+            .map(|&k| run_standalone(k, &cfg).matches_per_cycle)
+            .sum();
+        assert!(total > 0.0);
     });
-}
 
-/// One Figure-11a scaled-pipeline point.
-fn fig11a_point(c: &mut Criterion) {
-    c.bench_function("figures/fig11a-2x-point", |b| {
-        b.iter(|| {
-            let net = NetworkConfig {
-                torus: Torus::net_8x8(),
-                router: RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary),
-                seed: 0x21364,
-                warmup_cycles: 300,
-                measure_cycles: 1_200,
-            };
-            let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.005);
-            run_coherence_sim(net, wl).0.flits_per_router_ns
-        })
+    // One Figure-9 occupancy point.
+    h.bench("fig09-point", || {
+        let cfg = StandaloneConfig {
+            load: 0.6,
+            occupancy: 0.5,
+            iterations: 200,
+            ..Default::default()
+        };
+        run_standalone(AlgoKind::Mcm, &cfg).matches_per_cycle
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig08_point, fig09_point, fig10_4x4_point, fig10_8x8_point, fig11a_point
+    // One Figure-10 4×4 BNF point under SPAA.
+    h.bench("fig10-4x4-spaa-point", || {
+        timing_point(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 0.01, 2_000)
+    });
+
+    // One Figure-10 8×8 BNF point under WFA (the windowed driver).
+    h.bench("fig10-8x8-wfa-point", || {
+        timing_point(Torus::net_8x8(), ArbAlgorithm::WfaRotary, 0.005, 1_500)
+    });
+
+    // One Figure-11a scaled-pipeline point.
+    h.bench("fig11a-2x-point", || {
+        let net = NetworkConfig {
+            torus: Torus::net_8x8(),
+            router: RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary),
+            seed: 0x21364,
+            warmup_cycles: 300,
+            measure_cycles: 1_200,
+        };
+        let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.005);
+        run_coherence_sim(net, wl).0.flits_per_router_ns
+    });
+
+    h.finish();
 }
-criterion_main!(benches);

@@ -51,7 +51,10 @@ fn main() {
         let depth = depths[i];
         let rel = thr / base;
         let per_cycle = if depth > 3 {
-            format!("{:+.1}%", 100.0 * (rel.powf(1.0 / (depth - 3) as f64) - 1.0))
+            format!(
+                "{:+.1}%",
+                100.0 * (rel.powf(1.0 / (depth - 3) as f64) - 1.0)
+            )
         } else {
             "-".into()
         };

@@ -30,12 +30,7 @@ fn main() {
     let curves: Vec<_> = algos
         .iter()
         .map(|&algo| {
-            let spec = SweepSpec::new(
-                algo,
-                Torus::net_8x8(),
-                TrafficPattern::Uniform,
-                scale,
-            );
+            let spec = SweepSpec::new(algo, Torus::net_8x8(), TrafficPattern::Uniform, scale);
             let curve = spec.run(0);
             eprintln!("  swept {algo}");
             curve

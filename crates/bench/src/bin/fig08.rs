@@ -40,7 +40,10 @@ fn main() {
                 load: (frac * sat).min(1.0),
                 ..base
             };
-            row.push(format!("{:.2}", run_standalone(kind, &cfg).matches_per_cycle));
+            row.push(format!(
+                "{:.2}",
+                run_standalone(kind, &cfg).matches_per_cycle
+            ));
         }
         t.row(row);
     }
@@ -60,6 +63,12 @@ fn main() {
     let mcm = at_sat(AlgoKind::Mcm);
     let pim1 = at_sat(AlgoKind::Pim1);
     let spaa = at_sat(AlgoKind::Spaa);
-    println!("MCM / SPAA at saturation:  {:.2} (paper: ~1.36)", mcm / spaa);
-    println!("PIM1 / SPAA at saturation: {:.2} (paper: ~1.14)", pim1 / spaa);
+    println!(
+        "MCM / SPAA at saturation:  {:.2} (paper: ~1.36)",
+        mcm / spaa
+    );
+    println!(
+        "PIM1 / SPAA at saturation: {:.2} (paper: ~1.14)",
+        pim1 / spaa
+    );
 }

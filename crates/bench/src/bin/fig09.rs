@@ -40,7 +40,10 @@ fn main() {
                 occupancy: occ,
                 ..base
             };
-            row.push(format!("{:.2}", run_standalone(kind, &cfg).matches_per_cycle));
+            row.push(format!(
+                "{:.2}",
+                run_standalone(kind, &cfg).matches_per_cycle
+            ));
         }
         t.row(row);
     }

@@ -23,12 +23,7 @@ fn main() {
     let curves: Vec<_> = ArbAlgorithm::FIGURE11
         .iter()
         .map(|&algo| {
-            let mut spec = SweepSpec::new(
-                algo,
-                Torus::net_8x8(),
-                TrafficPattern::Uniform,
-                scale,
-            );
+            let mut spec = SweepSpec::new(algo, Torus::net_8x8(), TrafficPattern::Uniform, scale);
             spec.scaled_2x = true;
             let curve = spec.run(0);
             eprintln!("  swept {algo}");

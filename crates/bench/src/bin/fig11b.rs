@@ -26,13 +26,8 @@ fn main() {
     let curves: Vec<_> = ArbAlgorithm::FIGURE11
         .iter()
         .map(|&algo| {
-            let mut spec = SweepSpec::new(
-                algo,
-                Torus::net_8x8(),
-                TrafficPattern::Uniform,
-                scale,
-            )
-            .closed_loop(64);
+            let mut spec = SweepSpec::new(algo, Torus::net_8x8(), TrafficPattern::Uniform, scale)
+                .closed_loop(64);
             // The closed loop self-limits, so push generation hard enough
             // to pin all 64 MSHRs at the top of the sweep.
             spec.rates.extend([0.2, 0.5, 1.0]);

@@ -26,12 +26,7 @@ fn main() {
     let curves: Vec<_> = ArbAlgorithm::FIGURE11
         .iter()
         .map(|&algo| {
-            let spec = SweepSpec::new(
-                algo,
-                Torus::net_12x12(),
-                TrafficPattern::Uniform,
-                scale,
-            );
+            let spec = SweepSpec::new(algo, Torus::net_12x12(), TrafficPattern::Uniform, scale);
             let curve = spec.run(0);
             eprintln!("  swept {algo}");
             curve

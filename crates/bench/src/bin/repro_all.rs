@@ -15,10 +15,19 @@ use std::process::Command;
 const JOBS: &[(&str, &[&str])] = &[
     ("fig08", &[]),
     ("fig09", &[]),
-    ("fig10_4x4_uniform", &["--net", "4x4", "--pattern", "uniform"]),
-    ("fig10_8x8_uniform", &["--net", "8x8", "--pattern", "uniform"]),
+    (
+        "fig10_4x4_uniform",
+        &["--net", "4x4", "--pattern", "uniform"],
+    ),
+    (
+        "fig10_8x8_uniform",
+        &["--net", "8x8", "--pattern", "uniform"],
+    ),
     ("fig10_8x8_bitrev", &["--net", "8x8", "--pattern", "bitrev"]),
-    ("fig10_8x8_shuffle", &["--net", "8x8", "--pattern", "shuffle"]),
+    (
+        "fig10_8x8_shuffle",
+        &["--net", "8x8", "--pattern", "shuffle"],
+    ),
     ("fig11a", &[]),
     ("fig11b", &[]),
     ("fig11c", &[]),

@@ -1,0 +1,128 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! benches use this self-contained criterion-style timer instead of an
+//! external crate: warm up, then run timed batches until a measurement
+//! budget is spent, and report the per-iteration mean alongside a spread
+//! estimate (min/max of batch means).
+//!
+//! Budget control: `BENCH_WARMUP_MS` and `BENCH_MEASURE_MS` environment
+//! variables override the defaults (100 ms warmup, 500 ms measurement) —
+//! useful to shorten CI runs or lengthen local ones.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's aggregated measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest batch mean (ns/iter).
+    pub min_ns: f64,
+    /// Slowest batch mean (ns/iter).
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_ms) as f64
+        / 1e3
+}
+
+/// Times `f` (warmup then measurement batches) and returns the result.
+pub fn time_fn<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let warmup_s = env_ms("BENCH_WARMUP_MS", 100);
+    let measure_s = env_ms("BENCH_MEASURE_MS", 500);
+
+    // Warmup — always at least one call, so the per-iteration estimate
+    // comes from a real execution even with BENCH_WARMUP_MS=0.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    loop {
+        black_box(f());
+        warm_iters += 1;
+        if warm_start.elapsed().as_secs_f64() >= warmup_s {
+            break;
+        }
+    }
+    let per_iter = (warm_start.elapsed().as_secs_f64() / warm_iters as f64).max(1e-9);
+    // Target ~10 batches, but never let a single batch exceed the whole
+    // measurement budget (a whole-simulation bench at tens of ms per call
+    // would otherwise lock into an hours-long uninterruptible batch).
+    let batch = ((measure_s / 10.0 / per_iter).ceil() as u64)
+        .clamp(1, ((measure_s / per_iter).ceil() as u64).max(1));
+
+    let mut iters = 0u64;
+    let mut batch_means: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    // At least one measured batch, so the mean is always defined.
+    loop {
+        let b0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        batch_means.push(b0.elapsed().as_secs_f64() / batch as f64 * 1e9);
+        iters += batch;
+        if start.elapsed().as_secs_f64() >= measure_s {
+            break;
+        }
+    }
+    let total = start.elapsed().as_secs_f64();
+    Measurement {
+        name: name.to_string(),
+        mean_ns: total / iters as f64 * 1e9,
+        min_ns: batch_means.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: batch_means.iter().copied().fold(0.0, f64::max),
+        iters,
+    }
+}
+
+/// A named group of benchmarks that prints a summary table on `finish`.
+pub struct Harness {
+    group: String,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Starts a group.
+    pub fn new(group: &str) -> Self {
+        eprintln!("benchmark group: {group}");
+        Harness {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        let id = format!("{}/{}", self.group, name);
+        let m = time_fn(&id, f);
+        eprintln!(
+            "  {:<40} {:>12.1} ns/iter  ({} iters, {:.1}..{:.1})",
+            m.name, m.mean_ns, m.iters, m.min_ns, m.max_ns
+        );
+        self.results.push(m);
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the closing summary and returns the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        eprintln!(
+            "group {} done ({} benchmarks)",
+            self.group,
+            self.results.len()
+        );
+        self.results
+    }
+}

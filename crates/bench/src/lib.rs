@@ -9,6 +9,8 @@
 //! (75,000 cycles per point, §4.3) and defaults to a reduced but
 //! shape-preserving quick mode so `cargo bench`/CI stay fast.
 
+pub mod harness;
+
 use network::{NetworkConfig, Torus};
 use router::{ArbAlgorithm, RouterConfig};
 use simcore::bnf::{BnfCurve, BnfPoint};
@@ -143,8 +145,8 @@ impl SweepSpec {
 /// into the post-saturation region where the rotary/base curves separate.
 pub fn default_rates() -> Vec<f64> {
     vec![
-        0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.016, 0.020, 0.024, 0.028, 0.034, 0.042,
-        0.055, 0.075, 0.1,
+        0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.016, 0.020, 0.024, 0.028, 0.034, 0.042, 0.055,
+        0.075, 0.1,
     ]
 }
 

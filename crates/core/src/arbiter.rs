@@ -59,10 +59,13 @@ impl ArbitrationInput {
 
     /// Checks the nomination-subset-of-requests invariant.
     pub fn validate(&self) -> bool {
-        self.nominations.iter().enumerate().all(|(r, nom)| match nom {
-            Some(c) => self.requests.requested(r, *c as usize),
-            None => true,
-        })
+        self.nominations
+            .iter()
+            .enumerate()
+            .all(|(r, nom)| match nom {
+                Some(c) => self.requests.requested(r, *c as usize),
+                None => true,
+            })
     }
 }
 
@@ -202,7 +205,6 @@ impl Arbiter for OpfArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
 
     /// Builds a consistent input: random requests, nominations chosen as
     /// the lowest requested output per row.

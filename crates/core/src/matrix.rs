@@ -48,7 +48,11 @@ impl ConnectionMatrix {
     pub fn full(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && rows <= MAX_DIM, "rows out of range: {rows}");
         assert!(cols > 0 && cols <= MAX_DIM, "cols out of range: {cols}");
-        let mask = if cols == 32 { u32::MAX } else { (1u32 << cols) - 1 };
+        let mask = if cols == 32 {
+            u32::MAX
+        } else {
+            (1u32 << cols) - 1
+        };
         ConnectionMatrix {
             rows: vec![mask; rows],
             cols,
@@ -165,6 +169,17 @@ pub struct RequestMatrix {
     cols: usize,
 }
 
+impl Default for RequestMatrix {
+    /// A dimensionless placeholder (0 × 0) usable only as a scratch slot to
+    /// [`RequestMatrix::copy_rows_from`] into.
+    fn default() -> Self {
+        RequestMatrix {
+            rows: Vec::new(),
+            cols: 0,
+        }
+    }
+}
+
 impl RequestMatrix {
     /// An empty request matrix.
     ///
@@ -196,6 +211,31 @@ impl RequestMatrix {
             m.rows[i] = mask;
         }
         m
+    }
+
+    /// Rebuilds this matrix in place from row masks, reusing its row
+    /// allocation — the zero-allocation path for per-window rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mask uses bits at or above `cols`, or dimensions are
+    /// out of range.
+    pub fn copy_rows_from(&mut self, masks: &[u32], cols: usize) {
+        assert!(
+            !masks.is_empty() && masks.len() <= MAX_DIM,
+            "rows out of range: {}",
+            masks.len()
+        );
+        assert!(cols > 0 && cols <= MAX_DIM, "cols out of range: {cols}");
+        for (i, &mask) in masks.iter().enumerate() {
+            assert!(
+                cols == 32 || mask < (1u32 << cols),
+                "row {i} mask {mask:#x} exceeds {cols} columns"
+            );
+        }
+        self.rows.clear();
+        self.rows.extend_from_slice(masks);
+        self.cols = cols;
     }
 
     /// Number of rows.

@@ -147,7 +147,6 @@ pub fn brute_force_max_cardinality(req: &RequestMatrix) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
     use simcore::SimRng;
 
     #[test]

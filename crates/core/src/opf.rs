@@ -72,7 +72,11 @@ mod tests {
         let oldest = vec![Some(3u8); 8];
         let mut opf = OpfArbiter::new(8, 7);
         let m = opf.arbitrate(&oldest, &mut SimRng::from_seed(1));
-        assert_eq!(m.cardinality(), 1, "OPF delivers one packet where MCM delivers 7");
+        assert_eq!(
+            m.cardinality(),
+            1,
+            "OPF delivers one packet where MCM delivers 7"
+        );
         assert_eq!(m.matched_cols(), 1 << 3);
     }
 

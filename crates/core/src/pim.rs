@@ -103,7 +103,6 @@ impl PimArbiter {
 mod tests {
     use super::*;
     use crate::mcm;
-    use rand::RngCore;
 
     fn rng() -> SimRng {
         SimRng::from_seed(21)

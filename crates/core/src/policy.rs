@@ -195,7 +195,11 @@ mod tests {
             seen.push(s.select(contenders, &mut r));
         }
         seen.sort_unstable();
-        assert_eq!(seen, vec![0, 1, 3], "each contender served once before repeats");
+        assert_eq!(
+            seen,
+            vec![0, 1, 3],
+            "each contender served once before repeats"
+        );
         // Fourth pick starts the cycle again.
         let fourth = s.select(contenders, &mut r);
         assert!(contenders & (1 << fourth) != 0);

@@ -208,7 +208,10 @@ impl ReadPort {
     ///
     /// Panics if `rp >= 2`.
     pub fn new(port: InputPort, rp: u8) -> Self {
-        assert!((rp as usize) < READ_PORTS_PER_INPUT, "read port {rp} out of range");
+        assert!(
+            (rp as usize) < READ_PORTS_PER_INPUT,
+            "read port {rp} out of range"
+        );
         ReadPort { port, rp }
     }
 

@@ -197,7 +197,11 @@ mod tests {
         let mut spaa = SpaaArbiter::base(16, 7);
         let n = noms(&[(0, 0), (1, 0), (2, 1), (3, 1), (4, 2)], 16);
         let m = spaa.grant(&n, &mut rng());
-        assert_eq!(m.cardinality(), 3, "one per contended output plus the free one");
+        assert_eq!(
+            m.cardinality(),
+            3,
+            "one per contended output plus the free one"
+        );
     }
 
     #[test]

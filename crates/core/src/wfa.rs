@@ -135,10 +135,12 @@ impl WfaArbiter {
                 self.wave(req, &order, s, &mut free_rows, &mut free_cols, &mut m);
             }
             WfaStart::Rotary { network_rows } => {
-                let net: Vec<usize> =
-                    (0..self.rows).filter(|&r| network_rows & (1 << r) != 0).collect();
-                let local: Vec<usize> =
-                    (0..self.rows).filter(|&r| network_rows & (1 << r) == 0).collect();
+                let net: Vec<usize> = (0..self.rows)
+                    .filter(|&r| network_rows & (1 << r) != 0)
+                    .collect();
+                let local: Vec<usize> = (0..self.rows)
+                    .filter(|&r| network_rows & (1 << r) == 0)
+                    .collect();
                 let s1 = self.ptr_primary % net.len();
                 self.ptr_primary = (s1 + 1) % net.len();
                 self.wave(req, &net, s1, &mut free_rows, &mut free_cols, &mut m);
@@ -205,8 +207,7 @@ impl WfaArbiter {
         free_cols: &mut u32,
         m: &mut Matching,
     ) {
-        if *free_rows & (1 << row) != 0 && *free_cols & (1 << col) != 0 && req.requested(row, col)
-        {
+        if *free_rows & (1 << row) != 0 && *free_cols & (1 << col) != 0 && req.requested(row, col) {
             m.grant(row, col);
             *free_rows &= !(1 << row);
             *free_cols &= !(1 << col);
@@ -227,7 +228,6 @@ mod tests {
     use super::*;
     use crate::mcm;
     use crate::ports::NETWORK_ROW_MASK;
-    use rand::RngCore;
     use simcore::SimRng;
 
     fn random_req(rng: &mut SimRng, rows: usize, cols: usize) -> RequestMatrix {

@@ -4,56 +4,64 @@
 //! matching bounded by MCM's maximum; the maximal algorithms (MCM, WFA)
 //! must leave no augmenting pair behind; and the single-nomination
 //! algorithms must grant every uncontended nomination.
+//!
+//! Cases are generated from a deterministic [`SimRng`] stream per test
+//! (the workspace carries no external property-testing dependency), so a
+//! failure reproduces exactly from the test name alone.
 
-use arbitration::prelude::*;
 use arbitration::arbiter::McmArbiter;
 use arbitration::mcm::brute_force_max_cardinality;
-use proptest::prelude::*;
+use arbitration::prelude::*;
 use simcore::SimRng;
 
-/// Strategy: a request matrix of bounded size with arbitrary cells.
-fn request_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = RequestMatrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(0u32..(1u32 << cols), rows)
-            .prop_map(move |masks| RequestMatrix::from_rows(masks, cols))
-    })
+const CASES: usize = 256;
+
+/// A request matrix with random dimensions in `[1, max_rows] × [1, max_cols]`
+/// and arbitrary cells.
+fn random_matrix(rng: &mut SimRng, max_rows: usize, max_cols: usize) -> RequestMatrix {
+    let rows = 1 + rng.below(max_rows);
+    let cols = 1 + rng.below(max_cols);
+    let masks = (0..rows)
+        .map(|_| rng.next_u32() & ((1u32 << cols) - 1))
+        .collect();
+    RequestMatrix::from_rows(masks, cols)
 }
 
-/// Strategy: consistent (requests, nominations) pair plus an RNG seed.
-fn arbitration_input(
-    max_rows: usize,
-    max_cols: usize,
-) -> impl Strategy<Value = (ArbitrationInput, u64)> {
-    (request_matrix(max_rows, max_cols), any::<u64>(), any::<u64>()).prop_map(
-        |(req, pick_seed, rng_seed)| {
-            // Nominate a pseudo-random requested output per row.
-            let mut pick = SimRng::from_seed(pick_seed);
-            let noms = (0..req.rows())
-                .map(|r| {
-                    let mask = req.row_mask(r);
-                    (mask != 0).then(|| pick.pick_bit(mask) as u8)
-                })
-                .collect();
-            (ArbitrationInput::new(req, noms), rng_seed)
-        },
-    )
+/// A consistent (requests, nominations) pair: one pseudo-random requested
+/// output nominated per non-empty row.
+fn random_input(rng: &mut SimRng, max_rows: usize, max_cols: usize) -> ArbitrationInput {
+    let req = random_matrix(rng, max_rows, max_cols);
+    let noms = (0..req.rows())
+        .map(|r| {
+            let mask = req.row_mask(r);
+            (mask != 0).then(|| rng.pick_bit(mask) as u8)
+        })
+        .collect();
+    ArbitrationInput::new(req, noms)
 }
 
-proptest! {
-    #[test]
-    fn mcm_is_maximum_and_maximal(req in request_matrix(10, 8)) {
+#[test]
+fn mcm_is_maximum_and_maximal() {
+    let mut gen = SimRng::from_seed(0x6d63_6d31);
+    for case in 0..CASES {
+        let req = random_matrix(&mut gen, 10, 8);
         let m = mcm::maximum_matching(&req);
-        prop_assert!(m.is_valid_for(&req));
-        prop_assert!(m.is_maximal_for(&req));
-        prop_assert_eq!(m.cardinality(), brute_force_max_cardinality(&req));
+        assert!(m.is_valid_for(&req), "case {case}");
+        assert!(m.is_maximal_for(&req), "case {case}");
+        assert_eq!(
+            m.cardinality(),
+            brute_force_max_cardinality(&req),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn wfa_is_valid_maximal_and_bounded(
-        req in request_matrix(16, 7),
-        seed in any::<u64>(),
-        rotary in any::<bool>(),
-    ) {
+#[test]
+fn wfa_is_valid_maximal_and_bounded() {
+    let mut gen = SimRng::from_seed(0x7766_6131);
+    for case in 0..CASES {
+        let req = random_matrix(&mut gen, 16, 7);
+        let rotary = gen.chance(0.5);
         let rows = req.rows();
         let mut wfa = if rotary {
             // Use the low half of the rows as the "network" class.
@@ -63,20 +71,25 @@ proptest! {
             WfaArbiter::base(rows, req.cols())
         };
         // Rotate the start pointer to an arbitrary phase.
-        for _ in 0..(seed % 17) {
+        for _ in 0..gen.below(17) {
             let _ = wfa.arbitrate(&RequestMatrix::new(rows, req.cols()));
         }
         let m = wfa.arbitrate(&req);
-        prop_assert!(m.is_valid_for(&req));
-        prop_assert!(m.is_maximal_for(&req));
-        prop_assert!(m.cardinality() <= mcm::maximum_matching(&req).cardinality());
+        assert!(m.is_valid_for(&req), "case {case}");
+        assert!(m.is_maximal_for(&req), "case {case}");
+        assert!(
+            m.cardinality() <= mcm::maximum_matching(&req).cardinality(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn pim_is_valid_bounded_and_monotone_in_iterations(
-        req in request_matrix(16, 7),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pim_is_valid_bounded_and_monotone_in_iterations() {
+    let mut gen = SimRng::from_seed(0x7069_6d31);
+    for case in 0..CASES {
+        let req = random_matrix(&mut gen, 16, 7);
+        let seed = gen.next_u64();
         let upper = mcm::maximum_matching(&req).cardinality();
         let mut last = 0usize;
         // The same seed gives each iteration count the same grant draws
@@ -84,33 +97,42 @@ proptest! {
         for k in 1..=4usize {
             let mut rng = SimRng::from_seed(seed);
             let m = PimArbiter::new(k).arbitrate(&req, &mut rng);
-            prop_assert!(m.is_valid_for(&req));
-            prop_assert!(m.cardinality() <= upper);
-            prop_assert!(
+            assert!(m.is_valid_for(&req), "case {case}");
+            assert!(m.cardinality() <= upper, "case {case}");
+            assert!(
                 m.cardinality() >= last,
-                "PIM{} matched fewer ({}) than PIM{} ({})",
-                k, m.cardinality(), k - 1, last
+                "case {case}: PIM{} matched fewer ({}) than PIM{} ({})",
+                k,
+                m.cardinality(),
+                k - 1,
+                last
             );
             last = m.cardinality();
         }
     }
+}
 
-    #[test]
-    fn spaa_grants_exactly_one_per_contended_output(
-        (input, seed) in arbitration_input(16, 7),
-    ) {
-        let mut rng = SimRng::from_seed(seed);
+#[test]
+fn spaa_grants_exactly_one_per_contended_output() {
+    let mut gen = SimRng::from_seed(0x7370_6161);
+    for case in 0..CASES {
+        let input = random_input(&mut gen, 16, 7);
+        let mut rng = SimRng::from_seed(gen.next_u64());
         let rows = input.requests.rows();
         let cols = input.requests.cols();
         let mut spaa = SpaaArbiter::base(rows, cols);
         let m = spaa.grant(&input.nominations, &mut rng);
-        prop_assert!(m.is_valid_for(&input.requests));
+        assert!(m.is_valid_for(&input.requests), "case {case}");
         // Cardinality is exactly the number of distinct nominated outputs.
         let mut outputs = 0u32;
         for nom in input.nominations.iter().flatten() {
             outputs |= 1 << *nom;
         }
-        prop_assert_eq!(m.cardinality(), outputs.count_ones() as usize);
+        assert_eq!(
+            m.cardinality(),
+            outputs.count_ones() as usize,
+            "case {case}"
+        );
         // Every uncontended nomination is granted.
         for (r, nom) in input.nominations.iter().enumerate() {
             if let Some(c) = nom {
@@ -120,19 +142,21 @@ proptest! {
                     .filter(|n| n.as_ref() == Some(c))
                     .count();
                 if contenders == 1 {
-                    prop_assert_eq!(m.output_of(r), Some(*c as usize));
+                    assert_eq!(m.output_of(r), Some(*c as usize), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn every_algorithm_is_valid_and_bounded_by_mcm(
-        (input, seed) in arbitration_input(16, 7),
-    ) {
+#[test]
+fn every_algorithm_is_valid_and_bounded_by_mcm() {
+    let mut gen = SimRng::from_seed(0x616c_6c31);
+    for case in 0..CASES {
+        let input = random_input(&mut gen, 16, 7);
         let rows = input.requests.rows();
         let cols = input.requests.cols();
-        let mut rng = SimRng::from_seed(seed);
+        let mut rng = SimRng::from_seed(gen.next_u64());
         let upper = mcm::maximum_matching(&input.requests).cardinality();
         let mut algos: Vec<Box<dyn Arbiter>> = vec![
             Box::new(McmArbiter::new()),
@@ -144,56 +168,68 @@ proptest! {
         ];
         for algo in algos.iter_mut() {
             let m = algo.arbitrate(&input, &mut rng);
-            prop_assert!(m.is_valid_for(&input.requests), "{} invalid", algo.name());
-            prop_assert!(
+            assert!(
+                m.is_valid_for(&input.requests),
+                "case {case}: {} invalid",
+                algo.name()
+            );
+            assert!(
                 m.cardinality() <= upper,
-                "{} beat MCM ({} > {})", algo.name(), m.cardinality(), upper
+                "case {case}: {} beat MCM ({} > {})",
+                algo.name(),
+                m.cardinality(),
+                upper
             );
         }
     }
+}
 
-    #[test]
-    fn selector_always_picks_a_requester(
-        pool in 1u32..(1 << 16),
-        seed in any::<u64>(),
-        policy_idx in 0usize..3,
-        rotary in any::<bool>(),
-    ) {
-        use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
-        use arbitration::ports::NETWORK_ROW_MASK;
+#[test]
+fn selector_always_picks_a_requester() {
+    use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
+    use arbitration::ports::NETWORK_ROW_MASK;
+    let mut gen = SimRng::from_seed(0x7365_6c31);
+    for case in 0..CASES {
+        let pool = 1 + gen.below((1 << 16) - 1) as u32;
         let policy = [
             SelectionPolicy::Random,
             SelectionPolicy::RoundRobin,
             SelectionPolicy::LeastRecentlySelected,
-        ][policy_idx];
-        let mode = if rotary { RotaryMode::On } else { RotaryMode::Off };
+        ][gen.below(3)];
+        let rotary = gen.chance(0.5);
+        let mode = if rotary {
+            RotaryMode::On
+        } else {
+            RotaryMode::Off
+        };
         let mut sel = Selector::new(policy, mode, NETWORK_ROW_MASK, 16);
-        let mut rng = SimRng::from_seed(seed);
+        let mut rng = SimRng::from_seed(gen.next_u64());
         for _ in 0..8 {
             let row = sel.select(pool, &mut rng);
-            prop_assert!(pool & (1 << row) != 0, "selected non-requester {row}");
+            assert!(pool & (1 << row) != 0, "case {case}: non-requester {row}");
             if rotary && pool & NETWORK_ROW_MASK != 0 {
-                prop_assert!(
+                assert!(
                     NETWORK_ROW_MASK & (1 << row) != 0,
-                    "rotary ignored a network requester"
+                    "case {case}: rotary ignored a network requester"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn matching_row_col_uniqueness_is_structural(
-        req in request_matrix(16, 7),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn matching_row_col_uniqueness_is_structural() {
+    let mut gen = SimRng::from_seed(0x756e_6971);
+    for case in 0..CASES {
         // Whatever PIM does, no row or column ever appears twice.
-        let mut rng = SimRng::from_seed(seed);
+        let req = random_matrix(&mut gen, 16, 7);
+        let mut rng = SimRng::from_seed(gen.next_u64());
         let m = PimArbiter::converged(req.rows()).arbitrate(&req, &mut rng);
         let mut rows_seen = 0u32;
         let mut cols_seen = 0u32;
         for (r, c) in m.pairs() {
-            prop_assert!(rows_seen & (1 << r) == 0);
-            prop_assert!(cols_seen & (1 << c) == 0);
+            assert!(rows_seen & (1 << r) == 0, "case {case}");
+            assert!(cols_seen & (1 << c) == 0, "case {case}");
             rows_seen |= 1 << r;
             cols_seen |= 1 << c;
         }

@@ -53,7 +53,10 @@ pub fn route_for(torus: &Torus, here: u16, packet: &Packet) -> RouteInfo {
         (d, dateline_vc(hx, dx, torus.width(), d == OutputPort::East))
     } else {
         let d = y_dir.expect("transit packet must be unaligned in some dimension");
-        (d, dateline_vc(hy, dy, torus.height(), d == OutputPort::South))
+        (
+            d,
+            dateline_vc(hy, dy, torus.height(), d == OutputPort::South),
+        )
     };
     RouteInfo::transit(adaptive, escape, escape_vc)
 }
@@ -135,7 +138,8 @@ mod tests {
     fn two_candidates_inside_the_rectangle() {
         let t = Torus::net_4x4();
         // (0,0) -> (1,1): East and South are both productive.
-        let (adaptive, escape, _) = transit_parts(route_for(&t, 0, &pkt(0, 5, CoherenceClass::Request)));
+        let (adaptive, escape, _) =
+            transit_parts(route_for(&t, 0, &pkt(0, 5, CoherenceClass::Request)));
         assert_eq!(
             adaptive,
             (OutputPort::East.mask() | OutputPort::South.mask()) as u8
@@ -148,11 +152,13 @@ mod tests {
         let t = Torus::net_4x4();
         // (0,0) -> (2,0): only East (distance 2 both ways? no: east 2,
         // west 2 — a tie, positive direction wins).
-        let (adaptive, escape, _) = transit_parts(route_for(&t, 0, &pkt(0, 2, CoherenceClass::Request)));
+        let (adaptive, escape, _) =
+            transit_parts(route_for(&t, 0, &pkt(0, 2, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::East.mask() as u8);
         assert_eq!(escape, OutputPort::East);
         // (0,0) -> (0,1): only South.
-        let (adaptive, escape, _) = transit_parts(route_for(&t, 0, &pkt(0, 4, CoherenceClass::Request)));
+        let (adaptive, escape, _) =
+            transit_parts(route_for(&t, 0, &pkt(0, 4, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::South.mask() as u8);
         assert_eq!(escape, OutputPort::South);
     }
@@ -161,7 +167,8 @@ mod tests {
     fn wraparound_is_minimal() {
         let t = Torus::net_4x4();
         // (0,0) -> (3,0): West (1 hop) not East (3 hops).
-        let (adaptive, escape, _) = transit_parts(route_for(&t, 0, &pkt(0, 3, CoherenceClass::Request)));
+        let (adaptive, escape, _) =
+            transit_parts(route_for(&t, 0, &pkt(0, 3, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::West.mask() as u8);
         assert_eq!(escape, OutputPort::West);
     }

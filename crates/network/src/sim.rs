@@ -1,6 +1,8 @@
 //! The network simulator: routers + links + endpoints.
 //!
-//! [`NetworkSim`] steps every router on each 1.2 GHz core-clock edge and
+//! [`NetworkSim`] visits each 1.2 GHz core-clock edge, steps every router
+//! that has work (quiescent routers are *skipped* — bit-for-bit
+//! equivalently — until a packet, credit, or wake tick reaches them), and
 //! moves the router outputs around:
 //!
 //! * **Forwards** cross a 0.8 GHz link with three link-clocks of wire
@@ -20,9 +22,8 @@ use crate::topology::Torus;
 use arbitration::ports::InputPort;
 use router::{CoherenceClass, IncomingPacket, Packet, Router, RouterConfig, RouterOutput, VcId};
 use simcore::stats::{Histogram, OnlineStats};
+use simcore::wheel::TimingWheel;
 use simcore::{SimRng, Tick};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Result of an injection attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +43,8 @@ pub struct NodeCtx<'a> {
     core_period: Tick,
     injected_packets: &'a mut u64,
     injected_flits: &'a mut u64,
+    /// Set when an injection gave the router new work (idle-skip wake).
+    woke: bool,
 }
 
 impl NodeCtx<'_> {
@@ -90,6 +93,7 @@ impl NodeCtx<'_> {
         }
         packet.injected = self.now;
         let route = route_for(self.torus, self.node, &packet);
+        self.woke = true;
         *self.injected_packets += 1;
         *self.injected_flits += packet.len() as u64;
         self.router.accept_packet(
@@ -181,42 +185,29 @@ impl NetworkReport {
     }
 }
 
-/// Ordered pending-delivery record (payload excluded from the key).
-#[derive(Clone, Copy, Debug)]
-struct PendingDelivery {
-    at: Tick,
-    seq: u64,
-    node: u16,
-    packet: Packet,
-}
-
-impl PartialEq for PendingDelivery {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for PendingDelivery {}
-impl PartialOrd for PendingDelivery {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingDelivery {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The simulator.
 pub struct NetworkSim<E: Endpoint> {
     cfg: NetworkConfig,
     torus: Torus,
     routers: Vec<Router>,
     endpoints: Vec<E>,
-    deliveries: BinaryHeap<Reverse<PendingDelivery>>,
-    delivery_seq: u64,
+    /// Pending (destination node, packet) deliveries, keyed by last-flit
+    /// time on a per-core-cycle timing wheel (wire latency and flit trains
+    /// bound the horizon to a few dozen cycles).
+    deliveries: TimingWheel<(u16, Packet)>,
+    delivery_scratch: Vec<(Tick, (u16, Packet))>,
     scratch: Vec<RouterOutput>,
     cycle: u64,
+    /// Idle-skip: step a router only while it has work. Bit-for-bit
+    /// equivalent to stepping every router every cycle (see DESIGN.md);
+    /// on by default, off only for equivalence testing.
+    idle_skip: bool,
+    /// Per router: `Tick::ZERO` while awake (step every cycle); otherwise
+    /// the earliest tick at which it must be stepped again (`Tick::MAX`
+    /// when fully idle until an external packet or credit arrives).
+    wake_at: Vec<Tick>,
+    /// Router steps avoided by idle-skip (performance accounting).
+    skipped_steps: u64,
     injected_packets: u64,
     injected_flits: u64,
     measured_packets: u64,
@@ -240,17 +231,20 @@ impl<E: Endpoint> NetworkSim<E> {
             "one endpoint per node"
         );
         let root = SimRng::from_seed(cfg.seed);
-        let routers = (0..torus.nodes())
+        let routers: Vec<Router> = (0..torus.nodes())
             .map(|id| Router::new(id, cfg.router.clone(), root.fork(id as u64)))
             .collect();
         NetworkSim {
+            deliveries: TimingWheel::new(cfg.router.timing.core.period(), 256),
+            delivery_scratch: Vec::with_capacity(64),
+            scratch: Vec::with_capacity(64),
+            cycle: 0,
+            idle_skip: true,
+            wake_at: vec![Tick::ZERO; routers.len()],
+            skipped_steps: 0,
             torus,
             routers,
             endpoints,
-            deliveries: BinaryHeap::new(),
-            delivery_seq: 0,
-            scratch: Vec::with_capacity(64),
-            cycle: 0,
             injected_packets: 0,
             injected_flits: 0,
             measured_packets: 0,
@@ -277,6 +271,21 @@ impl<E: Endpoint> NetworkSim<E> {
         &self.endpoints[node as usize]
     }
 
+    /// Enables or disables idle-skip (on by default). The two modes
+    /// produce bit-for-bit identical results; disabling exists for
+    /// equivalence testing and engine benchmarking.
+    pub fn set_idle_skip(&mut self, enabled: bool) {
+        self.idle_skip = enabled;
+        if !enabled {
+            self.wake_at.fill(Tick::ZERO);
+        }
+    }
+
+    /// Router steps avoided by idle-skip so far.
+    pub fn skipped_router_steps(&self) -> u64 {
+        self.skipped_steps
+    }
+
     /// Runs the configured warmup + measurement window and reports.
     pub fn run(&mut self) -> NetworkReport {
         let total = self.cfg.total_cycles();
@@ -292,33 +301,44 @@ impl<E: Endpoint> NetworkSim<E> {
         let now = core.edge(self.cycle);
         let warmup_end = core.edge(self.cfg.warmup_cycles);
 
-        // 1. Routers arbitrate and emit events.
+        // 1. Routers arbitrate and emit events. Routers with no work are
+        // skipped until their wake tick (or an external event): a skipped
+        // step would have been a no-op, and Router::step's catch-up keeps
+        // the skipped-phase bookkeeping bit-for-bit identical.
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.routers.len() {
+            if self.idle_skip && now < self.wake_at[i] {
+                self.skipped_steps += 1;
+                continue;
+            }
+            self.wake_at[i] = Tick::ZERO;
             scratch.clear();
             self.routers[i].step(now, &mut scratch);
             for ev in scratch.drain(..) {
                 self.apply_event(i as u16, ev);
             }
+            if self.idle_skip && self.routers[i].is_quiescent() {
+                self.wake_at[i] = self.routers[i].next_wake();
+            }
         }
         self.scratch = scratch;
 
         // 2. Deliveries due now reach their endpoints.
-        while let Some(&Reverse(d)) = self.deliveries.peek() {
-            if d.at > now {
-                break;
-            }
-            self.deliveries.pop();
-            self.endpoints[d.node as usize].on_delivered(&d.packet, d.at);
-            if d.at >= warmup_end {
-                let transit_ns = (d.at - d.packet.injected).as_ns();
+        let mut due = std::mem::take(&mut self.delivery_scratch);
+        due.clear();
+        self.deliveries.drain_due(now, &mut due);
+        for &(at, (node, ref packet)) in &due {
+            self.endpoints[node as usize].on_delivered(packet, at);
+            if at >= warmup_end {
+                let transit_ns = (at - packet.injected).as_ns();
                 self.latency.record(transit_ns);
                 self.latency_hist.record(transit_ns);
-                self.total_latency.record((d.at - d.packet.birth).as_ns());
+                self.total_latency.record((at - packet.birth).as_ns());
                 self.measured_packets += 1;
-                self.measured_flits += d.packet.len() as u64;
+                self.measured_flits += packet.len() as u64;
             }
         }
+        self.delivery_scratch = due;
 
         // 3. Endpoints generate new traffic.
         let core_period = core.period();
@@ -331,8 +351,14 @@ impl<E: Endpoint> NetworkSim<E> {
                 core_period,
                 injected_packets: &mut self.injected_packets,
                 injected_flits: &mut self.injected_flits,
+                woke: false,
             };
             self.endpoints[node].on_cycle(&mut ctx);
+            if ctx.woke {
+                // An injection is processed by the router on a later edge;
+                // until then the router may stay asleep.
+                self.wake_at[node] = self.wake_at[node].min(self.routers[node].next_wake());
+            }
         }
 
         self.cycle += 1;
@@ -347,7 +373,8 @@ impl<E: Endpoint> NetworkSim<E> {
                 let packet = o.packet;
                 let pin_time = o.first_flit + timing.link_latency_ticks();
                 let route = route_for(&self.torus, neighbor, &packet);
-                self.routers[neighbor as usize].accept_packet(
+                let neighbor = neighbor as usize;
+                self.routers[neighbor].accept_packet(
                     entry,
                     IncomingPacket {
                         packet,
@@ -357,26 +384,19 @@ impl<E: Endpoint> NetworkSim<E> {
                         in_flit_period: o.flit_period,
                     },
                 );
+                self.wake_at[neighbor] =
+                    self.wake_at[neighbor].min(self.routers[neighbor].next_wake());
             }
             RouterOutput::Delivered { packet, at, .. } => {
-                let seq = self.delivery_seq;
-                self.delivery_seq += 1;
-                self.deliveries.push(Reverse(PendingDelivery {
-                    at,
-                    seq,
-                    node: from,
-                    packet,
-                }));
+                self.deliveries.schedule(at, (from, packet));
             }
             RouterOutput::Credit { input, vc, at } => {
                 let dir = Torus::input_direction(input);
-                let upstream = self.torus.neighbor(from, dir);
+                let upstream = self.torus.neighbor(from, dir) as usize;
                 let output = Torus::feeder_port(input);
-                self.routers[upstream as usize].accept_credit(
-                    output,
-                    vc,
-                    at + timing.link_latency_ticks(),
-                );
+                self.routers[upstream].accept_credit(output, vc, at + timing.link_latency_ticks());
+                self.wake_at[upstream] =
+                    self.wake_at[upstream].min(self.routers[upstream].next_wake());
             }
         }
     }

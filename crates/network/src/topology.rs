@@ -195,7 +195,8 @@ mod tests {
                 let m = t.neighbor(n, dir);
                 let back = Torus::feeder_port(Torus::entry_port(dir));
                 assert_eq!(
-                    t.neighbor(m, Torus::input_direction(Torus::entry_port(dir))), n,
+                    t.neighbor(m, Torus::input_direction(Torus::entry_port(dir))),
+                    n,
                     "walking back along the entry direction returns home"
                 );
                 assert_eq!(back, dir, "feeder/entry are inverses");

@@ -1,54 +1,79 @@
 //! Property-based tests of the routing substrate: minimal progress,
 //! dimension order, dateline discipline — the invariants deadlock freedom
 //! rests on (§2.1).
+//!
+//! Cases are generated from a deterministic [`SimRng`] stream per test
+//! (no external property-testing dependency), so failures reproduce
+//! exactly from the test name alone.
 
 use arbitration::ports::OutputPort;
 use network::{route_for, Torus};
-use proptest::prelude::*;
 use router::packet::PacketId;
 use router::{CoherenceClass, EscapeVc, Packet, RouteInfo};
-use simcore::Tick;
+use simcore::{SimRng, Tick};
+
+const CASES: usize = 512;
 
 fn packet(src: u16, dest: u16) -> Packet {
-    Packet::new(PacketId(0), CoherenceClass::Request, src, dest, Tick::ZERO, 0)
+    Packet::new(
+        PacketId(0),
+        CoherenceClass::Request,
+        src,
+        dest,
+        Tick::ZERO,
+        0,
+    )
 }
 
-/// Strategy: a torus between 2×2 and 12×12 plus two node indices.
-fn torus_and_nodes() -> impl Strategy<Value = (Torus, u16, u16)> {
-    (2u16..=12, 2u16..=12).prop_flat_map(|(w, h)| {
-        let n = w * h;
-        (Just(Torus::new(w, h)), 0..n, 0..n)
-    })
+/// A torus between 2×2 and 12×12 plus two node indices.
+fn torus_and_nodes(rng: &mut SimRng) -> (Torus, u16, u16) {
+    let w = 2 + rng.below(11) as u16;
+    let h = 2 + rng.below(11) as u16;
+    let torus = Torus::new(w, h);
+    let n = torus.nodes();
+    let a = rng.below(n as usize) as u16;
+    let b = rng.below(n as usize) as u16;
+    (torus, a, b)
 }
 
-proptest! {
-    #[test]
-    fn adaptive_candidates_always_make_minimal_progress(
-        (torus, here, dest) in torus_and_nodes(),
-    ) {
-        prop_assume!(here != dest);
+#[test]
+fn adaptive_candidates_always_make_minimal_progress() {
+    let mut gen = SimRng::from_seed(0x6164_6170);
+    for case in 0..CASES {
+        let (torus, here, dest) = torus_and_nodes(&mut gen);
+        if here == dest {
+            continue;
+        }
         let route = route_for(&torus, here, &packet(here, dest));
-        let RouteInfo::Transit { adaptive, escape, .. } = route else {
-            return Err(TestCaseError::fail("transit expected"));
+        let RouteInfo::Transit {
+            adaptive, escape, ..
+        } = route
+        else {
+            panic!("case {case}: transit expected");
         };
         // 1 or 2 candidates, all productive.
-        prop_assert!(adaptive.count_ones() >= 1 && adaptive.count_ones() <= 2);
+        assert!(
+            adaptive.count_ones() >= 1 && adaptive.count_ones() <= 2,
+            "case {case}"
+        );
         let d0 = torus.distance(here, dest);
         let mut m = adaptive;
         while m != 0 {
             let dir = OutputPort::from_index(m.trailing_zeros() as usize);
             m &= m - 1;
             let next = torus.neighbor(here, dir);
-            prop_assert_eq!(torus.distance(next, dest), d0 - 1);
+            assert_eq!(torus.distance(next, dest), d0 - 1, "case {case}");
         }
         // The escape hop is one of the adaptive candidates.
-        prop_assert!(adaptive & escape.mask() as u8 != 0);
+        assert!(adaptive & escape.mask() as u8 != 0, "case {case}");
     }
+}
 
-    #[test]
-    fn escape_path_is_minimal_and_dimension_ordered(
-        (torus, src, dest) in torus_and_nodes(),
-    ) {
+#[test]
+fn escape_path_is_minimal_and_dimension_ordered() {
+    let mut gen = SimRng::from_seed(0x6573_6331);
+    for case in 0..CASES {
+        let (torus, src, dest) = torus_and_nodes(&mut gen);
         // Walk the escape network all the way; it must arrive in exactly
         // distance(src,dest) hops with all x-hops before any y-hop.
         let mut here = src;
@@ -57,23 +82,25 @@ proptest! {
         while here != dest {
             let route = route_for(&torus, here, &packet(src, dest));
             let RouteInfo::Transit { escape, .. } = route else {
-                return Err(TestCaseError::fail("transit expected"));
+                panic!("case {case}: transit expected");
             };
             match escape {
-                OutputPort::East | OutputPort::West => prop_assert!(!seen_y),
+                OutputPort::East | OutputPort::West => assert!(!seen_y, "case {case}"),
                 _ => seen_y = true,
             }
             here = torus.neighbor(here, escape);
             hops += 1;
-            prop_assert!(hops <= torus.distance(src, dest));
+            assert!(hops <= torus.distance(src, dest), "case {case}");
         }
-        prop_assert_eq!(hops, torus.distance(src, dest));
+        assert_eq!(hops, torus.distance(src, dest), "case {case}");
     }
+}
 
-    #[test]
-    fn dateline_vc_switches_at_most_once_per_dimension(
-        (torus, src, dest) in torus_and_nodes(),
-    ) {
+#[test]
+fn dateline_vc_switches_at_most_once_per_dimension() {
+    let mut gen = SimRng::from_seed(0x6474_6c31);
+    for case in 0..CASES {
+        let (torus, src, dest) = torus_and_nodes(&mut gen);
         // Along an escape walk, within each dimension the VC sequence is
         // VC0* then VC1* (never back to VC0): the dateline is crossed at
         // most once.
@@ -82,21 +109,29 @@ proptest! {
         let mut seen_vc1_in_dim = false;
         while here != dest {
             let route = route_for(&torus, here, &packet(src, dest));
-            let RouteInfo::Transit { escape, escape_vc, .. } = route else {
-                return Err(TestCaseError::fail("transit expected"));
+            let RouteInfo::Transit {
+                escape, escape_vc, ..
+            } = route
+            else {
+                panic!("case {case}: transit expected");
             };
             let same_dim = matches!(
                 (last_dim_dir, escape),
-                (Some(OutputPort::East | OutputPort::West), OutputPort::East | OutputPort::West)
-                    | (Some(OutputPort::North | OutputPort::South), OutputPort::North | OutputPort::South)
+                (
+                    Some(OutputPort::East | OutputPort::West),
+                    OutputPort::East | OutputPort::West
+                ) | (
+                    Some(OutputPort::North | OutputPort::South),
+                    OutputPort::North | OutputPort::South
+                )
             );
             if !same_dim {
                 seen_vc1_in_dim = false;
             }
             match escape_vc {
-                EscapeVc::Vc0 => prop_assert!(
+                EscapeVc::Vc0 => assert!(
                     !seen_vc1_in_dim,
-                    "VC0 after VC1 within one dimension breaks the dateline ordering"
+                    "case {case}: VC0 after VC1 within one dimension breaks the dateline ordering"
                 ),
                 EscapeVc::Vc1 => seen_vc1_in_dim = true,
             }
@@ -104,39 +139,45 @@ proptest! {
             here = torus.neighbor(here, escape);
         }
     }
+}
 
-    #[test]
-    fn local_routes_only_at_destination(
-        (torus, here, dest) in torus_and_nodes(),
-    ) {
+#[test]
+fn local_routes_only_at_destination() {
+    let mut gen = SimRng::from_seed(0x6c6f_6331);
+    for case in 0..CASES {
+        let (torus, here, dest) = torus_and_nodes(&mut gen);
         let route = route_for(&torus, here, &packet(here, dest));
-        prop_assert_eq!(route.is_local(), here == dest);
+        assert_eq!(route.is_local(), here == dest, "case {case}");
     }
+}
 
-    #[test]
-    fn neighbor_walk_round_trips(
-        (torus, node, _unused) in torus_and_nodes(),
-        dir_idx in 0usize..4,
-    ) {
-        let dir = OutputPort::from_index(dir_idx);
+#[test]
+fn neighbor_walk_round_trips() {
+    let mut gen = SimRng::from_seed(0x6e62_7231);
+    for case in 0..CASES {
+        let (torus, node, _) = torus_and_nodes(&mut gen);
+        let dir = OutputPort::from_index(gen.below(4));
         let there = torus.neighbor(node, dir);
         let back = Torus::feeder_port(Torus::entry_port(dir));
-        prop_assert_eq!(back, dir);
+        assert_eq!(back, dir, "case {case}");
         // Walking the opposite direction returns home.
         let opposite = Torus::input_direction(Torus::entry_port(dir));
-        prop_assert_eq!(torus.neighbor(there, opposite), node);
+        assert_eq!(torus.neighbor(there, opposite), node, "case {case}");
     }
+}
 
-    #[test]
-    fn distance_is_a_metric(
-        (torus, a, b) in torus_and_nodes(),
-    ) {
-        prop_assert_eq!(torus.distance(a, a), 0);
-        prop_assert_eq!(torus.distance(a, b), torus.distance(b, a));
+#[test]
+fn distance_is_a_metric() {
+    let mut gen = SimRng::from_seed(0x6d65_7431);
+    for case in 0..CASES {
+        let (torus, a, b) = torus_and_nodes(&mut gen);
+        assert_eq!(torus.distance(a, a), 0, "case {case}");
+        assert_eq!(torus.distance(a, b), torus.distance(b, a), "case {case}");
         // Triangle inequality through an arbitrary midpoint.
         let mid = (a as u32 * 7 + b as u32 * 3) as u16 % torus.nodes();
-        prop_assert!(
-            torus.distance(a, b) <= torus.distance(a, mid) + torus.distance(mid, b)
+        assert!(
+            torus.distance(a, b) <= torus.distance(a, mid) + torus.distance(mid, b),
+            "case {case}"
         );
     }
 }

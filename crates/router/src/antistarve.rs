@@ -75,6 +75,26 @@ impl AntiStarvation {
         self.cfg.enabled && now >= self.next_scan
     }
 
+    /// Replays the scans an *empty* router would have performed over
+    /// skipped idle cycles: each would have counted zero old packets, so
+    /// the only state change is the scan cadence advancing. Called by the
+    /// router's idle-skip catch-up before its first real step after a gap;
+    /// a no-op while the cadence is current.
+    ///
+    /// The caller guarantees the router held no packets over the gap (that
+    /// is what made the cycles skippable), so drain mode cannot have been
+    /// engaged — and a draining router is never skipped in the first place.
+    pub fn catch_up_idle(&mut self, now: Tick, period: Tick) {
+        if !self.cfg.enabled || self.next_scan >= now || period == Tick::ZERO {
+            return;
+        }
+        debug_assert!(
+            self.drain_cutoff.is_none(),
+            "idle-skipped a draining router"
+        );
+        self.next_scan = self.next_scan.advance_cadence(now, period);
+    }
+
     /// Feeds the result of a scan: `old_count` entries were eligible
     /// before `now - age_threshold`. `age_ticks` is the age threshold
     /// converted to ticks by the caller's core clock.

@@ -110,31 +110,57 @@ pub struct Candidate {
 }
 
 /// The per-window snapshot for the PIM1/WFA driver.
-#[derive(Clone, Debug)]
+///
+/// The candidate table is stored row-major in one flat slab so a
+/// [`Router`](crate::router::Router) can own a single snapshot for its
+/// whole lifetime and [`reset`](WindowSnapshot::reset) it every window
+/// without touching the allocator.
+#[derive(Clone, Debug, Default)]
 pub struct WindowSnapshot {
-    /// `candidates[row][col]`.
-    pub candidates: Vec<Vec<Option<Candidate>>>,
+    cols: usize,
+    /// Flat `rows × cols` candidate table.
+    candidates: Vec<Option<Candidate>>,
     /// Request mask per row.
-    pub row_masks: Vec<u32>,
+    row_masks: Vec<u32>,
 }
 
 impl WindowSnapshot {
     /// An empty snapshot for a `rows × cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
         WindowSnapshot {
-            candidates: vec![vec![None; cols]; rows],
+            cols,
+            candidates: vec![None; rows * cols],
             row_masks: vec![0; rows],
         }
+    }
+
+    /// Clears all offers, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.candidates.fill(None);
+        self.row_masks.fill(0);
     }
 
     /// Records that `row` could dispatch `cand` through `col` (first
     /// writer wins: rows are scanned oldest-first, so the earliest
     /// candidate is the one the hardware's entry table would pick).
     pub fn offer(&mut self, row: usize, col: usize, cand: Candidate) {
-        if self.candidates[row][col].is_none() {
-            self.candidates[row][col] = Some(cand);
+        let cell = &mut self.candidates[row * self.cols + col];
+        if cell.is_none() {
+            *cell = Some(cand);
             self.row_masks[row] |= 1 << col;
         }
+    }
+
+    /// The candidate offered for `(row, col)`, if any.
+    #[inline]
+    pub fn candidate(&self, row: usize, col: usize) -> Option<Candidate> {
+        self.candidates[row * self.cols + col]
+    }
+
+    /// Request mask per row (the request-matrix image of the snapshot).
+    #[inline]
+    pub fn row_masks(&self) -> &[u32] {
+        &self.row_masks
     }
 
     /// True when no row has any request.
@@ -180,9 +206,12 @@ mod tests {
         };
         s.offer(0, 1, a);
         s.offer(0, 1, b);
-        assert_eq!(s.candidates[0][1], Some(a), "oldest candidate retained");
-        assert_eq!(s.row_masks[0], 0b010);
+        assert_eq!(s.candidate(0, 1), Some(a), "oldest candidate retained");
+        assert_eq!(s.row_masks()[0], 0b010);
         assert!(!s.is_empty());
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.candidate(0, 1), None, "reset clears candidates");
     }
 
     #[test]

@@ -243,6 +243,9 @@ mod tests {
     fn display_labels_match_figures() {
         assert_eq!(ArbAlgorithm::WfaRotary.to_string(), "WFA-rotary");
         assert_eq!(ArbAlgorithm::SpaaBase.to_string(), "SPAA-base");
-        assert_eq!(ArbAlgorithm::SpaaDeep { latency: 6 }.to_string(), "SPAA-deep6");
+        assert_eq!(
+            ArbAlgorithm::SpaaDeep { latency: 6 }.to_string(),
+            "SPAA-deep6"
+        );
     }
 }

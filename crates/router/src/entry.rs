@@ -80,6 +80,8 @@ pub struct InputBuffer {
     /// Buffered-packet count per VC, including departing entries (the
     /// physical slot is held until the tail flit is read out).
     occupancy: [u16; NUM_VCS],
+    /// Sum of `occupancy` (kept in step so quiescence checks are O(1)).
+    total: u16,
     /// Bit `v` set while `queues[v]` is non-empty (fast LA skipping).
     non_empty: u32,
     caps: BufferConfig,
@@ -93,6 +95,7 @@ impl InputBuffer {
             free: Vec::new(),
             queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
             occupancy: [0; NUM_VCS],
+            total: 0,
             non_empty: 0,
             caps,
         }
@@ -116,9 +119,10 @@ impl InputBuffer {
         self.occupancy[vc.index()] as usize
     }
 
-    /// Total packets buffered across all VCs.
+    /// Total packets buffered across all VCs (O(1): kept in step).
+    #[inline]
     pub fn total_occupancy(&self) -> usize {
-        self.occupancy.iter().map(|&o| o as usize).sum()
+        self.total as usize
     }
 
     /// Inserts a packet entry, claiming one slot of its VC.
@@ -135,6 +139,7 @@ impl InputBuffer {
             "buffer overflow on {vc}: flow control violated"
         );
         self.occupancy[vc.index()] += 1;
+        self.total += 1;
         let id = match self.free.pop() {
             Some(id) => {
                 self.slab[id as usize] = Some(entry);
@@ -195,6 +200,7 @@ impl InputBuffer {
     pub fn release(&mut self, id: EntryId) -> Entry {
         let entry = self.slab[id as usize].take().expect("stale entry id");
         self.occupancy[entry.vc.index()] -= 1;
+        self.total -= 1;
         self.free.push(id);
         // Granted entries were dequeued already; releasing a waiting entry
         // (e.g. in teardown paths) must also purge the queue.
@@ -293,9 +299,15 @@ mod tests {
         let a = buf.insert(entry(vc(), 1));
         let b = buf.insert(entry(vc(), 2));
         let c = buf.insert(entry(vc(), 3));
-        assert_eq!(buf.queue(vc()).iter().copied().collect::<Vec<_>>(), vec![a, b, c]);
+        assert_eq!(
+            buf.queue(vc()).iter().copied().collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
         buf.dequeue(b);
-        assert_eq!(buf.queue(vc()).iter().copied().collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(
+            buf.queue(vc()).iter().copied().collect::<Vec<_>>(),
+            vec![a, c]
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ impl OutputState {
         not_before: Tick,
         timing: &RouterTiming,
     ) -> FlitSchedule {
-        assert!(self.grantable(ga, timing), "dispatch on busy port {:?}", self.port);
+        assert!(
+            self.grantable(ga, timing),
+            "dispatch on busy port {:?}",
+            self.port
+        );
         let out_p = self.flit_period(timing);
         let earliest = (ga + timing.core_cycles(timing.output_delay))
             .max(not_before)
@@ -221,7 +225,14 @@ mod tests {
         let mut out = OutputState::new(OutputPort::North);
         // GA at core cycle 5 (tick 100); +7 cycles output delay = tick 240,
         // which is already a link edge (240 = 8 × 30).
-        let sched = out.dispatch(Tick::new(100), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        let sched = out.dispatch(
+            Tick::new(100),
+            3,
+            Tick::ZERO,
+            t.link.period(),
+            Tick::ZERO,
+            &t,
+        );
         assert_eq!(sched.first_flit, Tick::new(240));
         // 3 flits at 30 ticks each.
         assert_eq!(sched.last_flit_start, Tick::new(300));
@@ -231,7 +242,14 @@ mod tests {
 
         // GA at tick 120: +140 = 260, aligned up to the 270 link edge.
         let mut out2 = OutputState::new(OutputPort::South);
-        let sched2 = out2.dispatch(Tick::new(120), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        let sched2 = out2.dispatch(
+            Tick::new(120),
+            3,
+            Tick::ZERO,
+            t.link.period(),
+            Tick::ZERO,
+            &t,
+        );
         assert_eq!(sched2.first_flit, Tick::new(270));
     }
 
@@ -239,7 +257,14 @@ mod tests {
     fn local_port_streams_at_core_rate() {
         let t = timing();
         let mut out = OutputState::new(OutputPort::L0);
-        let sched = out.dispatch(Tick::new(100), 3, Tick::ZERO, t.core.period(), Tick::ZERO, &t);
+        let sched = out.dispatch(
+            Tick::new(100),
+            3,
+            Tick::ZERO,
+            t.core.period(),
+            Tick::ZERO,
+            &t,
+        );
         assert_eq!(sched.first_flit, Tick::new(240));
         assert_eq!(sched.done, Tick::new(240 + 3 * 20));
     }
@@ -251,7 +276,14 @@ mod tests {
         // 19 flits still arriving on a slow link (30 ticks/flit) while the
         // local port could drain at 20 ticks/flit: the tail dominates.
         let head_arrival = Tick::new(200);
-        let sched = out.dispatch(Tick::new(200), 19, head_arrival, Tick::new(30), Tick::ZERO, &t);
+        let sched = out.dispatch(
+            Tick::new(200),
+            19,
+            head_arrival,
+            Tick::new(30),
+            Tick::ZERO,
+            &t,
+        );
         let arrival_last = head_arrival + Tick::new(18 * 30);
         assert_eq!(sched.last_flit_start, arrival_last);
         assert_eq!(sched.done, arrival_last + t.core.period());
@@ -261,7 +293,14 @@ mod tests {
     fn grantable_lookahead_allows_back_to_back() {
         let t = timing();
         let mut out = OutputState::new(OutputPort::East);
-        let s1 = out.dispatch(Tick::new(0), 19, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        let s1 = out.dispatch(
+            Tick::new(0),
+            19,
+            Tick::ZERO,
+            t.link.period(),
+            Tick::ZERO,
+            &t,
+        );
         // The port may be re-granted output_delay cycles before it frees,
         // so the next packet's first flit chains right behind the tail.
         let ga2 = s1.done - t.core_cycles(t.output_delay);
@@ -277,8 +316,22 @@ mod tests {
     fn dispatch_on_busy_port_panics() {
         let t = timing();
         let mut out = OutputState::new(OutputPort::East);
-        out.dispatch(Tick::new(0), 19, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
-        out.dispatch(Tick::new(20), 3, Tick::ZERO, t.link.period(), Tick::ZERO, &t);
+        out.dispatch(
+            Tick::new(0),
+            19,
+            Tick::ZERO,
+            t.link.period(),
+            Tick::ZERO,
+            &t,
+        );
+        out.dispatch(
+            Tick::new(20),
+            3,
+            Tick::ZERO,
+            t.link.period(),
+            Tick::ZERO,
+            &t,
+        );
     }
 
     #[test]

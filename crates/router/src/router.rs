@@ -179,6 +179,19 @@ pub struct Router {
     next_window: Tick,
     antistarve: AntiStarvation,
     stats: RouterStats,
+    // ---- reusable per-cycle scratch (steady-state zero-allocation) ----
+    /// Buffered entries still competing for arbitration (`Waiting` or
+    /// `Nominated`; `Departing` entries only stream and release). Kept in
+    /// step so quiescence checks are O(1).
+    active_entries: u32,
+    /// SPAA GA phase: nominations maturing this cycle.
+    scratch_due: Vec<Nomination>,
+    /// Windowed driver: (input, entry) pairs dispatched this window.
+    scratch_dispatched: Vec<(usize, EntryId)>,
+    /// Windowed driver: the per-window offer table, reset in place.
+    win_snapshot: WindowSnapshot,
+    /// Windowed driver: the request matrix, rebuilt in place each window.
+    win_req: RequestMatrix,
 }
 
 impl Router {
@@ -191,7 +204,10 @@ impl Router {
     pub fn new(id: u16, cfg: RouterConfig, rng: SimRng) -> Self {
         let arb = cfg.arb_timing();
         if cfg.algorithm.is_spaa() {
-            assert!(arb.latency.get() >= 2, "SPAA needs at least LA and GA cycles");
+            assert!(
+                arb.latency.get() >= 2,
+                "SPAA needs at least LA and GA cycles"
+            );
         }
         let rotary = if cfg.algorithm.is_rotary() {
             RotaryMode::On
@@ -230,7 +246,10 @@ impl Router {
             cfg,
             conn: ConnectionMatrix::alpha_21364(),
             inputs,
-            outputs: OutputPort::ALL.iter().map(|&p| OutputState::new(p)).collect(),
+            outputs: OutputPort::ALL
+                .iter()
+                .map(|&p| OutputState::new(p))
+                .collect(),
             credits,
             selectors,
             wfa,
@@ -247,6 +266,11 @@ impl Router {
             next_window: Tick::ZERO,
             antistarve,
             stats: RouterStats::default(),
+            active_entries: 0,
+            scratch_due: Vec::new(),
+            scratch_dispatched: Vec::new(),
+            win_snapshot: WindowSnapshot::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS),
+            win_req: RequestMatrix::default(),
         }
     }
 
@@ -272,7 +296,10 @@ impl Router {
 
     /// Total packets currently buffered (including pending arrivals).
     pub fn buffered_packets(&self) -> usize {
-        self.inputs.iter().map(|b| b.total_occupancy()).sum::<usize>()
+        self.inputs
+            .iter()
+            .map(|b| b.total_occupancy())
+            .sum::<usize>()
             + self.pending_arrivals.len()
     }
 
@@ -282,8 +309,7 @@ impl Router {
     /// pending arrivals, or the network's delivery queue), so summing
     /// `accounted_packets` across routers never double-counts.
     pub fn accounted_packets(&self) -> usize {
-        self.inputs.iter().map(|b| b.owned_packets()).sum::<usize>()
-            + self.pending_arrivals.len()
+        self.inputs.iter().map(|b| b.owned_packets()).sum::<usize>() + self.pending_arrivals.len()
     }
 
     /// Free buffer slots of `vc` at `input`, accounting for in-flight
@@ -324,9 +350,73 @@ impl Router {
             .push(Reverse((at, output.index() as u8, vc.index() as u8)));
     }
 
+    /// True when stepping this router can only replay empty housekeeping
+    /// phases: no buffered entry is competing for arbitration (entries
+    /// that are merely `Departing` stream on a precomputed schedule and
+    /// free their slot at a known release tick), no nomination is awaiting
+    /// GA, and anti-starvation is not draining. Pending arrivals, buffer
+    /// releases, and credit refunds are allowed — each carries its own due
+    /// time, reported by [`Router::next_wake`], and is drained in heap
+    /// order on the first step at or after that time, exactly as per-cycle
+    /// stepping would have.
+    ///
+    /// A network layer may therefore skip stepping a quiescent router until
+    /// `next_wake()` (or until it hands it a packet or credit) and observe
+    /// bit-for-bit identical simulation results: [`Router::step`] catches
+    /// up the anti-starvation scan cadence and the PIM1/WFA window phase
+    /// across the gap, and every skipped step provably emitted no events,
+    /// mutated no entry state, and drew no random numbers (with no
+    /// competing entry the LA scans and window snapshots of the skipped
+    /// cycles were empty, and the anti-starvation old-census — which counts
+    /// only `Waiting` entries — was zero).
+    pub fn is_quiescent(&self) -> bool {
+        self.active_entries == 0 && self.ga_queue.is_empty() && !self.antistarve.draining()
+    }
+
+    /// For a quiescent router: the earliest tick at which it next has
+    /// internal work (a pending arrival becoming eligible, a streaming
+    /// packet's buffer slot releasing, or a credit refund coming due), or
+    /// [`Tick::MAX`] when it is fully idle until an external packet or
+    /// credit arrives.
+    pub fn next_wake(&self) -> Tick {
+        let arrival = self
+            .pending_arrivals
+            .peek()
+            .map_or(Tick::MAX, |&Reverse(p)| p.eligible_at);
+        let release = self
+            .releases
+            .peek()
+            .map_or(Tick::MAX, |&Reverse((t, _, _))| t);
+        let credit = self
+            .pending_credits
+            .peek()
+            .map_or(Tick::MAX, |&Reverse((t, _, _))| t);
+        arrival.min(release).min(credit)
+    }
+
+    /// Replays the phase bookkeeping of skipped quiescent cycles: empty
+    /// anti-starvation scans and empty arbitration windows advance their
+    /// cadence counters but change nothing else, so only the counters need
+    /// fast-forwarding. A no-op when the router is stepped every cycle.
+    fn catch_up_idle(&mut self, now: Tick) {
+        if !self.cfg.algorithm.is_spaa() && self.next_window < now {
+            let ii = self
+                .cfg
+                .timing
+                .core_cycles(self.cfg.arb_timing().initiation_interval);
+            self.next_window = self.next_window.advance_cadence(now, ii);
+        }
+        let period = self
+            .cfg
+            .timing
+            .core_cycles(self.antistarve.config().scan_period);
+        self.antistarve.catch_up_idle(now, period);
+    }
+
     /// Advances the router by one core-clock edge at time `now`, appending
     /// its externally visible events to `out`.
     pub fn step(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        self.catch_up_idle(now);
         self.process_arrivals(now);
         self.process_credits(now);
         self.process_releases(now, out);
@@ -364,6 +454,7 @@ impl Router {
                     not_before: Tick::ZERO,
                 },
             });
+            self.active_entries += 1;
             self.stats.packets_in.bump();
         }
     }
@@ -374,8 +465,10 @@ impl Router {
                 break;
             }
             self.pending_credits.pop();
-            self.credits
-                .refund(OutputPort::from_index(o as usize), VcId::from_index(v as usize));
+            self.credits.refund(
+                OutputPort::from_index(o as usize),
+                VcId::from_index(v as usize),
+            );
         }
     }
 
@@ -525,8 +618,7 @@ impl Router {
                         while m != 0 {
                             let bit = m.trailing_zeros() as usize;
                             m &= m - 1;
-                            let credit =
-                                self.credits.available(OutputPort::from_index(bit), vc);
+                            let credit = self.credits.available(OutputPort::from_index(bit), vc);
                             if best == usize::MAX || credit > best_credit {
                                 best = bit;
                                 best_credit = credit;
@@ -688,10 +780,12 @@ impl Router {
         // tail.
         self.read_ports[row].busy_until = sched.done;
         let e = self.inputs[input].entry_mut(id);
-        e.state = EntryState::Departing { done_at: sched.done };
+        e.state = EntryState::Departing {
+            done_at: sched.done,
+        };
+        self.active_entries -= 1;
         self.inputs[input].dequeue(id);
-        self.releases
-            .push(Reverse((sched.done, input as u8, id)));
+        self.releases.push(Reverse((sched.done, input as u8, id)));
     }
 
     // ------------------------------------------------------------------
@@ -699,8 +793,11 @@ impl Router {
     // ------------------------------------------------------------------
 
     fn spaa_ga_phase(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
-        // Pop all nominations maturing now, grouped per output.
-        let mut due: Vec<Nomination> = Vec::new();
+        // Pop all nominations maturing now, grouped per output. The list
+        // lives in a router-owned scratch buffer (moved out for the
+        // duration of the phase) so the steady state never allocates.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
         while let Some(&Reverse(n)) = self.ga_queue.peek() {
             if n.decide_at > now {
                 break;
@@ -720,6 +817,7 @@ impl Router {
             }
         }
         if due.is_empty() {
+            self.scratch_due = due;
             return;
         }
         for output in 0..NUM_OUTPUT_PORTS {
@@ -760,7 +858,7 @@ impl Router {
             } else {
                 None
             };
-            for n in due.clone() {
+            for &n in &due {
                 if n.output as usize != output {
                     continue;
                 }
@@ -769,22 +867,11 @@ impl Router {
                     // implicitly at LA by eligibility, but a sibling grant
                     // may have raced it away.
                     let ok = match n.downstream_vc {
-                        Some(vc) => {
-                            self.credits
-                                .available(OutputPort::from_index(output), vc)
-                                > 0
-                        }
+                        Some(vc) => self.credits.available(OutputPort::from_index(output), vc) > 0,
                         None => true,
                     };
                     if ok {
-                        self.dispatch(
-                            n.row as usize,
-                            n.entry,
-                            output,
-                            n.downstream_vc,
-                            now,
-                            out,
-                        );
+                        self.dispatch(n.row as usize, n.entry, output, n.downstream_vc, now, out);
                         // A granted read port abandons its other in-flight
                         // nominations (it is now busy streaming).
                         self.cancel_other_nominations(n.row as usize, n.entry, now);
@@ -800,6 +887,7 @@ impl Router {
                 };
             }
         }
+        self.scratch_due = due;
     }
 
     /// Resets any still-nominated entries of `row` other than `granted`
@@ -808,8 +896,10 @@ impl Router {
     fn cancel_other_nominations(&mut self, row: usize, granted: EntryId, now: Tick) {
         let input = row / 2;
         let rp = (row % 2) as u8;
-        let ids: Vec<EntryId> = self.read_ports[row].inflight.clone();
-        for id in ids {
+        // Indexed re-borrow per iteration: the inflight list is tiny and
+        // unchanged here, and this avoids cloning it every grant.
+        for i in 0..self.read_ports[row].inflight.len() {
+            let id = self.read_ports[row].inflight[i];
             if id == granted {
                 continue;
             }
@@ -876,7 +966,10 @@ impl Router {
         if free == 0 {
             return;
         }
-        let mut snapshot = WindowSnapshot::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS);
+        // The snapshot and request matrix are router-owned scratch, moved
+        // out for the duration of the window and rebuilt in place.
+        let mut snapshot = std::mem::take(&mut self.win_snapshot);
+        snapshot.reset();
         // Anti-starvation: old entries claim matrix cells first (offers
         // are first-writer-wins), then the general population fills in.
         if let Some(cutoff) = self.antistarve.cutoff() {
@@ -884,9 +977,11 @@ impl Router {
         }
         self.fill_snapshot(&mut snapshot, now, free, None);
         if snapshot.is_empty() {
+            self.win_snapshot = snapshot;
             return;
         }
-        let req = RequestMatrix::from_rows(snapshot.row_masks.clone(), NUM_OUTPUT_PORTS);
+        let mut req = std::mem::take(&mut self.win_req);
+        req.copy_rows_from(snapshot.row_masks(), NUM_OUTPUT_PORTS);
         let nominations = req.request_count() as u64;
         self.stats.nominations.add(nominations);
         let matching = if let Some(wfa) = self.wfa.as_mut() {
@@ -896,21 +991,30 @@ impl Router {
         } else {
             unreachable!("windowed driver requires a WFA or PIM kernel")
         };
+        self.win_req = req;
         // Apply grants; a packet reachable from both read ports of a port
         // pair must not dispatch twice ("the input port arbiters in a pair
         // must synchronize to ensure that they do not choose the same
         // packet", §3.3 — the same applies to the matrix algorithms).
-        let mut dispatched: Vec<(usize, EntryId)> = Vec::new();
+        let mut dispatched = std::mem::take(&mut self.scratch_dispatched);
+        dispatched.clear();
         for (row, col) in matching.pairs() {
-            let cand: Candidate = snapshot.candidates[row][col].expect("granted cell has candidate");
+            let cand: Candidate = snapshot
+                .candidate(row, col)
+                .expect("granted cell has candidate");
             let input = row / 2;
-            if dispatched.iter().any(|&(p, id)| p == input && id == cand.entry) {
+            if dispatched
+                .iter()
+                .any(|&(p, id)| p == input && id == cand.entry)
+            {
                 self.stats.collisions.bump();
                 continue;
             }
             dispatched.push((input, cand.entry));
             self.dispatch(row, cand.entry, col, cand.downstream_vc, ga, out);
         }
+        self.scratch_dispatched = dispatched;
+        self.win_snapshot = snapshot;
     }
 
     fn fill_snapshot(

@@ -40,7 +40,10 @@ impl ArbTiming {
     /// Panics if either field is zero.
     pub fn new(latency: u32, initiation_interval: u32) -> Self {
         assert!(latency >= 1, "arbitration takes at least one cycle");
-        assert!(initiation_interval >= 1, "initiation interval must be positive");
+        assert!(
+            initiation_interval >= 1,
+            "initiation interval must be positive"
+        );
         ArbTiming {
             latency: Cycles::new(latency),
             initiation_interval: Cycles::new(initiation_interval),

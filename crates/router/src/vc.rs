@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(VcId::adaptive(CoherenceClass::Request).to_string(), "req.adp");
+        assert_eq!(
+            VcId::adaptive(CoherenceClass::Request).to_string(),
+            "req.adp"
+        );
         assert_eq!(VcId::special().to_string(), "spc");
     }
 }

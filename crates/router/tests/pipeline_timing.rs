@@ -22,11 +22,18 @@ fn incoming(id: u64, dir: OutputPort, pin: u64, class: CoherenceClass) -> Incomi
     }
 }
 
-fn first_flit_times(cfg: RouterConfig, packets: &[(u64, OutputPort, u64)], cycles: u64) -> Vec<(u64, u64)> {
+fn first_flit_times(
+    cfg: RouterConfig,
+    packets: &[(u64, OutputPort, u64)],
+    cycles: u64,
+) -> Vec<(u64, u64)> {
     let period = cfg.timing.core.period().as_ticks();
     let mut r = Router::new(0, cfg, SimRng::from_seed(9));
     for &(id, dir, pin) in packets {
-        r.accept_packet(InputPort::North, incoming(id, dir, pin, CoherenceClass::Request));
+        r.accept_packet(
+            InputPort::North,
+            incoming(id, dir, pin, CoherenceClass::Request),
+        );
     }
     let mut out = Vec::new();
     for c in 0..cycles {
@@ -164,7 +171,11 @@ fn spaa_deep_latency_shifts_ga_time() {
 
 #[test]
 fn specials_ride_the_special_vc_through_any_algorithm() {
-    for algo in [ArbAlgorithm::SpaaBase, ArbAlgorithm::WfaRotary, ArbAlgorithm::Pim1] {
+    for algo in [
+        ArbAlgorithm::SpaaBase,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::Pim1,
+    ] {
         let cfg = RouterConfig::alpha_21364(algo);
         let period = cfg.timing.core.period().as_ticks();
         let mut r = Router::new(0, cfg, SimRng::from_seed(3));

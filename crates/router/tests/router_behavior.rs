@@ -3,17 +3,21 @@
 //! on.
 
 use arbitration::ports::{InputPort, OutputPort};
+use router::packet::PacketId;
 use router::{
     ArbAlgorithm, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo, Router,
     RouterConfig, RouterOutput, VcId,
 };
-use router::packet::PacketId;
 use simcore::{SimRng, Tick};
 
 const CORE: u64 = 20; // core period in ticks (1.2 GHz)
 
 fn router(algorithm: ArbAlgorithm) -> Router {
-    Router::new(0, RouterConfig::alpha_21364(algorithm), SimRng::from_seed(1))
+    Router::new(
+        0,
+        RouterConfig::alpha_21364(algorithm),
+        SimRng::from_seed(1),
+    )
 }
 
 fn packet(id: u64, class: CoherenceClass) -> Packet {
@@ -97,7 +101,9 @@ fn local_delivery_emits_delivered_and_no_credit_events_for_local_inputs() {
         assert!(output.is_local_sink());
     }
     assert!(
-        !events.iter().any(|e| matches!(e, RouterOutput::Credit { .. })),
+        !events
+            .iter()
+            .any(|e| matches!(e, RouterOutput::Credit { .. })),
         "local inputs do not return credits"
     );
     assert_eq!(r.stats().packets_delivered.get(), 1);
@@ -141,7 +147,10 @@ fn contending_packets_serialize_through_one_output() {
         fw[0],
         fw[1]
     );
-    assert!(r.stats().collisions.get() > 0, "the loser collided at least once");
+    assert!(
+        r.stats().collisions.get() > 0,
+        "the loser collided at least once"
+    );
 }
 
 #[test]
@@ -181,7 +190,10 @@ fn wfa_window_matches_disjoint_pairs_in_one_pass() {
         })
         .collect();
     times.sort_unstable();
-    assert!(times[3] - times[0] <= 30, "four dispatches in one window: {times:?}");
+    assert!(
+        times[3] - times[0] <= 30,
+        "four dispatches in one window: {times:?}"
+    );
 }
 
 #[test]
@@ -195,14 +207,7 @@ fn spaa_restarts_arbitration_faster_than_window_algorithms() {
             r.accept_packet(
                 InputPort::North,
                 IncomingPacket {
-                    packet: Packet::new(
-                        PacketId(i),
-                        CoherenceClass::Special,
-                        0,
-                        1,
-                        Tick::ZERO,
-                        i,
-                    ),
+                    packet: Packet::new(PacketId(i), CoherenceClass::Special, 0, 1, Tick::ZERO, i),
                     route: RouteInfo::transit(
                         OutputPort::South.mask() as u8,
                         OutputPort::South,
@@ -294,7 +299,10 @@ fn credit_refund_reenables_adaptive_dispatch() {
     // 50 adaptive up-front; two remain. The escape VC fits one packet (no
     // escape credits return either), so at least one of the two must have
     // waited for the refunded adaptive credits.
-    assert!(escapes <= 1, "refunded credits should carry the last packets");
+    assert!(
+        escapes <= 1,
+        "refunded credits should carry the last packets"
+    );
 }
 
 #[test]
@@ -420,6 +428,9 @@ fn antistarvation_drains_old_packets_under_rotary_pressure() {
         RouterOutput::Forward(o) => o.packet.id == PacketId(999),
         _ => false,
     });
-    assert!(local_sent, "anti-starvation must eventually serve the local packet");
+    assert!(
+        local_sent,
+        "anti-starvation must eventually serve the local packet"
+    );
     assert!(r.stats().drain_engagements.get() > 0, "drain mode engaged");
 }

@@ -94,8 +94,8 @@ impl BnfCurve {
             if p.avg_latency_ns >= latency_ns {
                 return Some(match prev {
                     Some(q) if p.avg_latency_ns > q.avg_latency_ns => {
-                        let t = (latency_ns - q.avg_latency_ns)
-                            / (p.avg_latency_ns - q.avg_latency_ns);
+                        let t =
+                            (latency_ns - q.avg_latency_ns) / (p.avg_latency_ns - q.avg_latency_ns);
                         q.delivered_flits_per_router_ns
                             + t * (p.delivered_flits_per_router_ns
                                 - q.delivered_flits_per_router_ns)

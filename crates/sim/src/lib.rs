@@ -37,6 +37,7 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 pub mod time;
+pub mod wheel;
 
 pub use bnf::{BnfCurve, BnfPoint};
 pub use clock::{Clock, ClockPair, Edge};

@@ -6,9 +6,16 @@
 //! independent components *fork* their own streams so that adding a
 //! component never perturbs the draws seen by another (a classic
 //! reproducibility pitfall in network simulators).
+//!
+//! The generator is a self-contained PCG-64 MCG (the `mcg_xsl_rr_128_64`
+//! member of the PCG family): a 128-bit multiplicative congruential state
+//! with an xorshift-low/random-rotate output function. It is implemented
+//! here directly so the workspace carries no external dependencies.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_pcg::Pcg64Mcg;
+/// The PCG-64 MCG multiplier (O'Neill, "PCG: A Family of Simple Fast
+/// Space-Efficient Statistically Good Algorithms for Random Number
+/// Generation").
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
 
 /// A deterministic PCG-64 stream with cheap, collision-resistant forking.
 ///
@@ -16,7 +23,6 @@ use rand_pcg::Pcg64Mcg;
 ///
 /// ```
 /// use simcore::rng::SimRng;
-/// use rand::RngCore;
 ///
 /// let mut a = SimRng::from_seed(42);
 /// let mut b = SimRng::from_seed(42);
@@ -30,7 +36,7 @@ use rand_pcg::Pcg64Mcg;
 #[derive(Clone, Debug)]
 pub struct SimRng {
     seed: u64,
-    inner: Pcg64Mcg,
+    state: u128,
 }
 
 /// SplitMix64 finalizer; used to expand seeds and mix fork labels.
@@ -44,12 +50,13 @@ fn splitmix64(mut z: u64) -> u64 {
 impl SimRng {
     /// Creates a stream from a bare `u64` seed.
     pub fn from_seed(seed: u64) -> Self {
-        let mut state = [0u8; 16];
-        state[..8].copy_from_slice(&splitmix64(seed).to_le_bytes());
-        state[8..].copy_from_slice(&splitmix64(seed ^ 0xdead_beef_cafe_f00d).to_le_bytes());
+        let lo = splitmix64(seed) as u128;
+        let hi = splitmix64(seed ^ 0xdead_beef_cafe_f00d) as u128;
         SimRng {
             seed,
-            inner: Pcg64Mcg::from_seed(state),
+            // An MCG state must be odd for full period; setting the low
+            // bits mirrors the reference implementation.
+            state: (lo | (hi << 64)) | 3,
         }
     }
 
@@ -67,6 +74,30 @@ impl SimRng {
         self.seed
     }
 
+    /// The next 64 random bits: advance the MCG, then apply the XSL-RR
+    /// output function to the new state.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+
+    /// The next 32 random bits (the low half of one 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// A uniformly random boolean that is `true` with probability `p`
     /// (clamped to `[0, 1]`).
     #[inline]
@@ -76,7 +107,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -88,7 +119,24 @@ impl SimRng {
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        self.bounded(n as u64) as usize
+    }
+
+    /// Unbiased uniform draw in `[0, n)` via Lemire's widening-multiply
+    /// rejection method.
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut m = (self.next_u64() as u128).wrapping_mul(n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = (self.next_u64() as u128).wrapping_mul(n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Picks a uniformly random set bit index of a nonzero 32-bit mask.
@@ -102,7 +150,7 @@ impl SimRng {
     pub fn pick_bit(&mut self, mask: u32) -> u32 {
         let n = mask.count_ones();
         assert!(n > 0, "pick_bit on empty mask");
-        let mut k = self.inner.gen_range(0..n);
+        let mut k = self.bounded(n as u64) as u32;
         let mut m = mask;
         loop {
             let bit = m.trailing_zeros();
@@ -114,25 +162,10 @@ impl SimRng {
         }
     }
 
-    /// A uniform `f64` in `[0, 1)`.
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -216,6 +249,23 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn unit_is_in_half_open_range() {
+        let mut r = SimRng::from_seed(6);
+        for _ in 0..10_000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::from_seed(7);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //!
 //! Regenerating a BNF figure means running one independent simulation per
 //! (algorithm, injection-rate) pair — dozens of embarrassingly parallel
-//! jobs. [`parallel_map`] fans a job list across worker threads through a
-//! lock-free queue and returns results in input order, so figure output is
-//! deterministic regardless of scheduling.
+//! jobs. [`parallel_map`] fans a job list across worker threads through an
+//! atomically-claimed work list and returns results in input order, so
+//! figure output is deterministic regardless of scheduling.
 
-use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Maps `f` over `inputs` using up to `workers` OS threads.
@@ -36,20 +36,30 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    let queue: SegQueue<(usize, T)> = SegQueue::new();
-    for item in inputs.into_iter().enumerate() {
-        queue.push(item);
-    }
+    // Each job slot is claimed exactly once via the shared cursor; workers
+    // take the item out of its slot without contending on a queue lock.
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> =
         Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                while let Some((idx, item)) = queue.pop() {
-                    let r = f(item);
-                    results.lock().expect("worker panicked").insert_result(idx, r);
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
                 }
+                let item = slots[idx]
+                    .lock()
+                    .expect("worker panicked")
+                    .take()
+                    .expect("each slot is claimed once");
+                let r = f(item);
+                results
+                    .lock()
+                    .expect("worker panicked")
+                    .insert_result(idx, r);
             });
         }
     });

@@ -102,13 +102,7 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let line = |cells: &[String]| {
-            cells
-                .iter()
-                .map(|c| esc(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let line = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
         out.push_str(&line(&self.headers));
         out.push('\n');
         for row in &self.rows {

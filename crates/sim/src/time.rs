@@ -95,6 +95,24 @@ impl Tick {
     pub fn min(self, rhs: Tick) -> Tick {
         Tick(self.0.min(rhs.0))
     }
+
+    /// Fast-forwards a cadence: the earliest `self + k * step` (integer
+    /// `k >= 0`) that is `>= now`. This is the replay arithmetic idle-skip
+    /// catch-up relies on — a cadence counter advanced by this function
+    /// lands on exactly the edges per-cycle stepping would have produced
+    /// (`k` counts the skipped firings strictly before `now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero when `self < now`.
+    #[inline]
+    pub fn advance_cadence(self, now: Tick, step: Tick) -> Tick {
+        if self >= now {
+            return self;
+        }
+        let behind = now.0 - self.0;
+        Tick(self.0 + behind.div_ceil(step.0) * step.0)
+    }
 }
 
 impl Add for Tick {

@@ -1,0 +1,245 @@
+//! A timing wheel for short-horizon event scheduling.
+//!
+//! Cycle-driven simulators schedule almost every future event a *bounded*
+//! number of clock edges ahead (a packet's last flit, a wire's fixed
+//! latency). A binary heap pays `O(log n)` per event and a cache miss per
+//! comparison; a [`TimingWheel`] pays `O(1)`: events land in the ring slot
+//! of the clock edge at which they come due, and draining an edge empties
+//! exactly one slot. Events beyond the ring's horizon (rare by
+//! construction) spill into an overflow heap.
+//!
+//! Drain order is deterministic and identical to a min-heap keyed on
+//! `(due time, insertion order)`, so replacing a heap with a wheel changes
+//! no observable simulation result.
+
+use crate::time::Tick;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An overflow record ordered by `(at, seq)` only.
+struct Spill<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Spill<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<T> Eq for Spill<T> {}
+impl<T> PartialOrd for Spill<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Spill<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A ring of per-edge event slots with an overflow heap behind it.
+///
+/// `granularity` is the tick distance between consecutive drain edges
+/// (normally one core-clock period); an event due at tick `t` is
+/// processed at the first edge `>= t`, exactly as a heap drained with
+/// `while head.at <= now` would process it.
+///
+/// # Example
+///
+/// ```
+/// use simcore::wheel::TimingWheel;
+/// use simcore::Tick;
+///
+/// let mut w: TimingWheel<&str> = TimingWheel::new(Tick::new(20), 8);
+/// w.schedule(Tick::new(25), "b");
+/// w.schedule(Tick::new(21), "a");
+/// let mut out = Vec::new();
+/// w.drain_due(Tick::new(20), &mut out);
+/// assert!(out.is_empty()); // neither is due yet
+/// w.drain_due(Tick::new(40), &mut out);
+/// let labels: Vec<_> = out.iter().map(|&(at, s)| (at.as_ticks(), s)).collect();
+/// assert_eq!(labels, vec![(21, "a"), (25, "b")]); // (at, seq) order
+/// ```
+pub struct TimingWheel<T> {
+    granularity: u64,
+    slots: Vec<Vec<(u64, u64, T)>>,
+    /// Index of the slot holding events for `cursor_edge`.
+    cursor: usize,
+    /// The next undrained edge (a multiple of `granularity`).
+    cursor_edge: u64,
+    overflow: BinaryHeap<Reverse<Spill<T>>>,
+    seq: u64,
+    len: usize,
+    /// Per-edge merge scratch, reused across drains.
+    scratch: Vec<(u64, u64, T)>,
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates a wheel with `slots` edges of lookahead at the given edge
+    /// spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or `slots < 2`.
+    pub fn new(granularity: Tick, slots: usize) -> Self {
+        assert!(granularity > Tick::ZERO, "granularity must be positive");
+        assert!(slots >= 2, "a wheel needs at least two slots");
+        TimingWheel {
+            granularity: granularity.as_ticks(),
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            cursor_edge: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of scheduled events not yet drained.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` to be drained at the first edge at or after `at`.
+    /// Events dated before the next edge are delivered at the next drain —
+    /// the same first opportunity a heap would give them.
+    pub fn schedule(&mut self, at: Tick, item: T) {
+        let at = at.as_ticks();
+        let edge = at.div_ceil(self.granularity) * self.granularity;
+        let edge = edge.max(self.cursor_edge);
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let offset = ((edge - self.cursor_edge) / self.granularity) as usize;
+        if offset < self.slots.len() {
+            let idx = (self.cursor + offset) % self.slots.len();
+            self.slots[idx].push((at, seq, item));
+        } else {
+            self.overflow.push(Reverse(Spill { at, seq, item }));
+        }
+    }
+
+    /// Appends all events due at or before `now` to `out` in
+    /// `(at, insertion order)` order, advancing the wheel.
+    pub fn drain_due(&mut self, now: Tick, out: &mut Vec<(Tick, T)>) {
+        let now = now.as_ticks();
+        while self.cursor_edge <= now {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            let slot = &mut self.slots[self.cursor];
+            self.len -= slot.len();
+            scratch.append(slot);
+            // Overflow events pop at exactly the edge `ceil(at/g)*g`, so
+            // any head due at or before this edge belongs to this batch.
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if head.at > self.cursor_edge {
+                    break;
+                }
+                let Reverse(spill) = self.overflow.pop().expect("peeked");
+                self.len -= 1;
+                scratch.push((spill.at, spill.seq, spill.item));
+            }
+            // One edge's events — from the slot and the overflow alike —
+            // all have `at` in the same half-open interval behind the
+            // edge; merging them by (at, seq) reproduces exact min-heap
+            // drain order across the whole stream.
+            scratch.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+            out.extend(scratch.drain(..).map(|(at, _, item)| (Tick::new(at), item)));
+            self.scratch = scratch;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor_edge += self.granularity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimingWheel<u32>, now: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        w.drain_due(Tick::new(now), &mut out);
+        out.into_iter().map(|(t, v)| (t.as_ticks(), v)).collect()
+    }
+
+    #[test]
+    fn heap_equivalent_order() {
+        let mut w = TimingWheel::new(Tick::new(20), 4);
+        w.schedule(Tick::new(45), 1);
+        w.schedule(Tick::new(41), 2);
+        w.schedule(Tick::new(60), 3);
+        w.schedule(Tick::new(41), 4);
+        assert_eq!(w.len(), 4);
+        assert!(drain(&mut w, 40).is_empty());
+        // Edge 60 drains everything <= 60: 41s before 45 before 60, ties
+        // by insertion order.
+        assert_eq!(drain(&mut w, 60), vec![(41, 2), (41, 4), (45, 1), (60, 3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn exact_edge_events_drain_at_their_edge() {
+        let mut w = TimingWheel::new(Tick::new(20), 4);
+        w.schedule(Tick::new(20), 7);
+        assert!(drain(&mut w, 0).is_empty());
+        assert_eq!(drain(&mut w, 20), vec![(20, 7)]);
+    }
+
+    #[test]
+    fn past_events_deliver_at_next_drain() {
+        let mut w = TimingWheel::new(Tick::new(20), 4);
+        let _ = drain(&mut w, 100); // advance the cursor
+        w.schedule(Tick::new(5), 9); // dated before the cursor
+        assert_eq!(drain(&mut w, 120), vec![(5, 9)]);
+    }
+
+    #[test]
+    fn beyond_horizon_spills_and_returns() {
+        let mut w = TimingWheel::new(Tick::new(20), 4);
+        w.schedule(Tick::new(1000), 1); // far beyond 4 slots
+        w.schedule(Tick::new(25), 2);
+        assert_eq!(drain(&mut w, 40), vec![(25, 2)]);
+        assert_eq!(w.len(), 1);
+        let mut all = Vec::new();
+        for t in (60..=1000).step_by(20) {
+            all.extend(drain(&mut w, t));
+        }
+        assert_eq!(all, vec![(1000, 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_and_slot_events_merge_in_time_order() {
+        let mut w = TimingWheel::new(Tick::new(10), 2);
+        w.schedule(Tick::new(95), 1); // overflow (horizon is 2 edges)
+        w.schedule(Tick::new(5), 2); // slot
+        let mut all = Vec::new();
+        for t in (0..=100).step_by(10) {
+            all.extend(drain(&mut w, t));
+        }
+        assert_eq!(all, vec![(5, 2), (95, 1)]);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let mut w = TimingWheel::new(Tick::new(10), 3);
+        let mut all = Vec::new();
+        for round in 0u64..10 {
+            w.schedule(Tick::new(round * 10 + 1), round as u32);
+            all.extend(drain(&mut w, round * 10 + 10));
+        }
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|p| p[0].0 < p[1].0), "time ordered");
+    }
+}

@@ -211,10 +211,7 @@ impl RouterState {
             // the basic constraints", §3) — one output, one row.
             let wired_union =
                 (self.conn.row_mask(port * 2) | self.conn.row_mask(port * 2 + 1)) as u8 & free;
-            let head = q
-                .iter()
-                .take(16)
-                .find(|pkt| pkt.outputs & wired_union != 0);
+            let head = q.iter().take(16).find(|pkt| pkt.outputs & wired_union != 0);
             if let Some(head) = head {
                 let mask0 = head.outputs & (self.conn.row_mask(port * 2) as u8 & free);
                 let mask1 = head.outputs & (self.conn.row_mask(port * 2 + 1) as u8 & free);
@@ -400,7 +397,10 @@ mod tests {
         );
         // And matches scale down roughly with free outputs.
         let m0 = run_standalone(AlgoKind::Mcm, &cfg(1.0, 0.0)).matches_per_cycle;
-        assert!(mcm < 0.45 * m0, "75% busy leaves ~25% matches ({mcm:.2} vs {m0:.2})");
+        assert!(
+            mcm < 0.45 * m0,
+            "75% busy leaves ~25% matches ({mcm:.2} vs {m0:.2})"
+        );
     }
 
     #[test]

@@ -205,7 +205,14 @@ impl CoherenceEndpoint {
             seq: self.txn_seq,
         };
         let id = self.next_packet_id();
-        let req = Packet::new(id, CoherenceClass::Request, self.node, home, now, tag.pack());
+        let req = Packet::new(
+            id,
+            CoherenceClass::Request,
+            self.node,
+            home,
+            now,
+            tag.pack(),
+        );
         self.cache_queue.push_back(req);
         self.stats.transactions_started += 1;
     }
@@ -230,8 +237,7 @@ impl CoherenceEndpoint {
     }
 
     fn track_queue_depth(&mut self) {
-        let depth =
-            self.cache_queue.len() + self.mc_queues[0].len() + self.mc_queues[1].len();
+        let depth = self.cache_queue.len() + self.mc_queues[0].len() + self.mc_queues[1].len();
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
     }
 }
@@ -352,8 +358,16 @@ mod tests {
             "{stats:?}"
         );
         assert!(report.delivered_packets > 100);
-        assert!(report.avg_latency_ns() > 40.0, "latency {}", report.avg_latency_ns());
-        assert!(report.avg_latency_ns() < 200.0, "latency {}", report.avg_latency_ns());
+        assert!(
+            report.avg_latency_ns() > 40.0,
+            "latency {}",
+            report.avg_latency_ns()
+        );
+        assert!(
+            report.avg_latency_ns() < 200.0,
+            "latency {}",
+            report.avg_latency_ns()
+        );
     }
 
     #[test]
@@ -396,7 +410,10 @@ mod tests {
             assert!(sim.endpoint(node).outstanding_misses() <= 16);
         }
         let stats = sim.endpoint(0).stats();
-        assert!(stats.mshr_stalls > 0, "full-rate generation must hit the limit");
+        assert!(
+            stats.mshr_stalls > 0,
+            "full-rate generation must hit the limit"
+        );
     }
 
     #[test]

@@ -185,9 +185,18 @@ mod tests {
         let t = Torus::net_4x4();
         let mut r = rng();
         // (a2,a1,a0,a3): 0b1000 -> 0b0001; 0b0001 -> 0b0010.
-        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b1000, &mut r), 0b0001);
-        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b0001, &mut r), 0b0010);
-        assert_eq!(TrafficPattern::PerfectShuffle.dest(&t, 0b1111, &mut r), 0b1111);
+        assert_eq!(
+            TrafficPattern::PerfectShuffle.dest(&t, 0b1000, &mut r),
+            0b0001
+        );
+        assert_eq!(
+            TrafficPattern::PerfectShuffle.dest(&t, 0b0001, &mut r),
+            0b0010
+        );
+        assert_eq!(
+            TrafficPattern::PerfectShuffle.dest(&t, 0b1111, &mut r),
+            0b1111
+        );
     }
 
     #[test]
@@ -221,7 +230,10 @@ mod tests {
     fn transpose_and_tornado() {
         let t = Torus::net_4x4();
         let mut r = rng();
-        assert_eq!(TrafficPattern::Transpose.dest(&t, t.node(1, 2), &mut r), t.node(2, 1));
+        assert_eq!(
+            TrafficPattern::Transpose.dest(&t, t.node(1, 2), &mut r),
+            t.node(2, 1)
+        );
         let d = TrafficPattern::Tornado.dest(&t, t.node(0, 0), &mut r);
         assert_eq!(d, t.node(1, 0));
     }

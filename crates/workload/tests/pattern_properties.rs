@@ -1,92 +1,100 @@
 //! Property tests for traffic patterns and transaction plumbing.
+//!
+//! Cases are generated from a deterministic [`SimRng`] stream per test
+//! (no external property-testing dependency).
 
 use network::Torus;
-use proptest::prelude::*;
 use simcore::SimRng;
 use workload::txn::TxnTag;
 use workload::TrafficPattern;
 
 /// Power-of-two square tori the bit patterns are defined on.
-fn pow2_torus() -> impl Strategy<Value = Torus> {
-    prop_oneof![
-        Just(Torus::new(2, 2)),
-        Just(Torus::new(4, 4)),
-        Just(Torus::new(8, 8)),
-        Just(Torus::new(4, 8)),
-        Just(Torus::new(16, 4)),
-    ]
-}
+const POW2_TORI: [(u16, u16); 5] = [(2, 2), (4, 4), (8, 8), (4, 8), (16, 4)];
 
-proptest! {
-    #[test]
-    fn bit_patterns_are_permutations(torus in pow2_torus()) {
+#[test]
+fn bit_patterns_are_permutations() {
+    for (w, h) in POW2_TORI {
+        let torus = Torus::new(w, h);
         let mut rng = SimRng::from_seed(1);
         for pattern in [TrafficPattern::BitReversal, TrafficPattern::PerfectShuffle] {
             let mut seen = vec![false; torus.nodes() as usize];
             for src in 0..torus.nodes() {
                 let d = pattern.dest(&torus, src, &mut rng);
-                prop_assert!(d < torus.nodes());
-                prop_assert!(!seen[d as usize], "{pattern}: duplicate image {d}");
+                assert!(d < torus.nodes());
+                assert!(!seen[d as usize], "{pattern}: duplicate image {d}");
                 seen[d as usize] = true;
             }
         }
     }
+}
 
-    #[test]
-    fn bit_reversal_is_involutive(torus in pow2_torus(), src_seed in any::<u16>()) {
-        let mut rng = SimRng::from_seed(2);
-        let src = src_seed % torus.nodes();
-        let once = TrafficPattern::BitReversal.dest(&torus, src, &mut rng);
-        let twice = TrafficPattern::BitReversal.dest(&torus, once, &mut rng);
-        prop_assert_eq!(twice, src);
-    }
-
-    #[test]
-    fn shuffle_iterates_back_to_identity(torus in pow2_torus(), src_seed in any::<u16>()) {
-        // Rotating n bits left n times is the identity.
-        let mut rng = SimRng::from_seed(3);
-        let bits = torus.nodes().trailing_zeros();
-        let src = src_seed % torus.nodes();
-        let mut x = src;
-        for _ in 0..bits {
-            x = TrafficPattern::PerfectShuffle.dest(&torus, x, &mut rng);
+#[test]
+fn bit_reversal_is_involutive() {
+    let mut rng = SimRng::from_seed(2);
+    for (w, h) in POW2_TORI {
+        let torus = Torus::new(w, h);
+        for src in 0..torus.nodes() {
+            let once = TrafficPattern::BitReversal.dest(&torus, src, &mut rng);
+            let twice = TrafficPattern::BitReversal.dest(&torus, once, &mut rng);
+            assert_eq!(twice, src);
         }
-        prop_assert_eq!(x, src);
     }
+}
 
-    #[test]
-    fn uniform_excludes_self(
-        torus in pow2_torus(),
-        src_seed in any::<u16>(),
-        rng_seed in any::<u64>(),
-    ) {
-        let mut rng = SimRng::from_seed(rng_seed);
-        let src = src_seed % torus.nodes();
+#[test]
+fn shuffle_iterates_back_to_identity() {
+    // Rotating n bits left n times is the identity.
+    let mut rng = SimRng::from_seed(3);
+    for (w, h) in POW2_TORI {
+        let torus = Torus::new(w, h);
+        let bits = torus.nodes().trailing_zeros();
+        for src in 0..torus.nodes() {
+            let mut x = src;
+            for _ in 0..bits {
+                x = TrafficPattern::PerfectShuffle.dest(&torus, x, &mut rng);
+            }
+            assert_eq!(x, src);
+        }
+    }
+}
+
+#[test]
+fn uniform_excludes_self() {
+    let mut gen = SimRng::from_seed(0x756e_6931);
+    for case in 0..256 {
+        let (w, h) = POW2_TORI[gen.below(POW2_TORI.len())];
+        let torus = Torus::new(w, h);
+        let src = gen.below(torus.nodes() as usize) as u16;
+        let mut rng = SimRng::from_seed(gen.next_u64());
         for _ in 0..16 {
             let d = TrafficPattern::Uniform.dest(&torus, src, &mut rng);
-            prop_assert!(d < torus.nodes());
-            prop_assert_ne!(d, src);
+            assert!(d < torus.nodes(), "case {case}");
+            assert_ne!(d, src, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn txn_tags_round_trip(
-        requester in any::<u16>(),
-        owner in any::<u16>(),
-        three_hop in any::<bool>(),
-        seq in 0u32..(1 << 31),
-    ) {
-        let tag = TxnTag { requester, owner, three_hop, seq };
-        prop_assert_eq!(TxnTag::unpack(tag.pack()), tag);
+#[test]
+fn txn_tags_round_trip() {
+    let mut gen = SimRng::from_seed(0x7461_6731);
+    for _ in 0..1024 {
+        let tag = TxnTag {
+            requester: gen.next_u32() as u16,
+            owner: gen.next_u32() as u16,
+            three_hop: gen.chance(0.5),
+            seq: gen.next_u32() & 0x7fff_ffff,
+        };
+        assert_eq!(TxnTag::unpack(tag.pack()), tag);
     }
+}
 
-    #[test]
-    fn transpose_is_involutive_on_squares(src_seed in any::<u16>()) {
-        let torus = Torus::new(8, 8);
-        let mut rng = SimRng::from_seed(4);
-        let src = src_seed % torus.nodes();
+#[test]
+fn transpose_is_involutive_on_squares() {
+    let torus = Torus::new(8, 8);
+    let mut rng = SimRng::from_seed(4);
+    for src in 0..torus.nodes() {
         let once = TrafficPattern::Transpose.dest(&torus, src, &mut rng);
         let twice = TrafficPattern::Transpose.dest(&torus, once, &mut rng);
-        prop_assert_eq!(twice, src);
+        assert_eq!(twice, src);
     }
 }

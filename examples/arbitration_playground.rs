@@ -84,7 +84,10 @@ fn same_state_comparison() {
         Box::new(SpaaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
         Box::new(OpfArbiter::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
     ];
-    println!("requests: {} set cells across 16 rows x 7 outputs", input.requests.request_count());
+    println!(
+        "requests: {} set cells across 16 rows x 7 outputs",
+        input.requests.request_count()
+    );
     for algo in algos.iter_mut() {
         let mut avg = 0.0;
         const TRIALS: usize = 200;
@@ -92,7 +95,11 @@ fn same_state_comparison() {
             let mut r = SimRng::from_seed(t as u64);
             avg += algo.arbitrate(&input, &mut r).cardinality() as f64;
         }
-        println!("{:>5}: {:.2} matches (avg of {TRIALS} trials)", algo.name(), avg / TRIALS as f64);
+        println!(
+            "{:>5}: {:.2} matches (avg of {TRIALS} trials)",
+            algo.name(),
+            avg / TRIALS as f64
+        );
     }
     println!("\nThe §5.1 ordering — MCM ≈ WFA ≈ PIM > PIM1 > SPAA ≈ OPF — on one state.");
 }
@@ -105,7 +112,6 @@ trait DenseMask {
 impl DenseMask for SimRng {
     fn pick_dense(&mut self) -> u32 {
         // OR of two uniform draws: each bit set with probability 3/4.
-        use rand::RngCore;
         (self.next_u32() | self.next_u32()) & 0x7f
     }
 }

@@ -33,7 +33,10 @@ fn run_point(algorithm: ArbAlgorithm, rate: f64) -> (f64, f64, u64) {
 
 fn main() {
     println!("Offered-load sweep on the 8x8 torus (open loop):\n");
-    println!("{:<8} {:>12} {:>24} {:>24}", "", "", "SPAA-base", "SPAA-rotary");
+    println!(
+        "{:<8} {:>12} {:>24} {:>24}",
+        "", "", "SPAA-base", "SPAA-rotary"
+    );
     println!(
         "{:<8} {:>12} {:>11} {:>12} {:>11} {:>12}",
         "rate", "regime", "thr", "latency", "thr", "latency"
@@ -55,7 +58,11 @@ fn main() {
             bl,
             rt,
             rl,
-            if drains > 0 { "  (anti-starvation active)" } else { "" }
+            if drains > 0 {
+                "  (anti-starvation active)"
+            } else {
+                ""
+            }
         );
     }
 

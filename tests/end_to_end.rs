@@ -35,7 +35,11 @@ fn every_algorithm_moves_coherence_traffic() {
 #[test]
 fn packet_conservation_across_the_stack() {
     // injected == received + in flight, for every algorithm.
-    for algo in [ArbAlgorithm::SpaaRotary, ArbAlgorithm::WfaBase, ArbAlgorithm::Pim1] {
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::WfaBase,
+        ArbAlgorithm::Pim1,
+    ] {
         let cfg = net_config(Torus::net_4x4(), algo, 3000, 2);
         let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
         let endpoints = build_endpoints(&cfg, &wl);

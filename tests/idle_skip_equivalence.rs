@@ -1,0 +1,158 @@
+//! The idle-skip engine must be *bit-for-bit* equivalent to stepping every
+//! router on every core-clock edge.
+//!
+//! Property: for any (seed, injection rate, arbitration algorithm), the
+//! same coherence simulation run with idle-skip on and off produces the
+//! identical report — delivered-packet and flit counts, the exact latency
+//! statistics (compared on the raw f64 bit patterns, so even a different
+//! floating-point accumulation order would fail), the full latency
+//! histogram, every aggregate arbitration counter, and the same in-flight
+//! population at the final cycle. This is what makes the fast path safe to
+//! leave on by default.
+
+use alpha21364::prelude::*;
+
+fn run(
+    seed: u64,
+    rate: f64,
+    algo: ArbAlgorithm,
+    cycles: u64,
+    idle_skip: bool,
+) -> (NetworkReport, u64) {
+    let cfg = NetworkConfig {
+        torus: Torus::net_4x4(),
+        router: RouterConfig::alpha_21364(algo),
+        seed,
+        warmup_cycles: cycles / 5,
+        measure_cycles: cycles - cycles / 5,
+    };
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
+    let endpoints = workload::build_endpoints(&cfg, &wl);
+    let mut sim = NetworkSim::new(cfg, endpoints);
+    sim.set_idle_skip(idle_skip);
+    let report = sim.run();
+    (report, sim.skipped_router_steps())
+}
+
+fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
+    assert_eq!(
+        a.delivered_packets, b.delivered_packets,
+        "{label}: delivered"
+    );
+    assert_eq!(a.delivered_flits, b.delivered_flits, "{label}: flits");
+    assert_eq!(a.injected_packets, b.injected_packets, "{label}: injected");
+    assert_eq!(
+        a.injected_flits, b.injected_flits,
+        "{label}: injected flits"
+    );
+    assert_eq!(
+        a.in_flight_packets, b.in_flight_packets,
+        "{label}: in-flight at final cycle"
+    );
+    // Latency statistics must match on raw bits: any reordering of the
+    // floating-point accumulation would show up here.
+    assert_eq!(a.latency.count(), b.latency.count(), "{label}: lat count");
+    assert_eq!(
+        a.latency.mean().to_bits(),
+        b.latency.mean().to_bits(),
+        "{label}: lat mean bits"
+    );
+    assert_eq!(
+        a.latency.variance().to_bits(),
+        b.latency.variance().to_bits(),
+        "{label}: lat variance bits"
+    );
+    assert_eq!(
+        a.total_latency.mean().to_bits(),
+        b.total_latency.mean().to_bits(),
+        "{label}: total lat mean bits"
+    );
+    assert_eq!(
+        a.latency_hist.bins(),
+        b.latency_hist.bins(),
+        "{label}: latency histogram"
+    );
+    assert_eq!(
+        a.latency_hist.overflow(),
+        b.latency_hist.overflow(),
+        "{label}: histogram overflow"
+    );
+    assert_eq!(
+        a.flits_per_router_ns.to_bits(),
+        b.flits_per_router_ns.to_bits(),
+        "{label}: throughput bits"
+    );
+    assert_eq!(a.nominations, b.nominations, "{label}: nominations");
+    assert_eq!(a.grants, b.grants, "{label}: grants");
+    assert_eq!(a.collisions, b.collisions, "{label}: collisions");
+    assert_eq!(
+        a.escape_dispatches, b.escape_dispatches,
+        "{label}: escape dispatches"
+    );
+    assert_eq!(
+        a.drain_engagements, b.drain_engagements,
+        "{label}: drain engagements"
+    );
+}
+
+#[test]
+fn idle_skip_is_bit_for_bit_equivalent() {
+    // Every arbitration driver (pipelined SPAA and the windowed PIM1/WFA,
+    // base and rotary) across seeds and load levels from near-idle to
+    // saturation.
+    let algos = [
+        ArbAlgorithm::SpaaBase,
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::WfaBase,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::Pim1,
+    ];
+    for algo in algos {
+        for (seed, rate) in [(1u64, 0.002), (2, 0.02), (3, 0.1)] {
+            let label = format!("{algo} seed={seed} rate={rate}");
+            let (off, skipped_off) = run(seed, rate, algo, 3_000, false);
+            let (on, skipped_on) = run(seed, rate, algo, 3_000, true);
+            assert_eq!(skipped_off, 0, "{label}: disabled mode must not skip");
+            assert_reports_identical(&off, &on, &label);
+            // The fast path must actually be fast at low load, otherwise
+            // this test proves equivalence of nothing.
+            if rate <= 0.002 {
+                let total_steps = 3_000u64 * 16;
+                assert!(
+                    skipped_on > total_steps / 4,
+                    "{label}: only {skipped_on}/{total_steps} steps skipped at near-idle load"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn idle_skip_equivalence_holds_after_drain_engagement() {
+    // Push WFA rotary hard enough to engage anti-starvation drain mode
+    // (drain state must park the router awake until released).
+    let (off, _) = run(7, 0.4, ArbAlgorithm::WfaRotary, 4_000, false);
+    let (on, _) = run(7, 0.4, ArbAlgorithm::WfaRotary, 4_000, true);
+    assert_reports_identical(&off, &on, "drain stress");
+}
+
+#[test]
+fn idle_skip_equivalence_on_scaled_pipeline() {
+    // The 2× pipeline halves the core period: catch-up arithmetic must
+    // not assume the 20-tick base clock.
+    let cfg = |idle_skip: bool| {
+        let cfg = NetworkConfig {
+            torus: Torus::net_4x4(),
+            router: RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary),
+            seed: 11,
+            warmup_cycles: 500,
+            measure_cycles: 2_500,
+        };
+        let wl = WorkloadConfig::paper(TrafficPattern::BitReversal, 0.01);
+        let endpoints = workload::build_endpoints(&cfg, &wl);
+        let mut sim = NetworkSim::new(cfg, endpoints);
+        sim.set_idle_skip(idle_skip);
+        sim.run()
+    };
+    assert_reports_identical(&cfg(false), &cfg(true), "scaled 2x");
+}

@@ -32,10 +32,15 @@ fn main() {
     println!("Figure 8: standalone matches/cycle, zero occupancy ({scale:?} scale)");
     println!("MCM saturation load = {sat:.3} (slot-fill probability)\n");
 
-    let mut t = Table::with_columns(&["frac of MCM sat load", "MCM", "WFA", "PIM", "PIM1", "SPAA"]);
+    // The paper's five algorithms plus the iSLIP-family extension columns
+    // (iSLIP 1–3 iterations and the plain round-robin matcher).
+    let mut columns = vec!["frac of MCM sat load".to_string()];
+    columns.extend(AlgoKind::EXTENDED.iter().map(|k| k.label().to_string()));
+    let column_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::with_columns(&column_refs);
     for frac in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let mut row = vec![format!("{frac:.1}")];
-        for kind in AlgoKind::FIGURE8 {
+        for kind in AlgoKind::EXTENDED {
             let cfg = StandaloneConfig {
                 load: (frac * sat).min(1.0),
                 ..base

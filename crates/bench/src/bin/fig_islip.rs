@@ -1,0 +1,157 @@
+//! iSLIP-family BNF curves — the extension study's timing-model figure.
+//!
+//! Sweeps iSLIP(1..3) in the windowed router driver against the paper's
+//! best pipelined algorithm (SPAA-rotary) and its windowed peer (PIM1)
+//! over uniform, bit-reversal and tornado traffic on the 4×4 and 8×8
+//! tori. Expected reading: iSLIP1 tracks PIM1 closely (same 4-cycle
+//! window, deterministic pointers instead of random draws); extra
+//! iterations buy match quality but pay the ~5%-per-cycle arbitration
+//! pipeline tax, so iSLIP3 wins matches yet loses zero-load latency; and
+//! none of the windowed variants can reach SPAA-rotary's pipelined
+//! initiation rate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_islip [-- --quick | --paper] \
+//!     [--out BENCH_islip.json]
+//! ```
+//!
+//! `--quick` is the CI smoke mode: one seed, three load points, short
+//! runs. The full default regenerates the committed `BENCH_islip.json`.
+
+use bench::{curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use simcore::bnf::BnfCurve;
+use workload::TrafficPattern;
+
+/// The curves of each panel: the iSLIP family plus its two reference
+/// points from the paper.
+fn algorithms() -> Vec<ArbAlgorithm> {
+    let mut algos = ArbAlgorithm::ISLIP_FAMILY.to_vec();
+    algos.push(ArbAlgorithm::SpaaRotary);
+    algos.push(ArbAlgorithm::Pim1);
+    algos
+}
+
+struct Panel {
+    torus: Torus,
+    pattern: TrafficPattern,
+    curves: Vec<BnfCurve>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_args();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_islip.json".into());
+
+    let (mode, cycles, rates): (&str, u64, Vec<f64>) = if quick {
+        // CI smoke: single seed, three load points spanning pre-bend,
+        // bend, and post-saturation, short enough to stay under a minute.
+        ("quick", 4_000, vec![0.004, 0.02, 0.055])
+    } else {
+        let mode = match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "default",
+        };
+        (mode, scale.cycles(), bench::default_rates())
+    };
+
+    let panels: Vec<(Torus, TrafficPattern)> = [Torus::net_4x4(), Torus::net_8x8()]
+        .into_iter()
+        .flat_map(|torus| {
+            [
+                TrafficPattern::Uniform,
+                TrafficPattern::BitReversal,
+                TrafficPattern::Tornado,
+            ]
+            .into_iter()
+            .map(move |pattern| (torus, pattern))
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    for (torus, pattern) in panels {
+        assert!(pattern.supports(&torus), "{pattern} unsupported");
+        println!(
+            "\niSLIP family: {}x{} torus, {} traffic ({mode} mode, {cycles} cycles/point)",
+            torus.width(),
+            torus.height(),
+            pattern
+        );
+        let curves: Vec<BnfCurve> = algorithms()
+            .into_iter()
+            .map(|algo| {
+                let mut spec = SweepSpec::new(algo, torus, pattern, scale);
+                spec.rates = rates.clone();
+                spec.cycles = cycles;
+                let curve = spec.run(0);
+                eprintln!("  swept {algo}");
+                curve
+            })
+            .collect();
+        println!("{}", curves_table(&curves).to_text());
+        let ref_lat = if torus.nodes() == 16 { 83.0 } else { 122.0 };
+        println!("{}", summary_table(&curves, ref_lat).to_text());
+        results.push(Panel {
+            torus,
+            pattern,
+            curves,
+        });
+    }
+
+    let json = render_json(mode, cycles, &results);
+    std::fs::write(&out_path, json).expect("write BNF table");
+    println!("\nwrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): the same
+/// committed-table format as `BENCH_hot_path.json`.
+fn render_json(mode: &str, cycles: u64, panels: &[Panel]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig_islip\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"cycles_per_point\": {cycles},\n"));
+    s.push_str("  \"figures\": [\n");
+    for (i, panel) in panels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"torus\": \"{}x{}\", \"pattern\": \"{}\", \"curves\": [\n",
+            panel.torus.width(),
+            panel.torus.height(),
+            panel.pattern
+        ));
+        for (j, curve) in panel.curves.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"algorithm\": \"{}\", \"points\": [\n",
+                curve.label
+            ));
+            for (k, p) in curve.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"offered\": {:.4}, \"delivered_flits_per_router_ns\": {:.5}, \"latency_ns\": {:.2}, \"packets\": {}}}{}\n",
+                    p.offered,
+                    p.delivered_flits_per_router_ns,
+                    p.avg_latency_ns,
+                    p.packets,
+                    if k + 1 < curve.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "      ]}}{}\n",
+                if j + 1 < panel.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < panels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -31,6 +31,9 @@ const JOBS: &[(&str, &[&str])] = &[
     ("fig11a", &[]),
     ("fig11b", &[]),
     ("fig11c", &[]),
+    // fig_islip's BNF table goes to results/ so a repro run (especially
+    // --paper) cannot clobber the committed default-mode baseline.
+    ("fig_islip", &["--out", "results/BENCH_islip.json"]),
     ("ablation_pipeline_depth", &[]),
     ("ablation_wfa3", &[]),
     ("ablation_buffers", &[]),
@@ -47,10 +50,13 @@ fn main() {
     fs::create_dir_all(&out_dir).expect("create results/");
 
     for (name, extra) in JOBS {
-        let bin = if name.starts_with("ablation") {
-            name
-        } else {
+        // Job names are either a bare binary name ("fig_islip",
+        // "ablation_wfa3") or "<binary>_<variant>" for figN panels
+        // ("fig10_8x8_bitrev" runs the fig10 binary).
+        let bin = if name.starts_with("fig") && !name.starts_with("fig_") {
             name.split('_').next().unwrap()
+        } else {
+            name
         };
         let mut cmd = Command::new(bin_dir.join(bin));
         cmd.args(*extra);

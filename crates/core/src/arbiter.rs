@@ -15,6 +15,7 @@
 //! every algorithm on identical router states, which is exactly how
 //! Figures 8 and 9 are produced.
 
+use crate::islip::IslipArbiter;
 use crate::matching::Matching;
 use crate::matrix::RequestMatrix;
 use crate::mcm;
@@ -202,6 +203,16 @@ impl Arbiter for OpfArbiter {
     }
 }
 
+impl Arbiter for IslipArbiter {
+    fn name(&self) -> &str {
+        self.label()
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, _rng: &mut SimRng) -> Matching {
+        IslipArbiter::arbitrate(self, &input.requests)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +238,9 @@ mod tests {
             Box::new(WfaArbiter::base(rows, cols)),
             Box::new(SpaaArbiter::base(rows, cols)),
             Box::new(OpfArbiter::new(rows, cols)),
+            Box::new(IslipArbiter::islip(rows, cols, 1)),
+            Box::new(IslipArbiter::islip(rows, cols, 3)),
+            Box::new(IslipArbiter::round_robin_matcher(rows, cols)),
         ]
     }
 
@@ -287,6 +301,8 @@ mod tests {
         assert_eq!(WfaArbiter::base(16, 7).name(), "WFA");
         assert_eq!(SpaaArbiter::base(16, 7).name(), "SPAA");
         assert_eq!(OpfArbiter::new(16, 7).name(), "OPF");
+        assert_eq!(IslipArbiter::islip(16, 7, 2).name(), "iSLIP2");
+        assert_eq!(IslipArbiter::round_robin_matcher(16, 7).name(), "RR");
     }
 
     #[test]

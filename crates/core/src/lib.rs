@@ -13,6 +13,7 @@
 //! | WFA (Wave-Front Arbiter), wrapped & plain, base & rotary | [`wfa`] | §3.2 |
 //! | MCM (Maximal Cardinality Matching upper bound) | [`mcm`] | §3 |
 //! | OPF (naïve oldest-packet-first strawman) | [`opf`] | Figure 2 |
+//! | iSLIP (iterative round-robin with slip, 1..n iterations) & plain round-robin matcher | [`islip`] | extension |
 //!
 //! Output-port selection policies (random, round-robin, least-recently
 //! selected, and the Rotary Rule of §3.4) live in [`policy`].
@@ -40,6 +41,7 @@
 //! ```
 
 pub mod arbiter;
+pub mod islip;
 pub mod matching;
 pub mod matrix;
 pub mod mcm;
@@ -53,6 +55,7 @@ pub mod wfa;
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::arbiter::{Arbiter, ArbitrationInput};
+    pub use crate::islip::{IslipArbiter, PointerUpdate};
     pub use crate::matching::Matching;
     pub use crate::matrix::{ConnectionMatrix, RequestMatrix};
     pub use crate::mcm;

@@ -17,6 +17,20 @@
 
 use simcore::SimRng;
 
+/// The first set bit of `pool` at or after `ptr`, wrapping — the shared
+/// round-robin primitive behind [`SelectionPolicy::RoundRobin`] and the
+/// iSLIP grant/accept pointers ([`crate::islip`]).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `pool == 0`.
+#[inline]
+pub fn round_robin_first(pool: u32, ptr: u32) -> usize {
+    debug_assert!(pool != 0, "round-robin pick from an empty pool");
+    let rotated = pool.rotate_right(ptr % 32);
+    ((rotated.trailing_zeros() + ptr) % 32) as usize
+}
+
 /// Which base policy a [`Selector`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SelectionPolicy {
@@ -147,8 +161,7 @@ impl Selector {
     }
 
     fn round_robin(&self, pool: u32) -> usize {
-        let rotated = pool.rotate_right(self.rr_ptr);
-        ((rotated.trailing_zeros() + self.rr_ptr) % 32) as usize
+        round_robin_first(pool, self.rr_ptr)
     }
 
     fn least_recent(&self, pool: u32) -> usize {
@@ -275,6 +288,15 @@ mod tests {
     fn empty_pool_panics() {
         let mut s = lrs(RotaryMode::Off);
         let _ = s.select(0, &mut rng());
+    }
+
+    #[test]
+    fn round_robin_first_wraps_and_masks_pointer() {
+        assert_eq!(round_robin_first(0b0100_0001, 0), 0);
+        assert_eq!(round_robin_first(0b0100_0001, 1), 6);
+        assert_eq!(round_robin_first(0b0100_0001, 7), 0, "wraps past the top");
+        // Pointers beyond 31 behave modulo the mask width.
+        assert_eq!(round_robin_first(0b0100_0001, 33), 6);
     }
 
     #[test]

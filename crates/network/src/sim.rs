@@ -505,6 +505,9 @@ mod tests {
             ArbAlgorithm::WfaBase,
             ArbAlgorithm::WfaRotary,
             ArbAlgorithm::Pim1,
+            ArbAlgorithm::Islip { iterations: 1 },
+            ArbAlgorithm::Islip { iterations: 2 },
+            ArbAlgorithm::Islip { iterations: 3 },
         ] {
             let mut s = sim(10, algo); // (2,2): two hops in each dimension
             let report = s.run();

@@ -33,6 +33,16 @@ pub enum ArbAlgorithm {
         /// Total arbitration latency in cycles (≥ 3).
         latency: u8,
     },
+    /// Extension: iSLIP run in the PIM1/WFA windowed driver. Each
+    /// grant/accept iteration adds one cycle of arbitration latency on
+    /// top of the 3-cycle matrix load/evaluate/wire budget (iSLIP1
+    /// matches PIM1's 4 cycles), while the restart interval stays at 3 —
+    /// so extra iterations trade match quality against the ~5%-per-cycle
+    /// pipeline-depth tax the paper quantifies.
+    Islip {
+        /// Grant/accept iterations per arbitration (≥ 1; 1–3 studied).
+        iterations: u8,
+    },
 }
 
 impl ArbAlgorithm {
@@ -52,6 +62,13 @@ impl ArbAlgorithm {
         ArbAlgorithm::SpaaRotary,
     ];
 
+    /// The iSLIP extension family swept by the `fig_islip` harness.
+    pub const ISLIP_FAMILY: [ArbAlgorithm; 3] = [
+        ArbAlgorithm::Islip { iterations: 1 },
+        ArbAlgorithm::Islip { iterations: 2 },
+        ArbAlgorithm::Islip { iterations: 3 },
+    ];
+
     /// Arbitration timing at the base (1×) pipeline scale.
     pub fn timing(self) -> ArbTiming {
         match self {
@@ -61,6 +78,10 @@ impl ArbAlgorithm {
             ArbAlgorithm::SpaaBase | ArbAlgorithm::SpaaRotary => ArbTiming::new(3, 1),
             ArbAlgorithm::WfaBase3Cycle => ArbTiming::new(3, 3),
             ArbAlgorithm::SpaaDeep { latency } => ArbTiming::new(latency as u32, 1),
+            ArbAlgorithm::Islip { iterations } => {
+                assert!(iterations >= 1, "iSLIP needs at least one iteration");
+                ArbTiming::new(3 + iterations as u32, 3)
+            }
         }
     }
 
@@ -74,6 +95,10 @@ impl ArbAlgorithm {
             ArbAlgorithm::SpaaBase | ArbAlgorithm::SpaaRotary => ArbTiming::new(6, 1),
             ArbAlgorithm::WfaBase3Cycle => ArbTiming::new(6, 6),
             ArbAlgorithm::SpaaDeep { latency } => ArbTiming::new(latency as u32 * 2, 1),
+            ArbAlgorithm::Islip { iterations } => {
+                assert!(iterations >= 1, "iSLIP needs at least one iteration");
+                ArbTiming::new((3 + iterations as u32) * 2, 6)
+            }
         }
     }
 
@@ -101,6 +126,7 @@ impl fmt::Display for ArbAlgorithm {
             ArbAlgorithm::SpaaRotary => f.write_str("SPAA-rotary"),
             ArbAlgorithm::WfaBase3Cycle => f.write_str("WFA-base-3cy"),
             ArbAlgorithm::SpaaDeep { latency } => write!(f, "SPAA-deep{latency}"),
+            ArbAlgorithm::Islip { iterations } => write!(f, "iSLIP{iterations}"),
         }
     }
 }
@@ -218,6 +244,33 @@ mod tests {
             ArbAlgorithm::SpaaDeep { latency: 5 }.timing(),
             ArbTiming::new(5, 1)
         );
+    }
+
+    #[test]
+    fn islip_timings_scale_with_iterations() {
+        // iSLIP1 shares PIM1's windowed timing; each extra iteration adds
+        // one cycle of latency without changing the restart interval.
+        assert_eq!(
+            ArbAlgorithm::Islip { iterations: 1 }.timing(),
+            ArbTiming::new(4, 3)
+        );
+        assert_eq!(
+            ArbAlgorithm::Islip { iterations: 3 }.timing(),
+            ArbTiming::new(6, 3)
+        );
+        assert_eq!(
+            ArbAlgorithm::Islip { iterations: 2 }.timing_2x(),
+            ArbTiming::new(10, 6)
+        );
+        assert!(!ArbAlgorithm::Islip { iterations: 2 }.is_spaa());
+        assert!(!ArbAlgorithm::Islip { iterations: 2 }.is_rotary());
+        assert_eq!(ArbAlgorithm::Islip { iterations: 2 }.to_string(), "iSLIP2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn islip_zero_iterations_rejected() {
+        let _ = ArbAlgorithm::Islip { iterations: 0 }.timing();
     }
 
     #[test]

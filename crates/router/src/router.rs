@@ -22,6 +22,7 @@ use crate::packet::Packet;
 use crate::route::RouteInfo;
 use crate::stats::RouterStats;
 use crate::vc::{VcId, NUM_VCS};
+use arbitration::islip::IslipArbiter;
 use arbitration::matrix::{ConnectionMatrix, RequestMatrix};
 use arbitration::pim::PimArbiter;
 use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
@@ -160,6 +161,8 @@ pub struct Router {
     wfa: Option<WfaArbiter>,
     /// PIM kernel (windowed driver).
     pim: Option<PimArbiter>,
+    /// iSLIP kernel (windowed driver).
+    islip: Option<IslipArbiter>,
     rng: SimRng,
     read_ports: Vec<ReadPortState>,
     /// Per read port: VC ids in least-recently-selected-first order.
@@ -236,6 +239,14 @@ impl Router {
             _ => None,
         };
         let pim = matches!(cfg.algorithm, ArbAlgorithm::Pim1).then(PimArbiter::pim1);
+        let islip = match cfg.algorithm {
+            ArbAlgorithm::Islip { iterations } => Some(IslipArbiter::islip(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            _ => None,
+        };
         let inputs = (0..NUM_INPUT_PORTS)
             .map(|_| InputBuffer::new(cfg.buffers.clone()))
             .collect();
@@ -254,6 +265,7 @@ impl Router {
             selectors,
             wfa,
             pim,
+            islip,
             rng,
             read_ports: vec![ReadPortState::default(); NUM_ARBITER_ROWS],
             vc_lru: vec![(0..NUM_VCS as u8).collect(); NUM_ARBITER_ROWS],
@@ -952,7 +964,7 @@ impl Router {
     }
 
     // ------------------------------------------------------------------
-    // Windowed driver for PIM1 / WFA (§3.1, §3.2)
+    // Windowed driver for PIM1 / WFA (§3.1, §3.2) and iSLIP (extension)
     // ------------------------------------------------------------------
 
     fn run_window(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
@@ -988,8 +1000,10 @@ impl Router {
             wfa.arbitrate(&req)
         } else if let Some(pim) = self.pim.as_mut() {
             pim.arbitrate(&req, &mut self.rng)
+        } else if let Some(islip) = self.islip.as_mut() {
+            islip.arbitrate(&req)
         } else {
-            unreachable!("windowed driver requires a WFA or PIM kernel")
+            unreachable!("windowed driver requires a WFA, PIM, or iSLIP kernel")
         };
         self.win_req = req;
         // Apply grants; a packet reachable from both read ports of a port

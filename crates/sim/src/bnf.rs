@@ -86,26 +86,51 @@ impl BnfCurve {
     /// This is how the paper quotes comparisons ("at about 122 ns of
     /// average packet latency, SPAA provides 24% higher throughput"): find
     /// where each curve crosses the latency level and compare throughputs.
-    /// Returns `None` if the curve never reaches `latency_ns`.
+    ///
+    /// The latency sequence need not be monotone: past saturation a curve
+    /// can bend backwards, and the measured mean latency itself can
+    /// *fall* between points (when collapse leaves only short-haul
+    /// packets delivered). Each consecutive segment is therefore tested
+    /// for a crossing on its own — ascending, descending, or flat — and
+    /// the first crossing in offered-load order wins, so a level reached
+    /// both before and after the bend reports the pre-saturation branch,
+    /// which is the comparison the paper makes. A flat segment sitting
+    /// exactly on the level reports its higher throughput (either
+    /// endpoint is "at" the level; the curve delivers at least that
+    /// much there).
+    ///
+    /// Levels below the curve's first point clamp to that point's
+    /// throughput; returns `None` if no segment ever reaches
+    /// `latency_ns`.
     pub fn throughput_at_latency(&self, latency_ns: f64) -> Option<f64> {
-        // Walk in offered-load order and find the first crossing.
-        let mut prev: Option<&BnfPoint> = None;
-        for p in &self.points {
-            if p.avg_latency_ns >= latency_ns {
-                return Some(match prev {
-                    Some(q) if p.avg_latency_ns > q.avg_latency_ns => {
-                        let t =
-                            (latency_ns - q.avg_latency_ns) / (p.avg_latency_ns - q.avg_latency_ns);
-                        q.delivered_flits_per_router_ns
-                            + t * (p.delivered_flits_per_router_ns
-                                - q.delivered_flits_per_router_ns)
-                    }
-                    _ => p.delivered_flits_per_router_ns,
-                });
+        for w in self.points.windows(2) {
+            let (q, p) = (&w[0], &w[1]);
+            let lo = q.avg_latency_ns.min(p.avg_latency_ns);
+            let hi = q.avg_latency_ns.max(p.avg_latency_ns);
+            if latency_ns < lo || latency_ns > hi {
+                continue;
             }
-            prev = Some(p);
+            if p.avg_latency_ns == q.avg_latency_ns {
+                // Degenerate (flat-at-level) segment: no unique abscissa.
+                return Some(
+                    q.delivered_flits_per_router_ns
+                        .max(p.delivered_flits_per_router_ns),
+                );
+            }
+            let t = (latency_ns - q.avg_latency_ns) / (p.avg_latency_ns - q.avg_latency_ns);
+            return Some(
+                q.delivered_flits_per_router_ns
+                    + t * (p.delivered_flits_per_router_ns - q.delivered_flits_per_router_ns),
+            );
         }
-        None
+        // No segment crosses: clamp below the curve's start, otherwise
+        // the level was never reached.
+        match self.points.first() {
+            Some(first) if first.avg_latency_ns >= latency_ns => {
+                Some(first.delivered_flits_per_router_ns)
+            }
+            _ => None,
+        }
     }
 
     /// Minimum (zero-load) latency of the curve, if any.
@@ -151,6 +176,58 @@ mod tests {
         assert_eq!(c.throughput_at_latency(10.0), Some(0.2));
         // Beyond the curve: not reached.
         assert_eq!(c.throughput_at_latency(500.0), None);
+    }
+
+    #[test]
+    fn throughput_at_latency_handles_collapsing_curve() {
+        // Post-saturation collapse: offered load keeps rising while
+        // delivered throughput falls, and the measured mean latency dips
+        // (only short-haul packets survive) before blowing up. The level
+        // is crossed three times; the pre-saturation branch must win.
+        let mut c = BnfCurve::new("collapse");
+        c.push(pt(0.01, 0.2, 50.0));
+        c.push(pt(0.02, 0.6, 100.0));
+        c.push(pt(0.04, 0.7, 240.0));
+        c.push(pt(0.08, 0.4, 160.0)); // backward bend, latency falls
+        c.push(pt(0.16, 0.2, 500.0));
+        // Level 75 crossed only on the ascending first segment.
+        assert!((c.throughput_at_latency(75.0).unwrap() - 0.4).abs() < 1e-12);
+        // Level 200 is crossed ascending (100→240), then descending
+        // (240→160), then ascending again (160→500): first crossing wins.
+        let t200 = c.throughput_at_latency(200.0).unwrap();
+        let expect = 0.6 + (200.0 - 100.0) / (240.0 - 100.0) * (0.7 - 0.6);
+        assert!((t200 - expect).abs() < 1e-12, "got {t200}, want {expect}");
+        assert_eq!(c.throughput_at_latency(600.0), None, "never reached");
+    }
+
+    #[test]
+    fn throughput_at_latency_descending_crossing_interpolates() {
+        // A level reached only inside the backward bend must interpolate
+        // along the descending segment instead of returning a raw point.
+        let mut c = BnfCurve::new("bend-only");
+        c.push(pt(0.02, 0.5, 240.0));
+        c.push(pt(0.04, 0.7, 160.0));
+        c.push(pt(0.08, 0.2, 500.0));
+        let t = c.throughput_at_latency(200.0).unwrap();
+        let expect = 0.5 + (200.0 - 240.0) / (160.0 - 240.0) * (0.7 - 0.5);
+        assert!((t - expect).abs() < 1e-12, "got {t}, want {expect}");
+    }
+
+    #[test]
+    fn throughput_at_latency_flat_segment_at_level() {
+        // Two consecutive points measuring the same mean latency, with
+        // the level exactly on them: no unique crossing abscissa exists,
+        // so the higher throughput achieved at that latency is reported.
+        let mut c = BnfCurve::new("flat");
+        c.push(pt(0.02, 0.6, 90.0));
+        c.push(pt(0.04, 0.5, 90.0));
+        c.push(pt(0.08, 0.3, 400.0));
+        assert_eq!(c.throughput_at_latency(90.0), Some(0.6));
+        // And a level between the plateau and the blow-up interpolates
+        // on the following ascending segment.
+        let t = c.throughput_at_latency(245.0).unwrap();
+        let expect = 0.5 + (245.0 - 90.0) / (400.0 - 90.0) * (0.3 - 0.5);
+        assert!((t - expect).abs() < 1e-12);
     }
 
     #[test]

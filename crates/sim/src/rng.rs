@@ -98,10 +98,23 @@ impl SimRng {
         }
     }
 
-    /// A uniformly random boolean that is `true` with probability `p`
-    /// (clamped to `[0, 1]`).
+    /// A uniformly random boolean that is `true` with probability `p`.
+    ///
+    /// Out-of-range probabilities are clamped to `[0, 1]`: `p <= 0`
+    /// never fires and `p >= 1` always fires — so a sweep config whose
+    /// computed probability lands exactly on 1.0 (or drifts past it
+    /// through floating-point accumulation) fires on every draw instead
+    /// of silently under-firing by one ULP. Either clamped extreme still
+    /// consumes no random number, keeping streams reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN — a NaN probability is always an upstream
+    /// arithmetic bug (e.g. `0.0 / 0.0` in a rate computation), and every
+    /// comparison-based clamp would silently map it to "never fire".
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
+        assert!(!p.is_nan(), "chance(NaN): probability must be a number");
         if p <= 0.0 {
             false
         } else if p >= 1.0 {
@@ -211,6 +224,39 @@ mod tests {
         assert!(r.chance(1.0));
         assert!(!r.chance(-3.0));
         assert!(r.chance(2.0));
+        assert!(r.chance(f64::INFINITY));
+        assert!(!r.chance(f64::NEG_INFINITY));
+        assert!(!r.chance(-f64::MIN_POSITIVE), "negative subnormal clamps");
+    }
+
+    #[test]
+    fn chance_of_exactly_one_always_fires() {
+        // A computed probability landing exactly on 1.0 must not
+        // under-fire: unit() returns values in [0, 1) so `unit() < 1.0`
+        // would *usually* pass, but the clamp guarantees it always does.
+        let mut r = SimRng::from_seed(42);
+        for _ in 0..10_000 {
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_draw_nothing() {
+        // Clamped extremes must not consume random numbers, or adding a
+        // certainty branch to a model would perturb every later draw.
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        let _ = a.chance(0.0);
+        let _ = a.chance(1.0);
+        let _ = a.chance(-1.0);
+        let _ = a.chance(7.5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "chance(NaN)")]
+    fn chance_nan_panics() {
+        let _ = SimRng::from_seed(0).chance(f64::NAN);
     }
 
     #[test]

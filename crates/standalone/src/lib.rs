@@ -28,6 +28,7 @@
 //! which MCM's match rate stops improving ([`find_mcm_saturation_load`]).
 
 use arbitration::arbiter::{Arbiter, ArbitrationInput, McmArbiter};
+use arbitration::islip::IslipArbiter;
 use arbitration::matrix::{ConnectionMatrix, RequestMatrix};
 use arbitration::opf::OpfArbiter;
 use arbitration::pim::PimArbiter;
@@ -52,6 +53,13 @@ pub enum AlgoKind {
     Spaa,
     /// The oldest-packet-first strawman of Figure 2.
     Opf,
+    /// iSLIP with a given iteration count (1–3 in the figure output).
+    Islip {
+        /// Grant/accept rounds per arbitration.
+        iterations: u8,
+    },
+    /// The plain parallel round-robin matcher (iSLIP without the slip).
+    RoundRobin,
 }
 
 impl AlgoKind {
@@ -64,6 +72,21 @@ impl AlgoKind {
         AlgoKind::Spaa,
     ];
 
+    /// The Figure 8 set extended with the iSLIP family and its plain
+    /// round-robin baseline (the matching-quality comparison rows the
+    /// extension study reports alongside the paper's algorithms).
+    pub const EXTENDED: [AlgoKind; 9] = [
+        AlgoKind::Mcm,
+        AlgoKind::Wfa,
+        AlgoKind::Pim,
+        AlgoKind::Pim1,
+        AlgoKind::Spaa,
+        AlgoKind::Islip { iterations: 1 },
+        AlgoKind::Islip { iterations: 2 },
+        AlgoKind::Islip { iterations: 3 },
+        AlgoKind::RoundRobin,
+    ];
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -73,6 +96,11 @@ impl AlgoKind {
             AlgoKind::Wfa => "WFA",
             AlgoKind::Spaa => "SPAA",
             AlgoKind::Opf => "OPF",
+            AlgoKind::Islip { iterations: 1 } => "iSLIP1",
+            AlgoKind::Islip { iterations: 2 } => "iSLIP2",
+            AlgoKind::Islip { iterations: 3 } => "iSLIP3",
+            AlgoKind::Islip { .. } => "iSLIP",
+            AlgoKind::RoundRobin => "RR",
         }
     }
 
@@ -84,6 +112,15 @@ impl AlgoKind {
             AlgoKind::Wfa => Box::new(WfaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
             AlgoKind::Spaa => Box::new(SpaaArbiter::base(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
             AlgoKind::Opf => Box::new(OpfArbiter::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS)),
+            AlgoKind::Islip { iterations } => Box::new(IslipArbiter::islip(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            AlgoKind::RoundRobin => Box::new(IslipArbiter::round_robin_matcher(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+            )),
         }
     }
 }
@@ -441,6 +478,33 @@ mod tests {
         let at_sat = run_standalone(AlgoKind::Mcm, &c).matches_per_cycle;
         let full = run_standalone(AlgoKind::Mcm, &base).matches_per_cycle;
         assert!(full - at_sat <= 0.35, "sat {at_sat:.2} vs full {full:.2}");
+    }
+
+    #[test]
+    fn extended_set_covers_islip_family() {
+        let labels: Vec<&str> = AlgoKind::EXTENDED.iter().map(|k| k.label()).collect();
+        for want in ["iSLIP1", "iSLIP2", "iSLIP3", "RR"] {
+            assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn islip_matching_quality_sits_between_rr_and_mcm() {
+        // iSLIP's pointer desynchronization needs persistent queues to
+        // shine; in the standalone model's independent iterations it
+        // behaves like a deterministic PIM. Bound it loosely: every
+        // family member must stay under MCM, and more iterations must not
+        // reduce matches.
+        let c = cfg(1.0, 0.0);
+        let mcm = run_standalone(AlgoKind::Mcm, &c).matches_per_cycle;
+        let i1 = run_standalone(AlgoKind::Islip { iterations: 1 }, &c).matches_per_cycle;
+        let i2 = run_standalone(AlgoKind::Islip { iterations: 2 }, &c).matches_per_cycle;
+        let i3 = run_standalone(AlgoKind::Islip { iterations: 3 }, &c).matches_per_cycle;
+        let rr = run_standalone(AlgoKind::RoundRobin, &c).matches_per_cycle;
+        assert!(mcm >= i3 && mcm >= rr, "MCM must dominate: {mcm} {i3} {rr}");
+        assert!(i2 >= i1 - 0.05, "iSLIP2 {i2} below iSLIP1 {i1}");
+        assert!(i3 >= i2 - 0.05, "iSLIP3 {i3} below iSLIP2 {i2}");
+        assert!(i3 > i1, "iterations must add matches at full load");
     }
 
     #[test]

@@ -38,6 +38,12 @@ impl TrafficPattern {
     ];
 
     /// True when the pattern is usable on the given torus.
+    ///
+    /// Tornado is defined on every torus (see [`tornado_shift`]) but
+    /// degenerates to pure self-traffic when the x-ring is too short for
+    /// a nonzero shift, so widths below 3 are reported as unsupported —
+    /// a sweep config selecting tornado on such a torus should be
+    /// rejected up front rather than silently measuring local delivery.
     pub fn supports(&self, torus: &Torus) -> bool {
         match self {
             TrafficPattern::Uniform => true,
@@ -45,7 +51,7 @@ impl TrafficPattern {
                 torus.nodes().is_power_of_two()
             }
             TrafficPattern::Transpose => torus.width() == torus.height(),
-            TrafficPattern::Tornado => true,
+            TrafficPattern::Tornado => tornado_shift(torus.width()) > 0,
         }
     }
 
@@ -100,11 +106,29 @@ impl TrafficPattern {
             }
             TrafficPattern::Tornado => {
                 let (x, y) = torus.coords(src);
-                // Just under half-way around keeps the direction unique.
-                let shift = (torus.width() - 1) / 2;
-                torus.node((x + shift.max(1)) % torus.width(), y)
+                let shift = tornado_shift(torus.width());
+                torus.node((x + shift) % torus.width(), y)
             }
         }
+    }
+}
+
+/// The tornado x-shift for a torus of width `w`: `(w - 1) / 2`, the
+/// largest shift that keeps the minimal route strictly one-directional
+/// (just under half-way around the ring), with no fudge factor.
+///
+/// Degenerate widths are defined rather than special-cased: any width
+/// below 2 shifts by 0 (every source maps to itself — a width-1 "ring"
+/// has nowhere else to go), and width 2 likewise yields 0 because a
+/// 1-hop shift there would be exactly half-way around, where the
+/// direction is ambiguous. [`TrafficPattern::supports`] reports tornado
+/// as unusable whenever the shift is 0, so sweeps cannot silently
+/// measure self-traffic.
+pub fn tornado_shift(w: u16) -> u16 {
+    if w < 2 {
+        0
+    } else {
+        (w - 1) / 2
     }
 }
 
@@ -236,5 +260,46 @@ mod tests {
         );
         let d = TrafficPattern::Tornado.dest(&t, t.node(0, 0), &mut r);
         assert_eq!(d, t.node(1, 0));
+    }
+
+    #[test]
+    fn tornado_shift_pinned_for_small_widths() {
+        // The defined behavior for degenerate and small rings: no max(1)
+        // fudge, shift 0 (self-mapping) below width 3.
+        assert_eq!(tornado_shift(1), 0, "width 1: nowhere else to go");
+        assert_eq!(tornado_shift(2), 0, "width 2: half-way is ambiguous");
+        assert_eq!(tornado_shift(3), 1);
+        assert_eq!(tornado_shift(4), 1);
+        assert_eq!(tornado_shift(5), 2);
+    }
+
+    #[test]
+    fn tornado_dest_on_widths_3_to_5() {
+        let mut r = rng();
+        for (w, shift) in [(3u16, 1u16), (4, 1), (5, 2)] {
+            let t = Torus::new(w, 2);
+            for y in 0..2 {
+                for x in 0..w {
+                    let d = TrafficPattern::Tornado.dest(&t, t.node(x, y), &mut r);
+                    assert_eq!(d, t.node((x + shift) % w, y), "width {w} src ({x},{y})");
+                    assert_ne!(d, t.node(x, y), "tornado must never self-map here");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_supports_only_widths_with_nonzero_shift() {
+        assert!(!TrafficPattern::Tornado.supports(&Torus::new(2, 4)));
+        assert!(TrafficPattern::Tornado.supports(&Torus::new(3, 2)));
+        assert!(TrafficPattern::Tornado.supports(&Torus::net_4x4()));
+        assert!(TrafficPattern::Tornado.supports(&Torus::new(5, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined on a 2x4")]
+    fn tornado_on_degenerate_width_panics() {
+        let t = Torus::new(2, 4);
+        let _ = TrafficPattern::Tornado.dest(&t, 0, &mut rng());
     }
 }

@@ -97,15 +97,18 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
 
 #[test]
 fn idle_skip_is_bit_for_bit_equivalent() {
-    // Every arbitration driver (pipelined SPAA and the windowed PIM1/WFA,
-    // base and rotary) across seeds and load levels from near-idle to
-    // saturation.
+    // Every arbitration driver (pipelined SPAA, the windowed PIM1/WFA —
+    // base and rotary — and the windowed iSLIP family at every iteration
+    // count) across seeds and load levels from near-idle to saturation.
     let algos = [
         ArbAlgorithm::SpaaBase,
         ArbAlgorithm::SpaaRotary,
         ArbAlgorithm::WfaBase,
         ArbAlgorithm::WfaRotary,
         ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 1 },
+        ArbAlgorithm::Islip { iterations: 2 },
+        ArbAlgorithm::Islip { iterations: 3 },
     ];
     for algo in algos {
         for (seed, rate) in [(1u64, 0.002), (2, 0.02), (3, 0.1)] {

@@ -18,7 +18,7 @@
 //! `--quick` is the CI smoke mode: one seed, three load points, short
 //! runs. The full default regenerates the committed `BENCH_islip.json`.
 
-use bench::{curves_table, summary_table, Scale, SweepSpec};
+use bench::{curves_table, flag_value, summary_table, Scale, SweepSpec};
 use network::Torus;
 use router::ArbAlgorithm;
 use simcore::bnf::BnfCurve;
@@ -148,10 +148,4 @@ fn render_json(mode: &str, cycles: u64, panels: &[Panel]) -> String {
     }
     s.push_str("  ]\n}\n");
     s
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -1,0 +1,238 @@
+//! Scenario-engine BNF curves with error bars — replicated hotspot and
+//! bursty sweeps.
+//!
+//! The paper's BNF comparisons (Figs. 9–11) are single curves from a
+//! single RNG stream, so near saturation an algorithm gap is not
+//! distinguishable from seed noise. This harness reruns every
+//! (algorithm, load) cell under ≥5 independent seeds via
+//! `SweepSpec::run_replicated` and reports mean ± 95% CI per point, on
+//! the two canonical non-uniform stress scenarios the paper does not
+//! cover:
+//!
+//! * **hotspot** — 25% of the traffic converges on two interior nodes
+//!   (`TrafficPattern::Hotspot`), the rest uniform; the hot links
+//!   saturate first and tree saturation fans out from them;
+//! * **bursty** — uniform destinations, but generation concentrated
+//!   into geometric ON/OFF phases (mean 60 on / 240 off, duty 20%, 5×
+//!   peak rate) at the same *average* offered load, so the curves stay
+//!   point-comparable with the smooth sweeps.
+//!
+//! Algorithms: the paper's shipped pick (SPAA-rotary), its windowed peer
+//! (PIM1), and the extension family's middle member (iSLIP2).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_scenarios [-- --quick | --paper] \
+//!     [--out BENCH_scenarios.json]
+//! ```
+//!
+//! `--quick` is the CI smoke mode: 2 seeds, three load points, short
+//! runs. The full default regenerates the committed
+//! `BENCH_scenarios.json`.
+
+use bench::{flag_value, replicated_curves_table, summary_table, Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use simcore::bnf::ReplicatedBnfCurve;
+use workload::{BurstConfig, HotspotTargets, TrafficPattern};
+
+/// The two scenario axes the engine adds over the paper's sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scenario {
+    Hotspot,
+    Bursty,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Hotspot => "hotspot",
+            Scenario::Bursty => "bursty",
+        }
+    }
+
+    /// Hot set: two interior nodes (center and its diagonal neighbour) —
+    /// deep enough in the torus that congestion trees have room to grow
+    /// in every direction.
+    fn hotspot_targets(torus: &Torus) -> HotspotTargets {
+        let (cx, cy) = (torus.width() / 2, torus.height() / 2);
+        HotspotTargets::new(&[torus.node(cx, cy), torus.node(cx - 1, cy - 1)])
+    }
+
+    fn pattern(self, torus: &Torus) -> TrafficPattern {
+        match self {
+            Scenario::Hotspot => TrafficPattern::Hotspot {
+                targets: Self::hotspot_targets(torus),
+                fraction: HOTSPOT_FRACTION,
+            },
+            Scenario::Bursty => TrafficPattern::Uniform,
+        }
+    }
+
+    fn burst(self) -> Option<BurstConfig> {
+        match self {
+            Scenario::Hotspot => None,
+            Scenario::Bursty => Some(BurstConfig::new(BURST_ON_CYCLES, BURST_OFF_CYCLES)),
+        }
+    }
+}
+
+const HOTSPOT_FRACTION: f64 = 0.25;
+const BURST_ON_CYCLES: f64 = 60.0;
+const BURST_OFF_CYCLES: f64 = 240.0;
+
+/// The curves of each panel.
+const ALGORITHMS: [ArbAlgorithm; 3] = [
+    ArbAlgorithm::SpaaRotary,
+    ArbAlgorithm::Pim1,
+    ArbAlgorithm::Islip { iterations: 2 },
+];
+
+struct Panel {
+    torus: Torus,
+    scenario: Scenario,
+    curves: Vec<ReplicatedBnfCurve>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_args();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
+
+    let (mode, cycles, rates, seeds): (&str, u64, Vec<f64>, Vec<u64>) = if quick {
+        // CI smoke: two seeds (so the CI math runs), three load points
+        // spanning pre-bend, bend, and post-saturation.
+        ("quick", 3_000, vec![0.004, 0.02, 0.055], vec![1, 2])
+    } else {
+        let (mode, cycles) = match scale {
+            Scale::Paper => ("paper", scale.cycles()),
+            // Slightly below the smooth-sweep default: the replication
+            // ×5 dominates the budget, and the CI half-widths — not the
+            // per-run cycle count — now carry the precision story.
+            Scale::Quick => ("default", 12_000),
+        };
+        (mode, cycles, scenario_rates(), vec![1, 2, 3, 4, 5])
+    };
+
+    let panels_spec: Vec<(Torus, Scenario)> = [Torus::net_4x4(), Torus::net_8x8()]
+        .into_iter()
+        .flat_map(|torus| {
+            [Scenario::Hotspot, Scenario::Bursty]
+                .into_iter()
+                .map(move |s| (torus, s))
+        })
+        .collect();
+
+    let mut panels = Vec::new();
+    for (torus, scenario) in panels_spec {
+        let pattern = scenario.pattern(&torus);
+        assert!(pattern.supports(&torus), "{pattern} unsupported");
+        println!(
+            "\nscenario {}: {}x{} torus, {} seeds x {} loads ({mode} mode, {cycles} cycles/point)",
+            scenario.name(),
+            torus.width(),
+            torus.height(),
+            seeds.len(),
+            rates.len(),
+        );
+        let curves: Vec<ReplicatedBnfCurve> = ALGORITHMS
+            .into_iter()
+            .map(|algo| {
+                let mut spec = SweepSpec::new(algo, torus, pattern, scale);
+                spec.rates = rates.clone();
+                spec.cycles = cycles;
+                spec.burst = scenario.burst();
+                let curve = spec.run_replicated(0, &seeds);
+                eprintln!("  swept {algo} ({} replicates)", curve.replicate_count());
+                curve
+            })
+            .collect();
+        println!("{}", replicated_curves_table(&curves).to_text());
+        let means: Vec<_> = curves.iter().map(|c| c.mean_curve()).collect();
+        let ref_lat = if torus.nodes() == 16 { 83.0 } else { 122.0 };
+        println!("{}", summary_table(&means, ref_lat).to_text());
+        panels.push(Panel {
+            torus,
+            scenario,
+            curves,
+        });
+    }
+
+    let json = render_json(mode, cycles, &seeds, &panels);
+    std::fs::write(&out_path, json).expect("write scenario table");
+    println!("\nwrote {out_path}");
+}
+
+/// The scenario load grid: the same span as `bench::default_rates` but
+/// coarser — replication multiplies the run count by the seed count, and
+/// hotspot scenarios saturate earlier than uniform anyway.
+fn scenario_rates() -> Vec<f64> {
+    vec![
+        0.002, 0.004, 0.008, 0.012, 0.016, 0.020, 0.028, 0.042, 0.060,
+    ]
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free), with per-point
+/// error-bar fields: replicate mean, sample std-dev, and the 95%
+/// normal-approximation CI half-width for both BNF axes.
+fn render_json(mode: &str, cycles: u64, seeds: &[u64], panels: &[Panel]) -> String {
+    let seed_list = seeds
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig_scenarios\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"cycles_per_point\": {cycles},\n"));
+    s.push_str(&format!("  \"seeds\": [{seed_list}],\n"));
+    s.push_str(&format!("  \"hotspot_fraction\": {HOTSPOT_FRACTION},\n"));
+    s.push_str(&format!(
+        "  \"burst_cycles\": {{\"mean_on\": {BURST_ON_CYCLES}, \"mean_off\": {BURST_OFF_CYCLES}}},\n"
+    ));
+    s.push_str("  \"figures\": [\n");
+    for (i, panel) in panels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"torus\": \"{}x{}\", \"scenario\": \"{}\", \"curves\": [\n",
+            panel.torus.width(),
+            panel.torus.height(),
+            panel.scenario.name()
+        ));
+        for (j, curve) in panel.curves.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"algorithm\": \"{}\", \"points\": [\n",
+                curve.label
+            ));
+            let points = curve.points();
+            for (k, p) in points.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"offered\": {:.4}, \"seeds\": {}, \
+                     \"throughput_mean\": {:.5}, \"throughput_std\": {:.5}, \"throughput_ci95\": {:.5}, \
+                     \"latency_mean_ns\": {:.2}, \"latency_std_ns\": {:.2}, \"latency_ci95_ns\": {:.2}, \
+                     \"packets\": {}}}{}\n",
+                    p.offered,
+                    p.throughput.count(),
+                    p.throughput.mean(),
+                    p.throughput.sample_std_dev(),
+                    p.throughput_ci95(),
+                    p.latency_ns.mean(),
+                    p.latency_ns.sample_std_dev(),
+                    p.latency_ci95(),
+                    p.packets,
+                    if k + 1 < points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "      ]}}{}\n",
+                if j + 1 < panel.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < panels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -31,9 +31,11 @@ const JOBS: &[(&str, &[&str])] = &[
     ("fig11a", &[]),
     ("fig11b", &[]),
     ("fig11c", &[]),
-    // fig_islip's BNF table goes to results/ so a repro run (especially
-    // --paper) cannot clobber the committed default-mode baseline.
+    // fig_islip's and fig_scenarios' BNF tables go to results/ so a
+    // repro run (especially --paper) cannot clobber the committed
+    // default-mode baselines.
     ("fig_islip", &["--out", "results/BENCH_islip.json"]),
+    ("fig_scenarios", &["--out", "results/BENCH_scenarios.json"]),
     ("ablation_pipeline_depth", &[]),
     ("ablation_wfa3", &[]),
     ("ablation_buffers", &[]),

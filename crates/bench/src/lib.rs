@@ -13,10 +13,10 @@ pub mod harness;
 
 use network::{NetworkConfig, Torus};
 use router::{ArbAlgorithm, RouterConfig};
-use simcore::bnf::{BnfCurve, BnfPoint};
+use simcore::bnf::{BnfCurve, BnfPoint, ReplicatedBnfCurve};
 use simcore::sweep::parallel_map;
 use simcore::table::Table;
-use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
+use workload::{run_coherence_sim, BurstConfig, TrafficPattern, WorkloadConfig};
 
 /// How long each simulated point runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,8 +65,12 @@ pub struct SweepSpec {
     pub rates: Vec<f64>,
     /// Cycles per point.
     pub cycles: u64,
-    /// Simulation seed.
+    /// Simulation seed ([`SweepSpec::run`]) or base seed
+    /// ([`SweepSpec::run_replicated`] replaces it per replicate).
     pub seed: u64,
+    /// Optional bursty on/off arrival modulation (the scenario engine's
+    /// temporal axis; `None` = the paper's smooth Bernoulli process).
+    pub burst: Option<BurstConfig>,
 }
 
 impl SweepSpec {
@@ -88,6 +92,7 @@ impl SweepSpec {
             rates: default_rates(),
             cycles: scale.cycles(),
             seed: 0x21364,
+            burst: None,
         }
     }
 
@@ -98,7 +103,18 @@ impl SweepSpec {
         self
     }
 
-    fn network_config(&self, rate_idx: usize) -> NetworkConfig {
+    /// The same sweep with bursty on/off arrivals.
+    pub fn with_burst(mut self, burst: BurstConfig) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Seed-stream layout: one independent simulation seed per
+    /// (replicate seed, load point). The rate index lives in the high
+    /// half so replicate seeds like 1, 2, 3… never collide with their
+    /// neighbours' points, and every router/endpoint stream is forked
+    /// from the result (see `simcore::rng`).
+    fn network_config(&self, seed: u64, rate_idx: usize) -> NetworkConfig {
         let router = if self.scaled_2x {
             RouterConfig::scaled_2x(self.algorithm)
         } else {
@@ -107,9 +123,27 @@ impl SweepSpec {
         NetworkConfig {
             torus: self.torus,
             router,
-            seed: self.seed ^ ((rate_idx as u64) << 32),
+            seed: seed ^ ((rate_idx as u64) << 32),
             warmup_cycles: self.cycles / 5,
             measure_cycles: self.cycles - self.cycles / 5,
+        }
+    }
+
+    fn point(&self, seed: u64, rate_idx: usize, rate: f64) -> BnfPoint {
+        let net = self.network_config(seed, rate_idx);
+        let wl = WorkloadConfig {
+            pattern: self.pattern,
+            injection_rate: rate,
+            mshrs: self.mshrs,
+            coherence: Default::default(),
+            burst: self.burst,
+        };
+        let (report, _stats) = run_coherence_sim(net, wl);
+        BnfPoint {
+            offered: rate,
+            delivered_flits_per_router_ns: report.flits_per_router_ns,
+            avg_latency_ns: report.avg_latency_ns(),
+            packets: report.delivered_packets,
         }
     }
 
@@ -117,26 +151,56 @@ impl SweepSpec {
     pub fn run(&self, workers: usize) -> BnfCurve {
         let jobs: Vec<(usize, f64)> = self.rates.iter().copied().enumerate().collect();
         let points = parallel_map(workers, jobs, |(idx, rate)| {
-            let net = self.network_config(idx);
-            let wl = WorkloadConfig {
-                pattern: self.pattern,
-                injection_rate: rate,
-                mshrs: self.mshrs,
-                coherence: Default::default(),
-            };
-            let (report, _stats) = run_coherence_sim(net, wl);
-            BnfPoint {
-                offered: rate,
-                delivered_flits_per_router_ns: report.flits_per_router_ns,
-                avg_latency_ns: report.avg_latency_ns(),
-                packets: report.delivered_packets,
-            }
+            self.point(self.seed, idx, rate)
         });
         let mut curve = BnfCurve::new(self.algorithm.to_string());
         for p in points {
             curve.push(p);
         }
         curve
+    }
+
+    /// Runs the sweep once per seed in `seeds`, fanning the full
+    /// seed×load batch through the worker pool as one flat job list, and
+    /// aggregates the per-seed curves into mean ± CI per load point.
+    ///
+    /// `parallel_map` returns results in input order and
+    /// [`ReplicatedBnfCurve`] folds replicates in canonical seed order,
+    /// so the outcome is bit-identical for any worker count and any
+    /// ordering of `seeds` (pinned by `tests/replication.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or contains duplicates (via
+    /// [`ReplicatedBnfCurve::merge`]).
+    pub fn run_replicated(&self, workers: usize, seeds: &[u64]) -> ReplicatedBnfCurve {
+        assert!(!seeds.is_empty(), "replication needs at least one seed");
+        assert!(
+            !self.rates.is_empty(),
+            "replication needs at least one load point"
+        );
+        let jobs: Vec<(u64, usize, f64)> = seeds
+            .iter()
+            .flat_map(|&seed| {
+                self.rates
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(move |(idx, rate)| (seed, idx, rate))
+            })
+            .collect();
+        let points = parallel_map(workers, jobs, |(seed, idx, rate)| {
+            self.point(seed, idx, rate)
+        });
+        let mut replicated = ReplicatedBnfCurve::new(self.algorithm.to_string());
+        for (chunk, &seed) in points.chunks(self.rates.len()).zip(seeds) {
+            let mut curve = BnfCurve::new(self.algorithm.to_string());
+            for p in chunk {
+                curve.push(*p);
+            }
+            replicated.merge(seed, curve);
+        }
+        replicated
     }
 }
 
@@ -174,6 +238,38 @@ pub fn curves_table(curves: &[BnfCurve]) -> Table {
     t
 }
 
+/// Renders replicated curves with error bars: one row per load point
+/// with mean, sample std-dev, and 95% CI half-width for both axes.
+pub fn replicated_curves_table(curves: &[ReplicatedBnfCurve]) -> Table {
+    let mut t = Table::with_columns(&[
+        "algorithm",
+        "offered(pkt/node/cy)",
+        "seeds",
+        "thr mean",
+        "thr sd",
+        "thr ±ci95",
+        "lat mean(ns)",
+        "lat sd",
+        "lat ±ci95",
+    ]);
+    for c in curves {
+        for p in c.points() {
+            t.row(vec![
+                c.label.clone(),
+                format!("{:.4}", p.offered),
+                p.throughput.count().to_string(),
+                format!("{:.4}", p.throughput.mean()),
+                format!("{:.4}", p.throughput.sample_std_dev()),
+                format!("{:.4}", p.throughput_ci95()),
+                format!("{:.1}", p.latency_ns.mean()),
+                format!("{:.1}", p.latency_ns.sample_std_dev()),
+                format!("{:.1}", p.latency_ci95()),
+            ]);
+        }
+    }
+    t
+}
+
 /// Summarizes the paper's headline comparisons for a figure: peak and
 /// final throughput per algorithm plus throughput at a reference latency.
 pub fn summary_table(curves: &[BnfCurve], ref_latency_ns: f64) -> Table {
@@ -198,6 +294,14 @@ pub fn summary_table(curves: &[BnfCurve], ref_latency_ns: f64) -> Table {
 
 fn fmt_opt(v: Option<f64>) -> String {
     v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}
+
+/// The value following `flag` in an argument list (`--out path` style),
+/// shared by the figure binaries' hand-rolled CLI parsing.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 #[cfg(test)]
@@ -233,6 +337,28 @@ mod tests {
             curve.points[1].delivered_flits_per_router_ns
                 > curve.points[0].delivered_flits_per_router_ns
         );
+    }
+
+    #[test]
+    fn tiny_replicated_sweep_aggregates_seeds() {
+        let mut spec = SweepSpec::new(
+            ArbAlgorithm::SpaaBase,
+            Torus::net_4x4(),
+            TrafficPattern::Uniform,
+            Scale::Quick,
+        );
+        spec.rates = vec![0.01];
+        spec.cycles = 1500;
+        let r = spec.run_replicated(2, &[1, 2, 3]);
+        assert_eq!(r.replicate_count(), 3);
+        let pts = r.points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].throughput.count(), 3);
+        assert!(pts[0].throughput.mean() > 0.0);
+        // Independent seeds genuinely differ (otherwise the CI is a lie).
+        assert!(pts[0].throughput.sample_std_dev() > 0.0);
+        let table = replicated_curves_table(&[r]);
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Golden regression pin for the fig08 standalone matching-quality table.
+//!
+//! The standalone model is fully deterministic (seeded PCG streams, no
+//! threads), so the quick-mode fig08 output — the MCM saturation load,
+//! every matches/cycle cell for all nine algorithms, and the §5.1
+//! headline ratios — is a pure function of the code. Any change to an
+//! arbiter, the RNG, the traffic generator, or the saturation search
+//! shifts at least one cell, and figure drift then fails here instead of
+//! silently changing committed BENCH data at the next regeneration.
+//!
+//! When a change is *intended* to move the numbers (e.g. fixing an
+//! arbiter bug), regenerate the pin and review the diff like any other
+//! figure change:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig08 > crates/bench/tests/golden/fig08_quick.txt
+//! ```
+
+use std::process::Command;
+
+#[test]
+fn fig08_quick_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig08"))
+        .output()
+        .expect("run fig08");
+    assert!(
+        out.status.success(),
+        "fig08 failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 table");
+    let golden = include_str!("golden/fig08_quick.txt");
+    assert!(
+        stdout == golden,
+        "fig08 quick output drifted from the golden pin.\n\
+         If intended, regenerate crates/bench/tests/golden/fig08_quick.txt \
+         (see this test's module docs).\n\
+         --- golden ---\n{golden}\n--- actual ---\n{stdout}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Replicated sweeps must be pure functions of the (spec, seed set):
+//! the worker count of the thread fan-out and the order the seed list is
+//! written in must not change a single bit of the aggregate.
+//!
+//! `simcore::sweep::parallel_map` already returns results in input
+//! order, and `ReplicatedBnfCurve` folds replicates in canonical
+//! ascending-seed order — these tests pin both properties end-to-end
+//! through real simulations, so a future "optimization" that merges in
+//! worker-completion order fails loudly instead of quietly producing
+//! run-to-run-varying BENCH data.
+
+use bench::{Scale, SweepSpec};
+use network::Torus;
+use router::ArbAlgorithm;
+use simcore::bnf::ReplicatedBnfCurve;
+use workload::{BurstConfig, HotspotTargets, TrafficPattern};
+
+fn tiny_spec(pattern: TrafficPattern, burst: Option<BurstConfig>) -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        ArbAlgorithm::SpaaRotary,
+        Torus::net_4x4(),
+        pattern,
+        Scale::Quick,
+    );
+    spec.rates = vec![0.004, 0.02];
+    spec.cycles = 1_500;
+    spec.burst = burst;
+    spec
+}
+
+fn assert_bit_identical(a: &ReplicatedBnfCurve, b: &ReplicatedBnfCurve, label: &str) {
+    assert_eq!(a.label, b.label, "{label}: label");
+    assert_eq!(
+        a.seeds().collect::<Vec<_>>(),
+        b.seeds().collect::<Vec<_>>(),
+        "{label}: seed set"
+    );
+    let (pa, pb) = (a.points(), b.points());
+    assert_eq!(pa.len(), pb.len(), "{label}: point count");
+    for (i, (x, y)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(
+            x.offered.to_bits(),
+            y.offered.to_bits(),
+            "{label}[{i}]: offered"
+        );
+        assert_eq!(x.packets, y.packets, "{label}[{i}]: packets");
+        for (name, u, v) in [
+            ("thr mean", x.throughput.mean(), y.throughput.mean()),
+            (
+                "thr var",
+                x.throughput.sample_variance(),
+                y.throughput.sample_variance(),
+            ),
+            ("thr ci", x.throughput_ci95(), y.throughput_ci95()),
+            ("lat mean", x.latency_ns.mean(), y.latency_ns.mean()),
+            (
+                "lat var",
+                x.latency_ns.sample_variance(),
+                y.latency_ns.sample_variance(),
+            ),
+            ("lat ci", x.latency_ci95(), y.latency_ci95()),
+        ] {
+            assert_eq!(u.to_bits(), v.to_bits(), "{label}[{i}]: {name}");
+        }
+    }
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_bit_for_bit() {
+    // Workers are requested explicitly (this must hold on any machine,
+    // including single-core CI runners where "0 = available parallelism"
+    // would degenerate to 1 vs 1).
+    let seeds = [11u64, 12, 13, 14, 15];
+    for (label, spec) in [
+        ("uniform", tiny_spec(TrafficPattern::Uniform, None)),
+        (
+            "hotspot",
+            tiny_spec(
+                TrafficPattern::Hotspot {
+                    targets: HotspotTargets::new(&[5, 10]),
+                    fraction: 0.3,
+                },
+                None,
+            ),
+        ),
+        (
+            "bursty",
+            tiny_spec(TrafficPattern::Uniform, Some(BurstConfig::new(40.0, 160.0))),
+        ),
+    ] {
+        let sequential = spec.run_replicated(1, &seeds);
+        let fanned_out = spec.run_replicated(4, &seeds);
+        assert_eq!(sequential.replicate_count(), seeds.len());
+        assert_bit_identical(&sequential, &fanned_out, label);
+    }
+}
+
+#[test]
+fn seed_list_order_does_not_change_the_aggregate() {
+    let spec = tiny_spec(TrafficPattern::Uniform, None);
+    let forward = spec.run_replicated(2, &[3, 7, 21]);
+    let shuffled = spec.run_replicated(3, &[21, 3, 7]);
+    assert_bit_identical(&forward, &shuffled, "seed order");
+}
+
+#[test]
+fn replicates_are_real_independent_runs() {
+    // Distinct seeds must produce distinct curves — otherwise the CI
+    // machinery would report false precision from N copies of one run.
+    let spec = tiny_spec(TrafficPattern::Uniform, None);
+    let r = spec.run_replicated(2, &[100, 200]);
+    let a = r.replicate(100).expect("seed 100 present");
+    let b = r.replicate(200).expect("seed 200 present");
+    assert!(
+        a.points
+            .iter()
+            .zip(&b.points)
+            .any(|(x, y)| x.packets != y.packets
+                || x.avg_latency_ns.to_bits() != y.avg_latency_ns.to_bits()),
+        "seeds 100 and 200 produced identical runs"
+    );
+    // And the same seed reproduces itself exactly across invocations.
+    let again = spec.run_replicated(1, &[100]);
+    let a2 = again.replicate(100).unwrap();
+    for (x, y) in a.points.iter().zip(&a2.points) {
+        assert_eq!(x.packets, y.packets);
+        assert_eq!(x.avg_latency_ns.to_bits(), y.avg_latency_ns.to_bits());
+        assert_eq!(
+            x.delivered_flits_per_router_ns.to_bits(),
+            y.delivered_flits_per_router_ns.to_bits()
+        );
+    }
+}

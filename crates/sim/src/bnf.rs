@@ -9,6 +9,7 @@
 //! throughput at much higher latency — which is exactly the behaviour the
 //! Rotary Rule is designed to prevent (§3.4).
 
+use crate::stats::OnlineStats;
 use std::fmt;
 
 /// One measured operating point of a network configuration.
@@ -139,6 +140,175 @@ impl BnfCurve {
     }
 }
 
+/// One load point of a replicated curve: per-seed throughput and latency
+/// samples folded into online moments, ready for mean ± CI error bars.
+#[derive(Clone, Debug)]
+pub struct ReplicatedBnfPoint {
+    /// The offered load that produced every replicate of this point.
+    pub offered: f64,
+    /// Delivered throughput across replicates (flits/router/ns).
+    pub throughput: OnlineStats,
+    /// Average packet latency across replicates (ns).
+    pub latency_ns: OnlineStats,
+    /// Total packets across all replicates.
+    pub packets: u64,
+}
+
+impl ReplicatedBnfPoint {
+    /// 95% confidence half-width on the mean delivered throughput
+    /// (normal approximation, see [`OnlineStats::confidence_interval`]).
+    pub fn throughput_ci95(&self) -> f64 {
+        self.throughput.confidence_interval(0.95)
+    }
+
+    /// 95% confidence half-width on the mean latency.
+    pub fn latency_ci95(&self) -> f64 {
+        self.latency_ns.confidence_interval(0.95)
+    }
+
+    /// The replicate-mean operating point (for mean-curve comparisons
+    /// through the existing [`BnfCurve`] analysis methods).
+    pub fn mean_point(&self) -> BnfPoint {
+        BnfPoint {
+            offered: self.offered,
+            delivered_flits_per_router_ns: self.throughput.mean(),
+            avg_latency_ns: self.latency_ns.mean(),
+            packets: self.packets,
+        }
+    }
+}
+
+/// A BNF curve replicated across independent seeds: per load point, the
+/// mean ± confidence interval over one [`BnfCurve`] per seed.
+///
+/// Determinism contract: the aggregate is a function of the *set* of
+/// `(seed, curve)` replicates only. Replicates are stored sorted by seed
+/// and every statistic folds them in that canonical order, so the result
+/// is bit-identical regardless of the order replicates were merged in
+/// (seed-list order, worker-completion order, …). Seeds must be unique —
+/// a duplicate seed would silently double-weight one RNG stream.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicatedBnfCurve {
+    /// Series label, e.g. `"SPAA-rotary"`.
+    pub label: String,
+    /// Per-seed curves, kept sorted by seed.
+    replicates: Vec<(u64, BnfCurve)>,
+}
+
+impl ReplicatedBnfCurve {
+    /// Creates an empty replicated curve with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ReplicatedBnfCurve {
+            label: label.into(),
+            replicates: Vec::new(),
+        }
+    }
+
+    /// Builds from a full replicate set (any order; sorted internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate seeds or mismatched offered-load grids.
+    pub fn from_replicates(
+        label: impl Into<String>,
+        replicates: impl IntoIterator<Item = (u64, BnfCurve)>,
+    ) -> Self {
+        let mut c = ReplicatedBnfCurve::new(label);
+        for (seed, curve) in replicates {
+            c.merge(seed, curve);
+        }
+        c
+    }
+
+    /// Merges one seed's curve into the replicate set.
+    ///
+    /// Merge order is irrelevant to the aggregate (see the type-level
+    /// determinism contract); callers may merge in input order or as
+    /// parallel workers complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` was already merged, or if the curve's offered
+    /// grid differs from the replicates already present (replication
+    /// means re-running the *same* sweep under a different RNG stream).
+    pub fn merge(&mut self, seed: u64, curve: BnfCurve) {
+        if let Some((_, first)) = self.replicates.first() {
+            assert_eq!(
+                first.points.len(),
+                curve.points.len(),
+                "replicate point-count mismatch for {}",
+                self.label
+            );
+            for (a, b) in first.points.iter().zip(&curve.points) {
+                assert_eq!(
+                    a.offered.to_bits(),
+                    b.offered.to_bits(),
+                    "replicate offered-load grid mismatch for {}",
+                    self.label
+                );
+            }
+        }
+        match self.replicates.binary_search_by_key(&seed, |&(s, _)| s) {
+            Ok(_) => panic!("duplicate replicate seed {seed} for {}", self.label),
+            Err(pos) => self.replicates.insert(pos, (seed, curve)),
+        }
+    }
+
+    /// Number of replicates merged so far.
+    pub fn replicate_count(&self) -> usize {
+        self.replicates.len()
+    }
+
+    /// The replicate seeds, ascending.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        self.replicates.iter().map(|&(s, _)| s)
+    }
+
+    /// One seed's curve (for drill-down reporting).
+    pub fn replicate(&self, seed: u64) -> Option<&BnfCurve> {
+        self.replicates
+            .binary_search_by_key(&seed, |&(s, _)| s)
+            .ok()
+            .map(|i| &self.replicates[i].1)
+    }
+
+    /// Aggregated points: one [`ReplicatedBnfPoint`] per load point, each
+    /// folding every replicate in ascending-seed order.
+    pub fn points(&self) -> Vec<ReplicatedBnfPoint> {
+        let Some((_, first)) = self.replicates.first() else {
+            return Vec::new();
+        };
+        (0..first.points.len())
+            .map(|i| {
+                let mut throughput = OnlineStats::new();
+                let mut latency_ns = OnlineStats::new();
+                let mut packets = 0;
+                for (_, curve) in &self.replicates {
+                    let p = &curve.points[i];
+                    throughput.record(p.delivered_flits_per_router_ns);
+                    latency_ns.record(p.avg_latency_ns);
+                    packets += p.packets;
+                }
+                ReplicatedBnfPoint {
+                    offered: first.points[i].offered,
+                    throughput,
+                    latency_ns,
+                    packets,
+                }
+            })
+            .collect()
+    }
+
+    /// The replicate-mean curve, for the established single-curve
+    /// analyses ([`BnfCurve::throughput_at_latency`] etc.).
+    pub fn mean_curve(&self) -> BnfCurve {
+        BnfCurve {
+            label: self.label.clone(),
+            points: self.points().iter().map(|p| p.mean_point()).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +398,94 @@ mod tests {
         let t = c.throughput_at_latency(245.0).unwrap();
         let expect = 0.5 + (245.0 - 90.0) / (400.0 - 90.0) * (0.3 - 0.5);
         assert!((t - expect).abs() < 1e-12);
+    }
+
+    fn replicate_curve(label: &str, thrs: &[f64], lats: &[f64]) -> BnfCurve {
+        let mut c = BnfCurve::new(label);
+        for (i, (&t, &l)) in thrs.iter().zip(lats).enumerate() {
+            c.push(pt(0.01 * (i + 1) as f64, t, l));
+        }
+        c
+    }
+
+    #[test]
+    fn replicated_curve_aggregates_mean_and_ci() {
+        let mut r = ReplicatedBnfCurve::new("SPAA-rotary");
+        r.merge(1, replicate_curve("s", &[0.2, 0.5], &[50.0, 80.0]));
+        r.merge(2, replicate_curve("s", &[0.4, 0.7], &[60.0, 100.0]));
+        r.merge(3, replicate_curve("s", &[0.3, 0.6], &[70.0, 90.0]));
+        assert_eq!(r.replicate_count(), 3);
+        let pts = r.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].throughput.mean() - 0.3).abs() < 1e-12);
+        assert!((pts[0].latency_ns.mean() - 60.0).abs() < 1e-12);
+        assert_eq!(pts[0].packets, 3000);
+        // CI half-width: z * s / sqrt(n) with s = 0.1, n = 3.
+        let want = 1.959964 * 0.1 / 3.0f64.sqrt();
+        assert!((pts[0].throughput_ci95() - want).abs() < 1e-5);
+        assert!(pts[1].latency_ci95() > 0.0);
+        let mean = r.mean_curve();
+        assert_eq!(mean.points.len(), 2);
+        assert!((mean.points[1].delivered_flits_per_router_ns - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicated_curve_is_merge_order_invariant() {
+        let reps = [
+            (11u64, replicate_curve("s", &[0.2, 0.5], &[50.0, 80.0])),
+            (7, replicate_curve("s", &[0.25, 0.55], &[52.0, 83.0])),
+            (23, replicate_curve("s", &[0.21, 0.52], &[51.0, 81.0])),
+        ];
+        let forward = ReplicatedBnfCurve::from_replicates("x", reps.clone());
+        let backward = ReplicatedBnfCurve::from_replicates("x", reps.into_iter().rev());
+        assert_eq!(
+            forward.seeds().collect::<Vec<_>>(),
+            backward.seeds().collect::<Vec<_>>()
+        );
+        for (a, b) in forward.points().iter().zip(backward.points()) {
+            assert_eq!(a.offered.to_bits(), b.offered.to_bits());
+            // Bit-identical moments: the fold order is canonical.
+            assert_eq!(a.throughput.mean().to_bits(), b.throughput.mean().to_bits());
+            assert_eq!(
+                a.throughput.sample_variance().to_bits(),
+                b.throughput.sample_variance().to_bits()
+            );
+            assert_eq!(a.latency_ns.mean().to_bits(), b.latency_ns.mean().to_bits());
+            assert_eq!(a.packets, b.packets);
+        }
+    }
+
+    #[test]
+    fn replicated_curve_drilldown_and_empty() {
+        let empty = ReplicatedBnfCurve::new("none");
+        assert_eq!(empty.replicate_count(), 0);
+        assert!(empty.points().is_empty());
+        assert!(empty.mean_curve().points.is_empty());
+
+        let mut r = ReplicatedBnfCurve::new("one");
+        r.merge(5, replicate_curve("s", &[0.2], &[50.0]));
+        assert!(r.replicate(5).is_some());
+        assert!(r.replicate(6).is_none());
+        // A single replicate has a zero-width interval, not NaN.
+        assert_eq!(r.points()[0].throughput_ci95(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate replicate seed 9")]
+    fn replicated_curve_rejects_duplicate_seed() {
+        let mut r = ReplicatedBnfCurve::new("dup");
+        r.merge(9, replicate_curve("s", &[0.2], &[50.0]));
+        r.merge(9, replicate_curve("s", &[0.3], &[60.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "offered-load grid mismatch")]
+    fn replicated_curve_rejects_grid_mismatch() {
+        let mut r = ReplicatedBnfCurve::new("grid");
+        r.merge(1, replicate_curve("s", &[0.2], &[50.0]));
+        let mut other = BnfCurve::new("s");
+        other.push(pt(0.5, 0.2, 50.0));
+        r.merge(2, other);
     }
 
     #[test]

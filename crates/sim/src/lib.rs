@@ -39,7 +39,7 @@ pub mod table;
 pub mod time;
 pub mod wheel;
 
-pub use bnf::{BnfCurve, BnfPoint};
+pub use bnf::{BnfCurve, BnfPoint, ReplicatedBnfCurve, ReplicatedBnfPoint};
 pub use clock::{Clock, ClockPair, Edge};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, OnlineStats};

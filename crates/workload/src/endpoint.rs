@@ -28,6 +28,74 @@ use simcore::{SimRng, Tick};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Fork label of the per-node burst phase-machine stream (see
+/// `CoherenceEndpoint::burst_rng`). Forking is a function of the node
+/// stream's seed and this label only, so the phase trace is unaffected
+/// by how many draws the generation side takes.
+const BURST_STREAM: u64 = 0xb0b5_7b0b;
+
+/// On/off bursty temporal modulation of a node's request generation.
+///
+/// The classic two-state Markov-modulated arrival process: each node
+/// alternates between an ON (burst) phase and an OFF (idle) phase whose
+/// lengths are geometrically distributed with the configured means —
+/// each core cycle the phase exits with probability `1 / mean`, drawn
+/// from a dedicated stream forked off the node's RNG (so the ON/OFF
+/// trace is identical at every point of a load sweep). During ON the
+/// node generates at
+/// `injection_rate / duty_cycle` (capped at one attempt per cycle), and
+/// during OFF not at all, so `injection_rate` keeps its meaning as the
+/// *average* offered load and bursty sweeps stay comparable point-for-
+/// point with smooth ones.
+///
+/// All draws happen in `on_cycle`, which the simulator runs for every
+/// node on every cycle regardless of router idle-skip — so burstiness
+/// preserves both determinism and the idle-skip bit-exactness contract
+/// (proved by `tests/idle_skip_equivalence.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstConfig {
+    /// Mean ON-phase length in core cycles (geometric; must be ≥ 1).
+    pub mean_burst_cycles: f64,
+    /// Mean OFF-phase length in core cycles (geometric; must be ≥ 1).
+    pub mean_idle_cycles: f64,
+}
+
+impl BurstConfig {
+    /// A convenience constructor that validates the means.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both means are finite and ≥ 1 (a sub-cycle mean
+    /// phase is not representable on the per-cycle state machine).
+    pub fn new(mean_burst_cycles: f64, mean_idle_cycles: f64) -> Self {
+        assert!(
+            mean_burst_cycles.is_finite() && mean_burst_cycles >= 1.0,
+            "mean burst length must be a finite cycle count >= 1, got {mean_burst_cycles}"
+        );
+        assert!(
+            mean_idle_cycles.is_finite() && mean_idle_cycles >= 1.0,
+            "mean idle length must be a finite cycle count >= 1, got {mean_idle_cycles}"
+        );
+        BurstConfig {
+            mean_burst_cycles,
+            mean_idle_cycles,
+        }
+    }
+
+    /// Fraction of time spent in the ON phase.
+    pub fn duty_cycle(&self) -> f64 {
+        self.mean_burst_cycles / (self.mean_burst_cycles + self.mean_idle_cycles)
+    }
+
+    /// The ON-phase generation probability that preserves `average_rate`
+    /// as the long-run mean (capped at 1 attempt/cycle; a cap hit means
+    /// the requested average is unreachable at this duty cycle and the
+    /// node simply generates every ON cycle).
+    pub fn peak_rate(&self, average_rate: f64) -> f64 {
+        (average_rate / self.duty_cycle()).min(1.0)
+    }
+}
+
 /// Workload configuration for one simulation.
 #[derive(Clone, Debug)]
 pub struct WorkloadConfig {
@@ -35,11 +103,16 @@ pub struct WorkloadConfig {
     pub pattern: TrafficPattern,
     /// Probability per core cycle that a node tries to start a new
     /// transaction (the offered-load knob swept to trace a BNF curve).
+    /// With `burst` set this is the *average* rate; generation
+    /// concentrates into ON phases at [`BurstConfig::peak_rate`].
     pub injection_rate: f64,
     /// Outstanding-miss limit (16 for the 21364, 64 for Figure 11b).
     pub mshrs: u32,
     /// Protocol latencies and mix.
     pub coherence: CoherenceParams,
+    /// Optional on/off bursty modulation of request generation
+    /// (`None` = the paper's smooth Bernoulli process).
+    pub burst: Option<BurstConfig>,
 }
 
 impl WorkloadConfig {
@@ -51,6 +124,7 @@ impl WorkloadConfig {
             injection_rate,
             mshrs: 16,
             coherence: CoherenceParams::default(),
+            burst: None,
         }
     }
 
@@ -71,7 +145,14 @@ impl WorkloadConfig {
             injection_rate,
             mshrs: u32::MAX,
             coherence: CoherenceParams::default(),
+            burst: None,
         }
+    }
+
+    /// The same workload with bursty on/off generation.
+    pub fn with_burst(mut self, burst: BurstConfig) -> Self {
+        self.burst = Some(burst);
+        self
     }
 }
 
@@ -88,6 +169,10 @@ pub struct EndpointStats {
     pub packets_received: u64,
     /// Peak source-queue depth observed (congestion indicator).
     pub peak_queue_depth: usize,
+    /// Cycles spent in an ON burst phase (0 without a burst config);
+    /// `burst_on_cycles / cycles` across nodes estimates the realized
+    /// duty cycle.
+    pub burst_on_cycles: u64,
 }
 
 impl EndpointStats {
@@ -98,6 +183,7 @@ impl EndpointStats {
         self.mshr_stalls += other.mshr_stalls;
         self.packets_received += other.packets_received;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.burst_on_cycles += other.burst_on_cycles;
     }
 }
 
@@ -143,6 +229,19 @@ pub struct CoherenceEndpoint {
     mc_flip: bool,
     /// Memory/L2 lookups in progress.
     pending: BinaryHeap<Reverse<ScheduledSend>>,
+    /// Bursty modulation state: currently in an ON phase? (Always `true`
+    /// when no burst config is set.) Every node starts ON; the geometric
+    /// phase machine decorrelates the nodes well within the warmup
+    /// window.
+    bursting: bool,
+    /// Dedicated stream for the phase machine's exit draws, forked off
+    /// the node stream. Generation and destination draws vary with the
+    /// load knob; keeping the phase draws on their own stream makes a
+    /// node's ON/OFF trace a function of (seed, node, burst config)
+    /// only — identical across every point of a load sweep.
+    burst_rng: SimRng,
+    /// Precomputed ON-phase generation probability.
+    burst_peak_rate: f64,
     send_seq: u64,
     packet_seq: u64,
     txn_seq: u32,
@@ -153,6 +252,11 @@ impl CoherenceEndpoint {
     /// Creates the agent for `node`.
     pub fn new(node: u16, torus: Torus, cfg: WorkloadConfig, rng: SimRng) -> Self {
         let mshrs = MshrTable::new(cfg.mshrs);
+        let burst_peak_rate = match cfg.burst {
+            Some(b) => b.peak_rate(cfg.injection_rate),
+            None => cfg.injection_rate,
+        };
+        let burst_rng = rng.fork(BURST_STREAM);
         CoherenceEndpoint {
             node,
             torus,
@@ -163,6 +267,9 @@ impl CoherenceEndpoint {
             mc_queues: [VecDeque::new(), VecDeque::new()],
             mc_flip: false,
             pending: BinaryHeap::new(),
+            bursting: true,
+            burst_rng,
+            burst_peak_rate,
             send_seq: 0,
             packet_seq: 0,
             txn_seq: 0,
@@ -248,8 +355,31 @@ impl Endpoint for CoherenceEndpoint {
         // 1. Finished memory/L2 lookups enter the MC source queues.
         self.drain_pending(now);
 
-        // 2. Possibly start a new transaction (closed-loop MSHR limit).
-        if self.cfg.injection_rate > 0.0 && self.rng.chance(self.cfg.injection_rate) {
+        // 2. Bursty phase machine: one exit draw per cycle from the
+        // dedicated `burst_rng` stream, so the ON/OFF trace is the same
+        // at every point of a load sweep (generation draws, which vary
+        // with the rate, live on the main node stream).
+        if let Some(b) = self.cfg.burst {
+            let exit_p = if self.bursting {
+                1.0 / b.mean_burst_cycles
+            } else {
+                1.0 / b.mean_idle_cycles
+            };
+            if self.burst_rng.chance(exit_p) {
+                self.bursting = !self.bursting;
+            }
+            if self.bursting {
+                self.stats.burst_on_cycles += 1;
+            }
+        }
+
+        // 3. Possibly start a new transaction (closed-loop MSHR limit).
+        let rate = if self.bursting {
+            self.burst_peak_rate
+        } else {
+            0.0
+        };
+        if rate > 0.0 && self.rng.chance(rate) {
             if self.mshrs.try_allocate() {
                 self.start_transaction(now);
             } else {
@@ -257,7 +387,7 @@ impl Endpoint for CoherenceEndpoint {
             }
         }
 
-        // 3. Each local port can accept at most one packet per cycle.
+        // 4. Each local port can accept at most one packet per cycle.
         if let Some(p) = self.cache_queue.front().copied() {
             if ctx.inject(InputPort::Cache, p) == InjectionOutcome::Accepted {
                 self.cache_queue.pop_front();
@@ -400,6 +530,7 @@ mod tests {
             injection_rate: 1.0, // every cycle
             mshrs: 16,
             coherence: CoherenceParams::default(),
+            burst: None,
         };
         let endpoints = crate::build_endpoints(&cfg, &wl);
         let mut sim = NetworkSim::new(cfg, endpoints);
@@ -434,6 +565,99 @@ mod tests {
         let (heavy, _) = run(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 0.02, 5000);
         assert!(heavy.flits_per_router_ns > light.flits_per_router_ns * 2.0);
         assert!(heavy.avg_latency_ns() >= light.avg_latency_ns() * 0.9);
+    }
+
+    #[test]
+    fn burst_config_arithmetic() {
+        let b = BurstConfig::new(60.0, 240.0);
+        assert!((b.duty_cycle() - 0.2).abs() < 1e-12);
+        assert!((b.peak_rate(0.01) - 0.05).abs() < 1e-12);
+        // Unreachable averages cap at one attempt per cycle.
+        assert_eq!(b.peak_rate(0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean idle length")]
+    fn burst_config_rejects_subcycle_phase() {
+        let _ = BurstConfig::new(10.0, 0.5);
+    }
+
+    #[test]
+    fn bursty_workload_realizes_duty_cycle_and_average_rate() {
+        let cycles = 30_000u64;
+        let cfg = net(Torus::net_4x4(), ArbAlgorithm::SpaaBase, cycles);
+        let burst = BurstConfig::new(50.0, 200.0);
+        let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.004).with_burst(burst);
+        let (_report, stats) = crate::run_coherence_sim(cfg.clone(), wl);
+
+        // Realized duty cycle tracks the configured 20%.
+        let total_node_cycles = cycles * 16;
+        let duty = stats.burst_on_cycles as f64 / total_node_cycles as f64;
+        assert!((0.16..0.25).contains(&duty), "realized duty cycle {duty}");
+
+        // The long-run average generation rate matches the smooth
+        // process within sampling noise: `injection_rate` keeps meaning
+        // the average offered load.
+        let smooth = WorkloadConfig::paper(TrafficPattern::Uniform, 0.004);
+        let (_r2, smooth_stats) = crate::run_coherence_sim(cfg, smooth);
+        let ratio = stats.transactions_started as f64 / smooth_stats.transactions_started as f64;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "bursty/smooth starts {ratio}"
+        );
+    }
+
+    #[test]
+    fn bursty_traffic_stresses_the_closed_loop_harder_than_smooth() {
+        // The point of the scenario: same average load, spikier demand.
+        // At 2% duty the ON-phase rate is 25× the average (0.25/cycle),
+        // so a 40-cycle burst tries to start ~10 transactions while the
+        // ~250-cycle round trip returns none — the 16-entry MSHR table
+        // saturates and generation stalls, which the smooth process at
+        // the same average rate almost never does.
+        let cfg = net(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 30_000);
+        let rate = 0.01;
+        let smooth = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
+        let bursty = WorkloadConfig::paper(TrafficPattern::Uniform, rate)
+            .with_burst(BurstConfig::new(40.0, 1960.0));
+        let (_ra, sa) = crate::run_coherence_sim(cfg.clone(), smooth);
+        let (_rb, sb) = crate::run_coherence_sim(cfg, bursty);
+        assert!(
+            sb.mshr_stalls > sa.mshr_stalls,
+            "bursty MSHR stalls {} must exceed smooth {}",
+            sb.mshr_stalls,
+            sa.mshr_stalls
+        );
+    }
+
+    #[test]
+    fn burst_phase_history_is_identical_across_sweep_points() {
+        // The phase machine draws from its own forked stream, so the
+        // ON/OFF trace must be a function of (seed, node, burst config)
+        // only — bit-identical at every load point of a sweep, even
+        // though the generation side consumes different draw counts.
+        let burst = BurstConfig::new(50.0, 200.0);
+        let on_cycles = |rate: f64| {
+            let cfg = net(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 5_000);
+            let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate).with_burst(burst);
+            let endpoints = crate::build_endpoints(&cfg, &wl);
+            let mut sim = NetworkSim::new(cfg, endpoints);
+            let _ = sim.run();
+            (0..16)
+                .map(|n| sim.endpoint(n).stats().burst_on_cycles)
+                .collect::<Vec<_>>()
+        };
+        let near_idle = on_cycles(0.0005);
+        let saturated = on_cycles(0.05);
+        assert_eq!(near_idle, saturated, "per-node ON-cycle traces diverged");
+        // And zero rate — no generation draws at all — matches too.
+        assert_eq!(near_idle, on_cycles(0.0));
+    }
+
+    #[test]
+    fn smooth_workload_reports_no_burst_cycles() {
+        let (_report, stats) = run(Torus::net_4x4(), ArbAlgorithm::SpaaBase, 0.005, 2000);
+        assert_eq!(stats.burst_on_cycles, 0);
     }
 
     #[test]

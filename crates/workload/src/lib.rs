@@ -22,9 +22,9 @@ pub mod mshr;
 pub mod pattern;
 pub mod txn;
 
-pub use endpoint::{CoherenceEndpoint, EndpointStats, WorkloadConfig};
+pub use endpoint::{BurstConfig, CoherenceEndpoint, EndpointStats, WorkloadConfig};
 pub use mshr::MshrTable;
-pub use pattern::TrafficPattern;
+pub use pattern::{HotspotTargets, TrafficPattern};
 pub use txn::{CoherenceParams, TxnTag};
 
 use network::{NetworkConfig, NetworkSim};

@@ -15,7 +15,7 @@ use simcore::SimRng;
 use std::fmt;
 
 /// A destination-selection rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TrafficPattern {
     /// Uniformly random destination, excluding the source.
     Uniform,
@@ -27,6 +27,68 @@ pub enum TrafficPattern {
     Transpose,
     /// Tornado: half-way around the ring in x (extension).
     Tornado,
+    /// Hotspot (extension): a fraction of the traffic converges on a
+    /// small set of hot nodes; the rest is uniform. The canonical
+    /// non-uniform stress case of the input-queued-switch literature —
+    /// the hot nodes' output links saturate first and tree saturation
+    /// fans out from them.
+    Hotspot {
+        /// The hot node set (uniformly chosen among when a packet is
+        /// hot). A hot draw that lands on the source is kept and
+        /// delivered locally, like any self-mapping pattern.
+        targets: HotspotTargets,
+        /// Fraction of packets aimed at the hot set, in `[0, 1]`; the
+        /// remainder draws uniformly over the other nodes.
+        fraction: f64,
+    },
+}
+
+/// The hot node set of [`TrafficPattern::Hotspot`]: up to
+/// [`HotspotTargets::MAX`] node ids in a fixed inline array, so the
+/// pattern stays `Copy` and sweep configs remain plain values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotspotTargets {
+    nodes: [u16; Self::MAX],
+    len: u8,
+}
+
+impl HotspotTargets {
+    /// Maximum hot-set size. A hotspot's point is concentration; a
+    /// larger set is better expressed as a custom pattern.
+    pub const MAX: usize = 4;
+
+    /// Builds a hot set from up to [`Self::MAX`] node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, exceeds [`Self::MAX`], or contains a
+    /// duplicate (a duplicate would silently skew the hot-draw weights).
+    pub fn new(nodes: &[u16]) -> Self {
+        assert!(!nodes.is_empty(), "a hotspot needs at least one target");
+        assert!(
+            nodes.len() <= Self::MAX,
+            "at most {} hotspot targets (got {})",
+            Self::MAX,
+            nodes.len()
+        );
+        let mut arr = [0u16; Self::MAX];
+        for (i, &n) in nodes.iter().enumerate() {
+            assert!(
+                !nodes[..i].contains(&n),
+                "duplicate hotspot target node {n}"
+            );
+            arr[i] = n;
+        }
+        HotspotTargets {
+            nodes: arr,
+            len: nodes.len() as u8,
+        }
+    }
+
+    /// The hot node ids.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.nodes[..self.len as usize]
+    }
 }
 
 impl TrafficPattern {
@@ -52,6 +114,11 @@ impl TrafficPattern {
             }
             TrafficPattern::Transpose => torus.width() == torus.height(),
             TrafficPattern::Tornado => tornado_shift(torus.width()) > 0,
+            TrafficPattern::Hotspot { targets, fraction } => {
+                fraction.is_finite()
+                    && (0.0..=1.0).contains(fraction)
+                    && targets.as_slice().iter().all(|&t| t < torus.nodes())
+            }
         }
     }
 
@@ -73,18 +140,7 @@ impl TrafficPattern {
         );
         let n = torus.nodes();
         match self {
-            TrafficPattern::Uniform => {
-                if n == 1 {
-                    return src;
-                }
-                // Uniform over the other n-1 nodes.
-                let k = rng.below(n as usize - 1) as u16;
-                if k >= src {
-                    k + 1
-                } else {
-                    k
-                }
-            }
+            TrafficPattern::Uniform => uniform_other(n, src, rng),
             TrafficPattern::BitReversal => {
                 let bits = n.trailing_zeros();
                 let mut v = 0u16;
@@ -109,7 +165,38 @@ impl TrafficPattern {
                 let shift = tornado_shift(torus.width());
                 torus.node((x + shift) % torus.width(), y)
             }
+            TrafficPattern::Hotspot { targets, fraction } => {
+                // Hot draw first, then (only if cold) the target draw —
+                // a fixed draw order keeps the per-node stream layout
+                // stable for any fraction in (0, 1). At exactly 0 or 1
+                // `chance` consumes no draw, so the endpoint fractions
+                // use one fewer draw per destination.
+                if rng.chance(*fraction) {
+                    let t = targets.as_slice();
+                    if t.len() == 1 {
+                        t[0]
+                    } else {
+                        t[rng.below(t.len())]
+                    }
+                } else {
+                    uniform_other(n, src, rng)
+                }
+            }
         }
+    }
+}
+
+/// Uniform over the `n - 1` nodes other than `src` (self-traffic would
+/// bypass the network entirely and dilute every load metric).
+fn uniform_other(n: u16, src: u16, rng: &mut SimRng) -> u16 {
+    if n == 1 {
+        return src;
+    }
+    let k = rng.below(n as usize - 1) as u16;
+    if k >= src {
+        k + 1
+    } else {
+        k
     }
 }
 
@@ -140,6 +227,7 @@ impl fmt::Display for TrafficPattern {
             TrafficPattern::PerfectShuffle => "perfect-shuffle",
             TrafficPattern::Transpose => "transpose",
             TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Hotspot { .. } => "hotspot",
         };
         f.write_str(s)
     }
@@ -301,5 +389,102 @@ mod tests {
     fn tornado_on_degenerate_width_panics() {
         let t = Torus::new(2, 4);
         let _ = TrafficPattern::Tornado.dest(&t, 0, &mut rng());
+    }
+
+    fn hotspot(nodes: &[u16], fraction: f64) -> TrafficPattern {
+        TrafficPattern::Hotspot {
+            targets: HotspotTargets::new(nodes),
+            fraction,
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_the_configured_fraction() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        let p = hotspot(&[5, 10], 0.4);
+        assert!(p.supports(&t));
+        let mut hot = 0usize;
+        let mut counts = [0usize; 16];
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            let d = p.dest(&t, 0, &mut r);
+            counts[d as usize] += 1;
+            if d == 5 || d == 10 {
+                hot += 1;
+            }
+        }
+        // Hot share = fraction + the uniform remainder's own mass on the
+        // two hot nodes: 0.4 + 0.6 * 2/15 = 0.48.
+        let share = hot as f64 / DRAWS as f64;
+        assert!((0.44..0.52).contains(&share), "hot share {share}");
+        // The two hot nodes split the hot mass roughly evenly.
+        let ratio = counts[5] as f64 / counts[10] as f64;
+        assert!((0.85..1.18).contains(&ratio), "hot split ratio {ratio}");
+        // Cold traffic still reaches everyone else, but far less often.
+        for (i, &c) in counts.iter().enumerate() {
+            match i {
+                0 => assert_eq!(c, 0, "uniform remainder excludes the source"),
+                5 | 10 => {}
+                _ => assert!(
+                    (0..DRAWS / 15).contains(&c),
+                    "cold node {i} drew {c} of {DRAWS}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_extremes_degenerate_sensibly() {
+        let t = Torus::net_4x4();
+        let mut r = rng();
+        // fraction 1: every packet hits the single hot node — including
+        // from the hot node itself (local delivery, documented).
+        let all_hot = hotspot(&[7], 1.0);
+        for src in [0u16, 7] {
+            for _ in 0..50 {
+                assert_eq!(all_hot.dest(&t, src, &mut r), 7);
+            }
+        }
+        // fraction 0: indistinguishable from uniform (never self).
+        let none_hot = hotspot(&[7], 0.0);
+        for _ in 0..500 {
+            assert_ne!(none_hot.dest(&t, 3, &mut r), 3);
+        }
+    }
+
+    #[test]
+    fn hotspot_support_validates_targets_and_fraction() {
+        let t = Torus::net_4x4();
+        assert!(hotspot(&[0, 15], 0.5).supports(&t));
+        assert!(!hotspot(&[16], 0.5).supports(&t), "target off the torus");
+        assert!(!hotspot(&[3], -0.1).supports(&t));
+        assert!(!hotspot(&[3], 1.5).supports(&t));
+        assert!(!hotspot(&[3], f64::NAN).supports(&t));
+        assert_eq!(hotspot(&[3], 0.5).to_string(), "hotspot");
+    }
+
+    #[test]
+    fn hotspot_target_set_invariants() {
+        let ts = HotspotTargets::new(&[4, 2, 9]);
+        assert_eq!(ts.as_slice(), &[4, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn hotspot_rejects_empty_target_set() {
+        let _ = HotspotTargets::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate hotspot target node 4")]
+    fn hotspot_rejects_duplicate_targets() {
+        let _ = HotspotTargets::new(&[4, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4 hotspot targets")]
+    fn hotspot_rejects_oversized_target_set() {
+        let _ = HotspotTargets::new(&[1, 2, 3, 4, 5]);
     }
 }

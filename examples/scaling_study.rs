@@ -38,6 +38,7 @@ fn run(algorithm: ArbAlgorithm, p: &Point, rate: f64) -> (f64, f64) {
         injection_rate: rate,
         mshrs: p.mshrs,
         coherence: CoherenceParams::default(),
+        burst: None,
     };
     let (report, _) = run_coherence_sim(net, wl);
     (report.flits_per_router_ns, report.avg_latency_ns())

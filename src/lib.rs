@@ -62,13 +62,13 @@ pub mod prelude {
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,
         Router, RouterConfig, RouterOutput, RouterTiming, VcId,
     };
-    pub use simcore::{BnfCurve, BnfPoint, SimRng, Tick};
+    pub use simcore::{BnfCurve, BnfPoint, ReplicatedBnfCurve, ReplicatedBnfPoint, SimRng, Tick};
     pub use standalone::{
         find_mcm_saturation_load, run_standalone, AlgoKind, StandaloneConfig, StandaloneResult,
     };
     pub use workload::{
-        build_endpoints, run_coherence_sim, CoherenceEndpoint, CoherenceParams, MshrTable,
-        TrafficPattern, WorkloadConfig,
+        build_endpoints, run_coherence_sim, BurstConfig, CoherenceEndpoint, CoherenceParams,
+        HotspotTargets, MshrTable, TrafficPattern, WorkloadConfig,
     };
 }
 

@@ -107,6 +107,7 @@ fn adversarial_wrap_traffic_does_not_deadlock() {
         injection_rate: 0.05,
         mshrs: 16,
         coherence: CoherenceParams::default(),
+        burst: None,
     };
     let (report, stats) = run_coherence_sim(cfg, wl);
     assert!(
@@ -211,6 +212,7 @@ fn mshr_scaling_increases_peak_load() {
             injection_rate: 1.0,
             mshrs,
             coherence: CoherenceParams::default(),
+            burst: None,
         };
         run_coherence_sim(cfg, wl).0.flits_per_router_ns
     };

@@ -12,9 +12,9 @@
 
 use alpha21364::prelude::*;
 
-fn run(
+fn run_workload(
     seed: u64,
-    rate: f64,
+    wl: &WorkloadConfig,
     algo: ArbAlgorithm,
     cycles: u64,
     idle_skip: bool,
@@ -26,12 +26,22 @@ fn run(
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
     };
-    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
-    let endpoints = workload::build_endpoints(&cfg, &wl);
+    let endpoints = workload::build_endpoints(&cfg, wl);
     let mut sim = NetworkSim::new(cfg, endpoints);
     sim.set_idle_skip(idle_skip);
     let report = sim.run();
     (report, sim.skipped_router_steps())
+}
+
+fn run(
+    seed: u64,
+    rate: f64,
+    algo: ArbAlgorithm,
+    cycles: u64,
+    idle_skip: bool,
+) -> (NetworkReport, u64) {
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
+    run_workload(seed, &wl, algo, cycles, idle_skip)
 }
 
 fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
@@ -128,6 +138,86 @@ fn idle_skip_is_bit_for_bit_equivalent() {
             }
         }
     }
+}
+
+#[test]
+fn idle_skip_is_bit_for_bit_equivalent_under_hotspot_traffic() {
+    // The scenario engine's spatial axis: concentrated destinations
+    // change *which* routers idle (cold-corner routers sleep while the
+    // hot region churns), so the wake protocol is exercised on a very
+    // asymmetric schedule. Pipelined and windowed drivers both covered.
+    let hotspot = TrafficPattern::Hotspot {
+        targets: HotspotTargets::new(&[5, 10]),
+        fraction: 0.35,
+    };
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        for (seed, rate) in [(21u64, 0.002), (22, 0.03)] {
+            let label = format!("hotspot {algo} seed={seed} rate={rate}");
+            let wl = WorkloadConfig::paper(hotspot, rate);
+            let (off, _) = run_workload(seed, &wl, algo, 3_000, false);
+            let (on, skipped_on) = run_workload(seed, &wl, algo, 3_000, true);
+            assert_reports_identical(&off, &on, &label);
+            if rate <= 0.002 {
+                assert!(
+                    skipped_on > 3_000 * 16 / 4,
+                    "{label}: hotspot near-idle load must still skip (got {skipped_on})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn idle_skip_is_bit_for_bit_equivalent_under_bursty_traffic() {
+    // The scenario engine's temporal axis: ON/OFF phases make routers
+    // oscillate between dead-idle (whole OFF windows skippable) and
+    // 5×-rate bursts — the worst case for wake-tick bookkeeping. The
+    // endpoint phase machine draws from its per-node stream every cycle
+    // regardless of skip state, which is exactly the cadence contract
+    // this pins.
+    let burst = BurstConfig::new(50.0, 200.0);
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::Islip { iterations: 1 },
+    ] {
+        for (seed, rate) in [(31u64, 0.002), (32, 0.02)] {
+            let label = format!("bursty {algo} seed={seed} rate={rate}");
+            let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate).with_burst(burst);
+            let (off, skipped_off) = run_workload(seed, &wl, algo, 3_000, false);
+            let (on, skipped_on) = run_workload(seed, &wl, algo, 3_000, true);
+            assert_eq!(skipped_off, 0, "{label}: disabled mode must not skip");
+            assert_reports_identical(&off, &on, &label);
+            if rate <= 0.002 {
+                // OFF phases dominate (duty 20%), so the skip rate must
+                // stay high even though bursts wake whole neighbourhoods.
+                assert!(
+                    skipped_on > 3_000 * 16 / 4,
+                    "{label}: bursty near-idle load must still skip (got {skipped_on})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn idle_skip_equivalence_holds_under_combined_hotspot_bursty() {
+    // Both scenario axes at once, pushed to the saturation knee.
+    let wl = WorkloadConfig::paper(
+        TrafficPattern::Hotspot {
+            targets: HotspotTargets::new(&[0, 5, 10, 15]),
+            fraction: 0.5,
+        },
+        0.04,
+    )
+    .with_burst(BurstConfig::new(30.0, 120.0));
+    let (off, _) = run_workload(41, &wl, ArbAlgorithm::SpaaRotary, 4_000, false);
+    let (on, _) = run_workload(41, &wl, ArbAlgorithm::SpaaRotary, 4_000, true);
+    assert_reports_identical(&off, &on, "hotspot+bursty stress");
 }
 
 #[test]

@@ -130,6 +130,9 @@ impl IslipArbiter {
         assert_eq!(req.rows(), self.rows, "request rows mismatch");
         assert_eq!(req.cols(), self.cols, "request cols mismatch");
         let mut m = Matching::empty(self.rows, self.cols);
+        // The transpose is invariant across iterations; only the matched
+        // sets change.
+        let col_masks = req.col_masks();
         for iter in 0..self.iterations {
             let matched_rows = m.matched_rows();
             let matched_cols = m.matched_cols();
@@ -144,7 +147,7 @@ impl IslipArbiter {
                 if matched_cols & (1 << c) != 0 {
                     continue;
                 }
-                let requesters = req.col_mask(c) & !matched_rows;
+                let requesters = col_masks[c] & !matched_rows;
                 if requesters == 0 {
                     continue;
                 }

@@ -11,11 +11,24 @@
 
 use crate::matrix::RequestMatrix;
 
+/// Largest supported matrix dimension. The mask helpers
+/// ([`Matching::matched_rows`]/[`Matching::matched_cols`]) already encode
+/// rows and columns as `u32` bit positions, so 32 was always the
+/// effective bound; making it explicit lets the storage live inline
+/// (arbitration kernels build one matching per window — on the saturated
+/// hot path — and must not touch the allocator).
+pub const MAX_MATCHING_DIM: usize = 32;
+
+/// Sentinel for "unmatched" in the inline assignment arrays.
+const UNMATCHED: u8 = u8::MAX;
+
 /// A partial assignment of input-arbiter rows to output columns.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Matching {
-    input_to_output: Vec<Option<u8>>,
-    output_to_input: Vec<Option<u8>>,
+    rows: u8,
+    cols: u8,
+    input_to_output: [u8; MAX_MATCHING_DIM],
+    output_to_input: [u8; MAX_MATCHING_DIM],
 }
 
 impl Matching {
@@ -23,24 +36,25 @@ impl Matching {
     ///
     /// # Panics
     ///
-    /// Panics if a dimension exceeds 256 (indices are stored as `u8`) or is
-    /// zero.
+    /// Panics if a dimension exceeds [`MAX_MATCHING_DIM`] or is zero.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && rows <= 256 && cols > 0 && cols <= 256);
+        assert!(rows > 0 && rows <= MAX_MATCHING_DIM && cols > 0 && cols <= MAX_MATCHING_DIM);
         Matching {
-            input_to_output: vec![None; rows],
-            output_to_input: vec![None; cols],
+            rows: rows as u8,
+            cols: cols as u8,
+            input_to_output: [UNMATCHED; MAX_MATCHING_DIM],
+            output_to_input: [UNMATCHED; MAX_MATCHING_DIM],
         }
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.input_to_output.len()
+        self.rows as usize
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.output_to_input.len()
+        self.cols as usize
     }
 
     /// Records a grant of `col` to `row`.
@@ -50,41 +64,48 @@ impl Matching {
     /// Panics if either side is already matched (that would violate the
     /// one-packet-per-port invariant) or out of range.
     pub fn grant(&mut self, row: usize, col: usize) {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert!(col < self.cols(), "col {col} out of range");
         assert!(
-            self.input_to_output[row].is_none(),
+            self.input_to_output[row] == UNMATCHED,
             "row {row} already matched"
         );
         assert!(
-            self.output_to_input[col].is_none(),
+            self.output_to_input[col] == UNMATCHED,
             "col {col} already matched"
         );
-        self.input_to_output[row] = Some(col as u8);
-        self.output_to_input[col] = Some(row as u8);
+        self.input_to_output[row] = col as u8;
+        self.output_to_input[col] = row as u8;
     }
 
     /// The output granted to `row`, if any.
     #[inline]
     pub fn output_of(&self, row: usize) -> Option<usize> {
-        self.input_to_output[row].map(|c| c as usize)
+        let c = self.input_to_output[row];
+        (c != UNMATCHED).then_some(c as usize)
     }
 
     /// The row granted `col`, if any.
     #[inline]
     pub fn input_of(&self, col: usize) -> Option<usize> {
-        self.output_to_input[col].map(|r| r as usize)
+        let r = self.output_to_input[col];
+        (r != UNMATCHED).then_some(r as usize)
     }
 
     /// Number of matched pairs.
     pub fn cardinality(&self) -> usize {
-        self.input_to_output.iter().flatten().count()
+        self.input_to_output[..self.rows()]
+            .iter()
+            .filter(|&&c| c != UNMATCHED)
+            .count()
     }
 
     /// Iterates over `(row, col)` grants in row order.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.input_to_output
+        self.input_to_output[..self.rows()]
             .iter()
             .enumerate()
-            .filter_map(|(r, c)| c.map(|c| (r, c as usize)))
+            .filter_map(|(r, &c)| (c != UNMATCHED).then_some((r, c as usize)))
     }
 
     /// Mask of matched rows.

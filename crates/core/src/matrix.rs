@@ -295,6 +295,23 @@ impl RequestMatrix {
         m
     }
 
+    /// Materializes every column's requester mask in one pass over the
+    /// rows (the transpose the iterative matching kernels consult once
+    /// per grant phase; cost proportional to the number of requests, not
+    /// `rows × cols`).
+    pub fn col_masks(&self) -> [u32; 32] {
+        let mut cols = [0u32; 32];
+        for (r, &row) in self.rows.iter().enumerate() {
+            let mut mask = row;
+            while mask != 0 {
+                let c = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                cols[c] |= 1 << r;
+            }
+        }
+        cols
+    }
+
     /// Total number of set cells.
     pub fn request_count(&self) -> usize {
         self.rows.iter().map(|r| r.count_ones() as usize).sum()

@@ -57,11 +57,17 @@ impl PimArbiter {
     /// Runs PIM on a request matrix.
     ///
     /// Rounds after the matching stops growing are skipped (they cannot
-    /// make progress: PIM never revokes a match).
+    /// make progress: PIM never revokes a match). The pass is
+    /// allocation-free: the grant table lives on the stack and the column
+    /// masks are materialized once per call instead of once per
+    /// column-visit.
     pub fn arbitrate(&mut self, req: &RequestMatrix, rng: &mut SimRng) -> Matching {
         let rows = req.rows();
         let cols = req.cols();
         let mut m = Matching::empty(rows, cols);
+        // The transpose is invariant across iterations; only the matched
+        // sets change.
+        let col_masks = req.col_masks();
 
         for _ in 0..self.iterations {
             let matched_rows = m.matched_rows();
@@ -70,13 +76,13 @@ impl PimArbiter {
             // Grant: each unmatched output randomly picks among the
             // requests from unmatched inputs.
             // grants[r] = mask of columns that granted row r.
-            let mut grants = vec![0u32; rows];
+            let mut grants = [0u32; crate::matching::MAX_MATCHING_DIM];
             let mut any_grant = false;
-            for c in 0..cols {
+            for (c, &col_mask) in col_masks.iter().enumerate().take(cols) {
                 if matched_cols & (1 << c) != 0 {
                     continue;
                 }
-                let requesters = req.col_mask(c) & !matched_rows;
+                let requesters = col_mask & !matched_rows;
                 if requesters != 0 {
                     let r = rng.pick_bit(requesters) as usize;
                     grants[r] |= 1 << c;
@@ -88,7 +94,7 @@ impl PimArbiter {
             }
 
             // Accept: each input with grants randomly accepts one.
-            for (r, &g) in grants.iter().enumerate() {
+            for (r, &g) in grants.iter().enumerate().take(rows) {
                 if g != 0 {
                     let c = rng.pick_bit(g) as usize;
                     m.grant(r, c);

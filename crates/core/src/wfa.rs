@@ -127,27 +127,55 @@ impl WfaArbiter {
         let mut m = Matching::empty(self.rows, self.cols);
         let mut free_rows = mask_of(self.rows);
         let mut free_cols = mask_of(self.cols);
+        // Row-order scratch lives on the stack: one wave per window on
+        // the saturated hot path must not touch the allocator.
+        let mut order = [0usize; crate::matching::MAX_MATCHING_DIM];
         match self.start {
             WfaStart::RoundRobin => {
-                let order: Vec<usize> = (0..self.rows).collect();
-                let s = self.ptr_primary % order.len();
-                self.ptr_primary = (s + 1) % order.len();
-                self.wave(req, &order, s, &mut free_rows, &mut free_cols, &mut m);
+                for (r, slot) in order.iter_mut().enumerate().take(self.rows) {
+                    *slot = r;
+                }
+                let s = self.ptr_primary % self.rows;
+                self.ptr_primary = (s + 1) % self.rows;
+                self.wave(
+                    req,
+                    &order[..self.rows],
+                    s,
+                    &mut free_rows,
+                    &mut free_cols,
+                    &mut m,
+                );
             }
             WfaStart::Rotary { network_rows } => {
-                let net: Vec<usize> = (0..self.rows)
-                    .filter(|&r| network_rows & (1 << r) != 0)
-                    .collect();
-                let local: Vec<usize> = (0..self.rows)
-                    .filter(|&r| network_rows & (1 << r) == 0)
-                    .collect();
-                let s1 = self.ptr_primary % net.len();
-                self.ptr_primary = (s1 + 1) % net.len();
-                self.wave(req, &net, s1, &mut free_rows, &mut free_cols, &mut m);
-                if !local.is_empty() {
+                let mut n = 0;
+                for r in 0..self.rows {
+                    if network_rows & (1 << r) != 0 {
+                        order[n] = r;
+                        n += 1;
+                    }
+                }
+                let net = n;
+                for r in 0..self.rows {
+                    if network_rows & (1 << r) == 0 {
+                        order[n] = r;
+                        n += 1;
+                    }
+                }
+                let s1 = self.ptr_primary % net;
+                self.ptr_primary = (s1 + 1) % net;
+                self.wave(
+                    req,
+                    &order[..net],
+                    s1,
+                    &mut free_rows,
+                    &mut free_cols,
+                    &mut m,
+                );
+                if n > net {
+                    let local = &order[net..n];
                     let s2 = self.ptr_secondary % local.len();
                     self.ptr_secondary = (s2 + 1) % local.len();
-                    self.wave(req, &local, s2, &mut free_rows, &mut free_cols, &mut m);
+                    self.wave(req, local, s2, &mut free_rows, &mut free_cols, &mut m);
                 }
             }
         }

@@ -75,6 +75,18 @@ impl AntiStarvation {
         self.cfg.enabled && now >= self.next_scan
     }
 
+    /// The tick of the next periodic re-count ([`Tick::MAX`] when the
+    /// mechanism is disabled). A loaded router must be stepped at this
+    /// tick even if it has no other work — the census must run on
+    /// schedule.
+    pub fn next_scan_tick(&self) -> Tick {
+        if self.cfg.enabled {
+            self.next_scan
+        } else {
+            Tick::MAX
+        }
+    }
+
     /// Replays the scans an *empty* router would have performed over
     /// skipped idle cycles: each would have counted zero old packets, so
     /// the only state change is the scan cadence advancing. Called by the

@@ -134,10 +134,20 @@ impl WindowSnapshot {
         }
     }
 
-    /// Clears all offers, keeping the allocation.
+    /// Clears all offers, keeping the allocation. Sparse: only cells the
+    /// previous window actually populated (tracked by the row masks) are
+    /// touched, so an idle or lightly-loaded window costs nothing — the
+    /// end state is identical to clearing every cell.
     pub fn reset(&mut self) {
-        self.candidates.fill(None);
-        self.row_masks.fill(0);
+        for (row, mask) in self.row_masks.iter_mut().enumerate() {
+            let mut m = *mask;
+            while m != 0 {
+                let col = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.candidates[row * self.cols + col] = None;
+            }
+            *mask = 0;
+        }
     }
 
     /// Records that `row` could dispatch `cand` through `col` (first
@@ -177,12 +187,13 @@ mod tests {
     fn read_port_gating() {
         let mut rp = ReadPortState::default();
         let la = Tick::new(0);
+        let id = |i| EntryId::new(i, 0);
         assert!(rp.can_arbitrate(Tick::ZERO, la, 2));
-        rp.inflight = vec![4, 9];
+        rp.inflight = vec![id(4), id(9)];
         assert!(!rp.can_arbitrate(Tick::ZERO, la, 2), "in-flight limit");
-        rp.retire(4);
+        rp.retire(id(4));
         assert!(rp.can_arbitrate(Tick::ZERO, la, 2));
-        rp.retire(4); // unknown ids are ignored
+        rp.retire(id(4)); // unknown ids are ignored
         rp.inflight.clear();
         rp.busy_until = Tick::new(100);
         assert!(!rp.can_arbitrate(Tick::new(99), la, 2), "streaming");
@@ -197,11 +208,11 @@ mod tests {
         let mut s = WindowSnapshot::new(2, 3);
         assert!(s.is_empty());
         let a = Candidate {
-            entry: 7,
+            entry: EntryId::new(7, 0),
             downstream_vc: None,
         };
         let b = Candidate {
-            entry: 9,
+            entry: EntryId::new(9, 0),
             downstream_vc: None,
         };
         s.offer(0, 1, a);
@@ -219,7 +230,7 @@ mod tests {
         let n = |t: u64, row: u8| Nomination {
             row,
             input: row / 2,
-            entry: 0,
+            entry: EntryId::new(0, 0),
             output: 0,
             downstream_vc: None,
             decide_at: Tick::new(t),

@@ -3,16 +3,86 @@
 //! The 21364's decode stage "writes the relevant information into an entry
 //! table, which contains the arbitration status of packets and is used in
 //! the subsequent arbitration pipeline stages" (§2.2). This module models
-//! that table: a slab of [`Entry`] records per input port, with per-VC
-//! age-ordered queues that the input arbiters scan during LA.
+//! that table: a generational slab of [`Entry`] records per input port,
+//! threaded into per-VC age-ordered intrusive lists that the input
+//! arbiters scan during LA.
+//!
+//! The storage is shaped for the *saturated* hot path, where every cycle
+//! touches these structures with hundreds of packets buffered:
+//!
+//! * **Slab + free list** — entries never move; an [`EntryId`] is a slot
+//!   index plus a generation stamp, so a stale handle (a nomination that
+//!   outlived its packet) is detectable instead of silently reading
+//!   whatever reused the slot. Freed slots are recycled LIFO.
+//! * **Dense scan metadata** — the decode stage distils exactly what the
+//!   LA readiness/eligibility test consumes into a compact 32-byte
+//!   [`EntryMeta`] per slot (intrusive queue links, generation, a
+//!   `ready_at` tick, and the candidate-output masks with their resolved
+//!   downstream VCs). The per-cycle scans walk only this dense array —
+//!   one cache line covers two packets — and touch the fat [`Entry`]
+//!   payload only when a packet actually wins consideration. The
+//!   metadata is updated at entry insert/release and at every state
+//!   transition, and [`InputBuffer::debug_validate`] checks
+//!   `cached metadata ≡ re-derivation from the entries` under
+//!   `debug_assertions` (tests call it in release too).
+//! * **Intrusive per-VC queues** — the links live in the metadata,
+//!   making grant-time dequeue and tail-time release O(1) instead of the
+//!   O(queue) shifting a `VecDeque::retain` pays.
+//! * **Incremental eligibility masks** — the buffer tracks, per VC, how
+//!   many queued entries are in the `Waiting` state (and how many of
+//!   those are local deliveries). Only `Waiting` entries can ever be
+//!   nominated, so the LA scans and the window snapshot skip whole VCs
+//!   by one mask test instead of walking their queues, and the
+//!   anti-starvation census walks only the old prefix of VCs that still
+//!   hold waiting packets.
 
-use crate::packet::Packet;
+use crate::packet::{CoherenceClass, Packet};
 use crate::route::RouteInfo;
 use crate::vc::{BufferConfig, VcId, NUM_VCS};
 use simcore::Tick;
 
-/// Index of an entry within one input port's slab.
-pub type EntryId = u32;
+/// Link terminator for the intrusive queue threading.
+pub const NIL_INDEX: u32 = u32::MAX;
+
+/// "No virtual channel" marker in [`EntryMeta`] VC fields.
+pub const NO_VC: u8 = u8::MAX;
+
+/// [`EntryMeta::flags`]: threaded into its VC queue (competing in LA).
+pub const META_QUEUED: u8 = 1 << 0;
+/// [`EntryMeta::flags`]: state is `Waiting` (the only nominable state).
+pub const META_WAITING: u8 = 1 << 1;
+/// [`EntryMeta::flags`]: the route is local delivery (no credits needed).
+pub const META_LOCAL: u8 = 1 << 2;
+
+/// Handle to an entry within one input port's slab: slot index plus the
+/// slot's generation at allocation time. Ordering is by `(index, gen)`;
+/// all tie-breaking order used by the arbitration engines reduces to the
+/// slot index, which reproduces the pre-generational `EntryId = u32`
+/// behaviour bit-for-bit (a slot's live handle is unique at any instant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId {
+    index: u32,
+    gen: u32,
+}
+
+impl EntryId {
+    /// Builds a handle from raw parts (tests and scaffolding).
+    pub fn new(index: u32, gen: u32) -> Self {
+        EntryId { index, gen }
+    }
+
+    /// The slab slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation stamp carried by this handle.
+    #[inline]
+    pub fn gen(self) -> u32 {
+        self.gen
+    }
+}
 
 /// Arbitration status of a buffered packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,19 +139,125 @@ impl Entry {
     }
 }
 
+/// The dense per-slot scan record: everything the LA readiness and
+/// eligibility tests consume, in 32 bytes. Derived from the [`Entry`] at
+/// insert time and kept in lock-step at every state transition, so the
+/// per-cycle scans never have to load the payload of a packet that
+/// cannot dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryMeta {
+    /// Next entry in this VC's age queue (`NIL_INDEX` at the tail or when
+    /// unqueued).
+    pub next: u32,
+    /// Previous entry in this VC's age queue.
+    prev: u32,
+    /// Slot generation; bumped on release.
+    pub gen: u32,
+    /// Earliest tick a `Waiting` entry can be nominated:
+    /// `max(not_before, eligible_at)`. `Entry::nominable(now)` is exactly
+    /// `flags & META_WAITING != 0 && ready_at <= now`.
+    pub ready_at: Tick,
+    /// `META_*` bits.
+    pub flags: u8,
+    /// Candidate outputs: the adaptive torus directions for transit
+    /// routes, or the wired sink ports for local routes.
+    pub outputs: u8,
+    /// The dimension-order escape output as a one-hot mask (0 for local).
+    pub escape_mask: u8,
+    /// Downstream adaptive VC index (`NO_VC` when the class must not
+    /// route adaptively, or for local routes).
+    pub adaptive_vc: u8,
+    /// Downstream deadlock-free VC index for the escape hop (`NO_VC` for
+    /// local routes).
+    pub escape_vc: u8,
+    /// The VC whose buffer the entry occupies here (for O(1) unlink).
+    pub vc: u8,
+}
+
+impl EntryMeta {
+    /// Derives the route-dependent fields from a freshly decoded entry.
+    fn route_fields(entry: &Entry) -> (u8, u8, u8, u8, u8) {
+        match &entry.route {
+            RouteInfo::Local { outputs } => (META_LOCAL, *outputs, 0, NO_VC, NO_VC),
+            RouteInfo::Transit {
+                adaptive,
+                escape,
+                escape_vc,
+            } => {
+                let class = entry.packet.class;
+                let avc = if class.may_route_adaptively() {
+                    VcId::adaptive(class).index() as u8
+                } else {
+                    NO_VC
+                };
+                let evc = if class == CoherenceClass::Special {
+                    VcId::special()
+                } else {
+                    VcId::escape(class, *escape_vc)
+                };
+                (0, *adaptive, 1u8 << escape.index(), avc, evc.index() as u8)
+            }
+        }
+    }
+
+    /// Recomputes the readiness tick after a state transition.
+    #[inline]
+    fn ready_at_of(entry: &Entry) -> Tick {
+        match entry.state {
+            EntryState::Waiting { not_before } => not_before.max(entry.eligible_at),
+            // Meaningless without META_WAITING; keep it inert.
+            _ => Tick::MAX,
+        }
+    }
+}
+
 /// One input port's entry table and VC queues.
 #[derive(Clone, Debug)]
 pub struct InputBuffer {
-    slab: Vec<Option<Entry>>,
-    free: Vec<EntryId>,
-    /// Age-ordered ids per VC (front = oldest). Entries leave the queue
-    /// when granted, but stay in the slab until their tail departs.
-    queues: [std::collections::VecDeque<EntryId>; NUM_VCS],
+    /// Dense scan metadata, indexed like `entries`.
+    meta: Vec<EntryMeta>,
+    /// The packet payloads (loaded only off the scan's hot path).
+    entries: Vec<Option<Entry>>,
+    /// Freed slot indices, recycled LIFO.
+    free: Vec<u32>,
+    /// Head (oldest) of each VC's age queue.
+    head: [u32; NUM_VCS],
+    /// Tail (youngest) of each VC's age queue.
+    tail: [u32; NUM_VCS],
     /// Buffered-packet count per VC, including departing entries (the
     /// physical slot is held until the tail flit is read out).
     occupancy: [u16; NUM_VCS],
     /// Sum of `occupancy` (kept in step so quiescence checks are O(1)).
     total: u16,
+    /// Entries in the `Departing` state (kept in step so the
+    /// packet-conservation census is O(1)).
+    departing: u16,
+    /// Queued entries in the `Waiting` state, per VC.
+    waiting: [u16; NUM_VCS],
+    /// Bit `v` set while `waiting[v] > 0` (mask-parallel LA skipping:
+    /// only `Waiting` entries can be nominated).
+    waiting_mask: u32,
+    /// Queued `Waiting` entries whose route is local delivery, per VC.
+    /// Local candidates depend only on sink-port state, so the LA class
+    /// prune must not skip VCs that hold one.
+    local_waiting: [u16; NUM_VCS],
+    /// Bit `v` set while `local_waiting[v] > 0`.
+    local_waiting_mask: u32,
+    /// Per (VC, torus direction): queued `Waiting` entries whose adaptive
+    /// candidate set includes that direction. The union bitmasks below
+    /// are the request-tracking image the LA prune intersects with the
+    /// free and credited masks — a VC whose unions miss every live
+    /// direction provably cannot nominate and is skipped without a walk.
+    dir_adaptive: [[u16; 4]; NUM_VCS],
+    /// Union over `dir_adaptive[v]`: bit `d` set while some waiting entry
+    /// of `v` could route adaptively through direction `d`.
+    want_adaptive: [u8; NUM_VCS],
+    /// Like `dir_adaptive`, for the escape hop, split by resolved escape
+    /// VC group (`escape_vc % 3 == 2` selects group 1; the special class
+    /// and VC0 escapes land in group 0).
+    dir_escape: [[[u16; 4]; NUM_VCS]; 2],
+    /// Unions over `dir_escape[g][v]`.
+    want_escape: [[u8; NUM_VCS]; 2],
     /// Bit `v` set while `queues[v]` is non-empty (fast LA skipping).
     non_empty: u32,
     caps: BufferConfig,
@@ -91,13 +267,122 @@ impl InputBuffer {
     /// Creates an empty buffer with the given partition.
     pub fn new(caps: BufferConfig) -> Self {
         InputBuffer {
-            slab: Vec::new(),
+            meta: Vec::new(),
+            entries: Vec::new(),
             free: Vec::new(),
-            queues: std::array::from_fn(|_| std::collections::VecDeque::new()),
+            head: [NIL_INDEX; NUM_VCS],
+            tail: [NIL_INDEX; NUM_VCS],
             occupancy: [0; NUM_VCS],
             total: 0,
+            departing: 0,
+            waiting: [0; NUM_VCS],
+            waiting_mask: 0,
+            local_waiting: [0; NUM_VCS],
+            local_waiting_mask: 0,
+            dir_adaptive: [[0; 4]; NUM_VCS],
+            want_adaptive: [0; NUM_VCS],
+            dir_escape: [[[0; 4]; NUM_VCS]; 2],
+            want_escape: [[0; NUM_VCS]; 2],
             non_empty: 0,
             caps,
+        }
+    }
+
+    /// The escape-VC group of a meta record (see `dir_escape`).
+    #[inline]
+    fn escape_group(m: &EntryMeta) -> usize {
+        (m.escape_vc % 3 == 2) as usize
+    }
+
+    /// Adds one waiting entry's candidate directions to the unions.
+    #[inline]
+    fn add_dirs(&mut self, v: usize, m: &EntryMeta) {
+        if m.flags & META_LOCAL != 0 {
+            return;
+        }
+        let adaptive = if m.adaptive_vc != NO_VC { m.outputs } else { 0 };
+        let mut bits = adaptive;
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.dir_adaptive[v][d] += 1;
+            self.want_adaptive[v] |= 1 << d;
+        }
+        if m.escape_mask != 0 {
+            let g = Self::escape_group(m);
+            let d = m.escape_mask.trailing_zeros() as usize;
+            self.dir_escape[g][v][d] += 1;
+            self.want_escape[g][v] |= 1 << d;
+        }
+    }
+
+    /// Removes one waiting entry's candidate directions from the unions.
+    #[inline]
+    fn remove_dirs(&mut self, v: usize, m: &EntryMeta) {
+        if m.flags & META_LOCAL != 0 {
+            return;
+        }
+        let adaptive = if m.adaptive_vc != NO_VC { m.outputs } else { 0 };
+        let mut bits = adaptive;
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.dir_adaptive[v][d] -= 1;
+            if self.dir_adaptive[v][d] == 0 {
+                self.want_adaptive[v] &= !(1 << d);
+            }
+        }
+        if m.escape_mask != 0 {
+            let g = Self::escape_group(m);
+            let d = m.escape_mask.trailing_zeros() as usize;
+            self.dir_escape[g][v][d] -= 1;
+            if self.dir_escape[g][v][d] == 0 {
+                self.want_escape[g][v] &= !(1 << d);
+            }
+        }
+    }
+
+    /// Queued `Waiting` entries of VC `v` (the depth the LA scan would
+    /// have to walk; used to decide whether the union prune pays).
+    #[inline]
+    pub fn waiting_count(&self, v: usize) -> usize {
+        self.waiting[v] as usize
+    }
+
+    /// The candidate-direction unions of VC `v`'s queued waiting entries:
+    /// `(adaptive, escape group 0, escape group 1)`.
+    #[inline]
+    pub fn want_masks(&self, v: usize) -> (u8, u8, u8) {
+        (
+            self.want_adaptive[v],
+            self.want_escape[0][v],
+            self.want_escape[1][v],
+        )
+    }
+
+    /// Bumps the waiting counters for one queued `Waiting` entry of `v`.
+    #[inline]
+    fn inc_waiting(&mut self, v: usize, local: bool) {
+        self.waiting[v] += 1;
+        self.waiting_mask |= 1 << v;
+        if local {
+            self.local_waiting[v] += 1;
+            self.local_waiting_mask |= 1 << v;
+        }
+    }
+
+    /// Drops the waiting counters for one queued `Waiting` entry of `v`.
+    #[inline]
+    fn dec_waiting(&mut self, v: usize, local: bool) {
+        self.waiting[v] -= 1;
+        if self.waiting[v] == 0 {
+            self.waiting_mask &= !(1 << v);
+        }
+        if local {
+            self.local_waiting[v] -= 1;
+            if self.local_waiting[v] == 0 {
+                self.local_waiting_mask &= !(1 << v);
+            }
         }
     }
 
@@ -105,6 +390,37 @@ impl InputBuffer {
     #[inline]
     pub fn non_empty_mask(&self) -> u32 {
         self.non_empty
+    }
+
+    /// Mask (over VC indices) of VCs with at least one queued entry in
+    /// the `Waiting` state — the only entries an LA scan can nominate.
+    /// Maintained incrementally at insert/release/state transitions.
+    #[inline]
+    pub fn waiting_mask(&self) -> u32 {
+        self.waiting_mask
+    }
+
+    /// Mask (over VC indices) of VCs with at least one queued `Waiting`
+    /// entry bound for a *local* sink. These bypass the class-level
+    /// credit prune (local delivery consumes no credits).
+    #[inline]
+    pub fn local_waiting_mask(&self) -> u32 {
+        self.local_waiting_mask
+    }
+
+    /// The dense scan-metadata slab (parallel to the entry slots). The LA
+    /// scans walk this directly via [`InputBuffer::queue_head`] and
+    /// [`EntryMeta::next`].
+    #[inline]
+    pub fn metas(&self) -> &[EntryMeta] {
+        &self.meta
+    }
+
+    /// The head (oldest) slot index of one VC's age queue, or
+    /// [`NIL_INDEX`].
+    #[inline]
+    pub fn queue_head(&self, vc: VcId) -> u32 {
+        self.head[vc.index()]
     }
 
     /// Free packet slots remaining in `vc`.
@@ -125,7 +441,10 @@ impl InputBuffer {
         self.total as usize
     }
 
-    /// Inserts a packet entry, claiming one slot of its VC.
+    /// Inserts a packet entry, claiming one slot of its VC. The entry
+    /// must be in the `Waiting` state (fresh arrivals always are), and —
+    /// because arrivals decode in eligibility order — must not be older
+    /// than the current queue tail.
     ///
     /// # Panics
     ///
@@ -134,93 +453,290 @@ impl InputBuffer {
     /// runtime condition.
     pub fn insert(&mut self, entry: Entry) -> EntryId {
         let vc = entry.vc;
+        let v = vc.index();
         assert!(
             self.space(vc) > 0,
             "buffer overflow on {vc}: flow control violated"
         );
-        self.occupancy[vc.index()] += 1;
+        debug_assert!(
+            matches!(entry.state, EntryState::Waiting { .. }),
+            "entries are inserted in the Waiting state"
+        );
+        // Age order along each queue doubles as eligibility order; the
+        // anti-starvation census relies on it to stop at the first young
+        // entry.
+        debug_assert!(
+            self.tail[v] == NIL_INDEX
+                || self.entries[self.tail[v] as usize]
+                    .as_ref()
+                    .is_some_and(|tail| tail.eligible_at <= entry.eligible_at),
+            "arrivals must be inserted in eligibility order"
+        );
+        self.occupancy[v] += 1;
         self.total += 1;
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.slab[id as usize] = Some(entry);
-                id
+        let (route_flags, outputs, escape_mask, adaptive_vc, escape_vc) =
+            EntryMeta::route_fields(&entry);
+        let ready_at = EntryMeta::ready_at_of(&entry);
+        let local = route_flags & META_LOCAL != 0;
+        let index = match self.free.pop() {
+            Some(index) => {
+                debug_assert!(self.entries[index as usize].is_none());
+                self.entries[index as usize] = Some(entry);
+                index
             }
             None => {
-                self.slab.push(Some(entry));
-                (self.slab.len() - 1) as EntryId
+                self.entries.push(Some(entry));
+                self.meta.push(EntryMeta {
+                    next: NIL_INDEX,
+                    prev: NIL_INDEX,
+                    gen: 0,
+                    ready_at: Tick::MAX,
+                    flags: 0,
+                    outputs: 0,
+                    escape_mask: 0,
+                    adaptive_vc: NO_VC,
+                    escape_vc: NO_VC,
+                    vc: 0,
+                });
+                (self.entries.len() - 1) as u32
             }
         };
-        self.queues[vc.index()].push_back(id);
-        self.non_empty |= 1 << vc.index();
-        id
+        {
+            let m = &mut self.meta[index as usize];
+            m.ready_at = ready_at;
+            m.flags = route_flags | META_WAITING;
+            m.outputs = outputs;
+            m.escape_mask = escape_mask;
+            m.adaptive_vc = adaptive_vc;
+            m.escape_vc = escape_vc;
+            m.vc = v as u8;
+        }
+        self.link_tail(v, index);
+        self.inc_waiting(v, local);
+        let m = self.meta[index as usize];
+        self.add_dirs(v, &m);
+        self.non_empty |= 1 << v;
+        EntryId { index, gen: m.gen }
+    }
+
+    /// Threads `index` at the tail of VC queue `v`.
+    fn link_tail(&mut self, v: usize, index: u32) {
+        let tail = self.tail[v];
+        {
+            let m = &mut self.meta[index as usize];
+            m.prev = tail;
+            m.next = NIL_INDEX;
+            m.flags |= META_QUEUED;
+        }
+        if tail == NIL_INDEX {
+            self.head[v] = index;
+        } else {
+            self.meta[tail as usize].next = index;
+        }
+        self.tail[v] = index;
+    }
+
+    /// Unthreads `index` from VC queue `v`; a no-op when not queued.
+    fn unlink(&mut self, v: usize, index: u32) {
+        let m = &self.meta[index as usize];
+        if m.flags & META_QUEUED == 0 {
+            return;
+        }
+        let (prev, next) = (m.prev, m.next);
+        if prev == NIL_INDEX {
+            self.head[v] = next;
+        } else {
+            self.meta[prev as usize].next = next;
+        }
+        if next == NIL_INDEX {
+            self.tail[v] = prev;
+        } else {
+            self.meta[next as usize].prev = prev;
+        }
+        let m = &mut self.meta[index as usize];
+        m.prev = NIL_INDEX;
+        m.next = NIL_INDEX;
+        m.flags &= !META_QUEUED;
+        if self.head[v] == NIL_INDEX {
+            self.non_empty &= !(1 << v);
+        }
+    }
+
+    #[inline]
+    fn check_current(&self, id: EntryId) {
+        assert!(
+            self.meta[id.index()].gen == id.gen && self.entries[id.index()].is_some(),
+            "stale entry id"
+        );
     }
 
     /// Immutable access.
     ///
     /// # Panics
     ///
-    /// Panics if the id is stale.
+    /// Panics if the id is stale (released, or released and reused).
     #[inline]
     pub fn entry(&self, id: EntryId) -> &Entry {
-        self.slab[id as usize].as_ref().expect("stale entry id")
+        self.check_current(id);
+        self.entries[id.index()].as_ref().expect("stale entry id")
     }
 
-    /// Mutable access.
+    /// The eligibility tick of the live entry in `index` (anti-starvation
+    /// age checks; the dense metadata intentionally omits it).
     ///
     /// # Panics
     ///
-    /// Panics if the id is stale.
+    /// Panics if the slot is free.
     #[inline]
-    pub fn entry_mut(&mut self, id: EntryId) -> &mut Entry {
-        self.slab[id as usize].as_mut().expect("stale entry id")
+    pub fn entry_eligible_at(&self, index: u32) -> Tick {
+        self.entries[index as usize]
+            .as_ref()
+            .expect("queued slot is live")
+            .eligible_at
     }
 
-    /// The age-ordered id queue of one VC.
+    /// Immutable access that tolerates stale handles: `None` once the
+    /// entry has been released (even if the slot was reused since). Used
+    /// by the GA stage's liveness check on in-flight nominations.
     #[inline]
-    pub fn queue(&self, vc: VcId) -> &std::collections::VecDeque<EntryId> {
-        &self.queues[vc.index()]
+    pub fn entry_if_current(&self, id: EntryId) -> Option<&Entry> {
+        if self.meta[id.index()].gen == id.gen {
+            self.entries[id.index()].as_ref()
+        } else {
+            None
+        }
     }
 
-    /// Removes an id from its VC queue (on grant: the packet no longer
-    /// competes in LA, though its slot remains held).
+    /// Transition a `Waiting` entry to `Nominated` (LA nominated it).
+    pub fn set_nominated(&mut self, id: EntryId, read_port: u8, output: u8, decide_at: Tick) {
+        self.check_current(id);
+        let e = self.entries[id.index()].as_mut().expect("checked");
+        debug_assert!(matches!(e.state, EntryState::Waiting { .. }));
+        e.state = EntryState::Nominated {
+            read_port,
+            output,
+            decide_at,
+        };
+        let (v, local) = (e.vc.index(), e.route.is_local());
+        let m = &mut self.meta[id.index()];
+        m.flags &= !META_WAITING;
+        m.ready_at = Tick::MAX;
+        let m = self.meta[id.index()];
+        self.dec_waiting(v, local);
+        self.remove_dirs(v, &m);
+    }
+
+    /// Transition a `Nominated` entry back to `Waiting` (its nomination
+    /// lost output arbitration or was abandoned).
+    pub fn set_waiting(&mut self, id: EntryId, not_before: Tick) {
+        self.check_current(id);
+        let e = self.entries[id.index()].as_mut().expect("checked");
+        debug_assert!(matches!(e.state, EntryState::Nominated { .. }));
+        e.state = EntryState::Waiting { not_before };
+        let (v, local, ready_at) = (
+            e.vc.index(),
+            e.route.is_local(),
+            not_before.max(e.eligible_at),
+        );
+        let m = &mut self.meta[id.index()];
+        m.flags |= META_WAITING;
+        m.ready_at = ready_at;
+        let m = self.meta[id.index()];
+        self.inc_waiting(v, local);
+        self.add_dirs(v, &m);
+    }
+
+    /// Commits a grant: the entry stops competing in LA (dequeued) and
+    /// streams until `done_at`, when its slot frees.
+    pub fn begin_departure(&mut self, id: EntryId, done_at: Tick) {
+        self.dequeue(id);
+        let e = self.entries[id.index()].as_mut().expect("stale entry id");
+        debug_assert!(!matches!(e.state, EntryState::Departing { .. }));
+        e.state = EntryState::Departing { done_at };
+        let m = &mut self.meta[id.index()];
+        m.flags &= !META_WAITING;
+        m.ready_at = Tick::MAX;
+        self.departing += 1;
+    }
+
+    /// Iterates a VC's age queue (oldest first), yielding live handles.
+    #[inline]
+    pub fn queue_iter(&self, vc: VcId) -> QueueIter<'_> {
+        QueueIter {
+            meta: &self.meta,
+            next: self.head[vc.index()],
+        }
+    }
+
+    /// Removes an id from its VC queue (the packet no longer competes in
+    /// LA, though its slot remains held). O(1) via the intrusive links.
     pub fn dequeue(&mut self, id: EntryId) {
-        let vc = self.entry(id).vc;
-        self.queues[vc.index()].retain(|&e| e != id);
-        if self.queues[vc.index()].is_empty() {
-            self.non_empty &= !(1 << vc.index());
+        let e = self.entry(id);
+        let (v, local) = (e.vc.index(), e.route.is_local());
+        let m = self.meta[id.index()];
+        let waiting_in_queue = m.flags & META_QUEUED != 0 && m.flags & META_WAITING != 0;
+        self.unlink(v, id.index);
+        if waiting_in_queue {
+            self.dec_waiting(v, local);
+            self.remove_dirs(v, &m);
         }
     }
 
     /// Releases an entry's slot (tail flit read out). Returns the freed
-    /// entry.
+    /// entry; the handle (and any copies of it) goes stale.
     ///
     /// # Panics
     ///
     /// Panics if the id is stale.
     pub fn release(&mut self, id: EntryId) -> Entry {
-        let entry = self.slab[id as usize].take().expect("stale entry id");
-        self.occupancy[entry.vc.index()] -= 1;
-        self.total -= 1;
-        self.free.push(id);
-        // Granted entries were dequeued already; releasing a waiting entry
-        // (e.g. in teardown paths) must also purge the queue.
-        self.queues[entry.vc.index()].retain(|&e| e != id);
-        if self.queues[entry.vc.index()].is_empty() {
-            self.non_empty &= !(1 << entry.vc.index());
+        // Granted entries were dequeued already; releasing a still-waiting
+        // entry (e.g. in teardown paths) must also unthread it, keeping
+        // the waiting masks in step.
+        self.dequeue(id);
+        let index = id.index();
+        let entry = self.entries[index].take().expect("stale entry id");
+        let v = entry.vc.index();
+        if matches!(entry.state, EntryState::Departing { .. }) {
+            self.departing -= 1;
         }
+        self.occupancy[v] -= 1;
+        self.total -= 1;
+        let m = &mut self.meta[index];
+        m.gen = m.gen.wrapping_add(1);
+        m.flags = 0;
+        m.ready_at = Tick::MAX;
+        self.free.push(id.index);
         entry
     }
 
     /// Counts entries that became eligible at or before `cutoff` and are
-    /// still waiting (the anti-starvation "old" census).
+    /// still waiting (the anti-starvation "old" census). Thanks to the
+    /// incremental waiting masks and the age order of the queues, the
+    /// walk visits only the old prefix of VCs that hold waiting entries
+    /// instead of every buffered packet.
     pub fn count_old(&self, cutoff: Tick) -> u32 {
+        #[cfg(debug_assertions)]
+        self.debug_validate();
         let mut n = 0;
-        for q in &self.queues {
-            for &id in q {
-                let e = self.entry(id);
-                if e.eligible_at <= cutoff && matches!(e.state, EntryState::Waiting { .. }) {
+        let mut mask = self.non_empty & self.waiting_mask;
+        while mask != 0 {
+            let v = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let mut cur = self.head[v];
+            while cur != NIL_INDEX {
+                let m = &self.meta[cur as usize];
+                let e = self.entries[cur as usize]
+                    .as_ref()
+                    .expect("queued slot is live");
+                if e.eligible_at > cutoff {
+                    // Queues are age-ordered, so every younger entry
+                    // behind this one is also past the cutoff.
+                    break;
+                }
+                if m.flags & META_WAITING != 0 {
                     n += 1;
                 }
+                cur = m.next;
             }
         }
         n
@@ -228,19 +744,172 @@ impl InputBuffer {
 
     /// Iterates over the ids of all queued (not yet granted) entries.
     pub fn queued_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
-        self.queues.iter().flatten().copied()
+        (0..NUM_VCS).flat_map(move |v| QueueIter {
+            meta: &self.meta,
+            next: self.head[v],
+        })
     }
 
     /// Number of buffered packets that still *belong* to this router —
     /// everything except departing entries, whose ownership has moved to
     /// the downstream router (or the delivery queue). Used for
-    /// packet-conservation accounting.
+    /// packet-conservation accounting. O(1): both counts are maintained
+    /// incrementally.
     pub fn owned_packets(&self) -> usize {
-        self.slab
-            .iter()
-            .flatten()
-            .filter(|e| !matches!(e.state, EntryState::Departing { .. }))
-            .count()
+        (self.total - self.departing) as usize
+    }
+
+    /// Recomputes every cached mask, counter, and metadata record from a
+    /// full slab re-scan and asserts the incremental state matches. The
+    /// census invokes it under `debug_assertions` only; release builds
+    /// trust the incremental updates this assertion proves (tests may
+    /// call it directly in any profile).
+    pub fn debug_validate(&self) {
+        assert_eq!(self.meta.len(), self.entries.len(), "slab split drifted");
+        let mut waiting = [0u16; NUM_VCS];
+        let mut local_waiting = [0u16; NUM_VCS];
+        let mut occupancy = [0u16; NUM_VCS];
+        let mut dir_adaptive = [[0u16; 4]; NUM_VCS];
+        let mut dir_escape = [[[0u16; 4]; NUM_VCS]; 2];
+        let mut departing = 0u16;
+        let mut queued = 0usize;
+        for (i, slot) in self.entries.iter().enumerate() {
+            let m = &self.meta[i];
+            let Some(e) = slot.as_ref() else {
+                assert!(m.flags & META_QUEUED == 0, "freed slot still queued");
+                continue;
+            };
+            occupancy[e.vc.index()] += 1;
+            // The dense metadata must agree with a fresh derivation.
+            let (route_flags, outputs, escape_mask, adaptive_vc, escape_vc) =
+                EntryMeta::route_fields(e);
+            assert_eq!(m.flags & META_LOCAL, route_flags, "route flag drifted");
+            assert_eq!(m.outputs, outputs, "candidate outputs drifted");
+            assert_eq!(m.escape_mask, escape_mask, "escape mask drifted");
+            assert_eq!(m.adaptive_vc, adaptive_vc, "adaptive VC drifted");
+            assert_eq!(m.escape_vc, escape_vc, "escape VC drifted");
+            assert_eq!(m.vc as usize, e.vc.index(), "buffer VC drifted");
+            assert_eq!(
+                m.flags & META_WAITING != 0,
+                matches!(e.state, EntryState::Waiting { .. }),
+                "waiting flag drifted"
+            );
+            assert_eq!(
+                m.ready_at,
+                EntryMeta::ready_at_of(e),
+                "readiness tick drifted"
+            );
+            match e.state {
+                EntryState::Departing { .. } => departing += 1,
+                EntryState::Waiting { .. } if m.flags & META_QUEUED != 0 => {
+                    let v = e.vc.index();
+                    waiting[v] += 1;
+                    if e.route.is_local() {
+                        local_waiting[v] += 1;
+                    } else {
+                        let mut bits = if m.adaptive_vc != NO_VC { m.outputs } else { 0 };
+                        while bits != 0 {
+                            let d = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            dir_adaptive[v][d] += 1;
+                        }
+                        if m.escape_mask != 0 {
+                            let g = Self::escape_group(m);
+                            dir_escape[g][v][m.escape_mask.trailing_zeros() as usize] += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for v in 0..NUM_VCS {
+            let mut prev_eligible = Tick::ZERO;
+            let mut cur = self.head[v];
+            let mut len = 0usize;
+            while cur != NIL_INDEX {
+                let m = &self.meta[cur as usize];
+                assert!(m.flags & META_QUEUED != 0, "queue references unqueued slot");
+                let e = self.entries[cur as usize]
+                    .as_ref()
+                    .expect("queued slot is live");
+                assert_eq!(e.vc.index(), v, "entry threaded into the wrong VC");
+                assert!(prev_eligible <= e.eligible_at, "queue out of age order");
+                prev_eligible = e.eligible_at;
+                len += 1;
+                cur = m.next;
+            }
+            queued += len;
+            assert_eq!(self.waiting[v], waiting[v], "waiting count drifted");
+            assert_eq!(
+                self.waiting_mask & (1 << v) != 0,
+                waiting[v] > 0,
+                "waiting mask drifted"
+            );
+            assert_eq!(
+                self.local_waiting[v], local_waiting[v],
+                "local waiting count drifted"
+            );
+            assert_eq!(
+                self.local_waiting_mask & (1 << v) != 0,
+                local_waiting[v] > 0,
+                "local waiting mask drifted"
+            );
+            assert_eq!(
+                self.non_empty & (1 << v) != 0,
+                len > 0,
+                "non-empty mask drifted"
+            );
+            assert_eq!(self.occupancy[v], occupancy[v], "occupancy drifted");
+            assert_eq!(
+                self.dir_adaptive[v], dir_adaptive[v],
+                "adaptive direction counts drifted"
+            );
+            let mut want_a = 0u8;
+            for (d, &n) in dir_adaptive[v].iter().enumerate() {
+                if n > 0 {
+                    want_a |= 1 << d;
+                }
+            }
+            assert_eq!(self.want_adaptive[v], want_a, "adaptive union drifted");
+            for (g, computed) in dir_escape.iter().enumerate() {
+                assert_eq!(
+                    self.dir_escape[g][v], computed[v],
+                    "escape direction counts drifted"
+                );
+                let mut want_e = 0u8;
+                for (d, &n) in computed[v].iter().enumerate() {
+                    if n > 0 {
+                        want_e |= 1 << d;
+                    }
+                }
+                assert_eq!(self.want_escape[g][v], want_e, "escape union drifted");
+            }
+        }
+        let live = self.entries.iter().filter(|s| s.is_some()).count();
+        assert_eq!(self.total as usize, live, "total occupancy drifted");
+        assert_eq!(self.departing, departing, "departing count drifted");
+        assert!(queued <= live, "more queued than live entries");
+    }
+}
+
+/// Iterator over one VC's age-ordered live entry handles.
+pub struct QueueIter<'a> {
+    meta: &'a [EntryMeta],
+    next: u32,
+}
+
+impl Iterator for QueueIter<'_> {
+    type Item = EntryId;
+
+    #[inline]
+    fn next(&mut self) -> Option<EntryId> {
+        if self.next == NIL_INDEX {
+            return None;
+        }
+        let index = self.next;
+        let m = &self.meta[index as usize];
+        self.next = m.next;
+        Some(EntryId { index, gen: m.gen })
     }
 }
 
@@ -279,6 +948,10 @@ mod tests {
         VcId::adaptive(CoherenceClass::Request)
     }
 
+    fn queue_vec(buf: &InputBuffer, vc: VcId) -> Vec<EntryId> {
+        buf.queue_iter(vc).collect()
+    }
+
     #[test]
     fn insert_and_release_round_trip() {
         let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
@@ -286,11 +959,13 @@ mod tests {
         let id = buf.insert(entry(vc(), 5));
         assert_eq!(buf.space(vc()), 49);
         assert_eq!(buf.total_occupancy(), 1);
-        assert_eq!(buf.queue(vc()).len(), 1);
+        assert_eq!(queue_vec(&buf, vc()).len(), 1);
+        buf.debug_validate();
         let e = buf.release(id);
         assert_eq!(e.packet.id, PacketId(5));
         assert_eq!(buf.space(vc()), 50);
-        assert!(buf.queue(vc()).is_empty());
+        assert!(queue_vec(&buf, vc()).is_empty());
+        buf.debug_validate();
     }
 
     #[test]
@@ -299,24 +974,32 @@ mod tests {
         let a = buf.insert(entry(vc(), 1));
         let b = buf.insert(entry(vc(), 2));
         let c = buf.insert(entry(vc(), 3));
-        assert_eq!(
-            buf.queue(vc()).iter().copied().collect::<Vec<_>>(),
-            vec![a, b, c]
-        );
+        assert_eq!(queue_vec(&buf, vc()), vec![a, b, c]);
         buf.dequeue(b);
-        assert_eq!(
-            buf.queue(vc()).iter().copied().collect::<Vec<_>>(),
-            vec![a, c]
-        );
+        assert_eq!(queue_vec(&buf, vc()), vec![a, c]);
+        buf.debug_validate();
     }
 
     #[test]
-    fn slot_reuse() {
+    fn slot_reuse_bumps_generation() {
         let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
         let a = buf.insert(entry(vc(), 1));
         buf.release(a);
         let b = buf.insert(entry(vc(), 2));
-        assert_eq!(a, b, "freed slot is reused");
+        assert_eq!(a.index(), b.index(), "freed slot is reused");
+        assert_ne!(a.gen(), b.gen(), "reuse invalidates old handles");
+        assert!(buf.entry_if_current(a).is_none(), "stale handle detected");
+        assert!(buf.entry_if_current(b).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale entry id")]
+    fn stale_handle_panics() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let a = buf.insert(entry(vc(), 1));
+        buf.release(a);
+        buf.insert(entry(vc(), 2));
+        let _ = buf.entry(a);
     }
 
     #[test]
@@ -344,6 +1027,23 @@ mod tests {
     }
 
     #[test]
+    fn meta_mirrors_nominable() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let a = buf.insert(entry(vc(), 100));
+        let m = buf.metas()[a.index()];
+        assert_eq!(m.ready_at, Tick::new(100), "ready_at = eligible_at");
+        assert!(m.flags & META_WAITING != 0);
+        // A GA loss pushes readiness to the backoff tick.
+        buf.set_nominated(a, 0, 0, Tick::new(120));
+        assert_eq!(buf.metas()[a.index()].flags & META_WAITING, 0);
+        buf.set_waiting(a, Tick::new(150));
+        let m = buf.metas()[a.index()];
+        assert!(m.flags & META_WAITING != 0);
+        assert_eq!(m.ready_at, Tick::new(150), "ready_at = not_before");
+        buf.debug_validate();
+    }
+
+    #[test]
     fn old_census() {
         let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
         buf.insert(entry(vc(), 10));
@@ -351,6 +1051,21 @@ mod tests {
         buf.insert(entry(vc(), 300));
         assert_eq!(buf.count_old(Tick::new(25)), 2);
         assert_eq!(buf.count_old(Tick::new(5)), 0);
+    }
+
+    #[test]
+    fn old_census_skips_non_waiting_states() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let a = buf.insert(entry(vc(), 10));
+        let b = buf.insert(entry(vc(), 20));
+        buf.insert(entry(vc(), 30));
+        buf.set_nominated(a, 0, 0, Tick::new(100));
+        assert_eq!(buf.count_old(Tick::new(50)), 2, "nominated not old");
+        buf.begin_departure(b, Tick::new(200));
+        assert_eq!(buf.count_old(Tick::new(50)), 1, "departing not old");
+        buf.set_waiting(a, Tick::new(101));
+        assert_eq!(buf.count_old(Tick::new(50)), 2, "re-waiting counts again");
+        buf.debug_validate();
     }
 
     #[test]
@@ -365,6 +1080,45 @@ mod tests {
         let b = buf.insert(entry(vc(), 2));
         buf.release(b);
         assert_eq!(buf.non_empty_mask(), 0, "release clears the bit");
+    }
+
+    #[test]
+    fn waiting_mask_follows_state_transitions() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let bit = 1 << vc().index();
+        assert_eq!(buf.waiting_mask(), 0);
+        let a = buf.insert(entry(vc(), 1));
+        let b = buf.insert(entry(vc(), 2));
+        assert_eq!(buf.waiting_mask(), bit);
+        buf.set_nominated(a, 0, 3, Tick::new(40));
+        assert_eq!(buf.waiting_mask(), bit, "b still waits");
+        buf.set_nominated(b, 1, 2, Tick::new(40));
+        assert_eq!(buf.waiting_mask(), 0, "no waiting entries left");
+        buf.set_waiting(a, Tick::new(60));
+        assert_eq!(buf.waiting_mask(), bit);
+        buf.begin_departure(a, Tick::new(90));
+        assert_eq!(buf.waiting_mask(), 0);
+        assert_eq!(buf.owned_packets(), 1, "departing no longer owned");
+        buf.debug_validate();
+    }
+
+    #[test]
+    fn local_waiting_mask_tracks_local_routes() {
+        let mut buf = InputBuffer::new(BufferConfig::alpha_21364());
+        let mut local = entry(vc(), 1);
+        local.route = RouteInfo::local(0b011_0000);
+        let a = buf.insert(local);
+        buf.insert(entry(vc(), 2));
+        let bit = 1 << vc().index();
+        assert_eq!(buf.local_waiting_mask(), bit);
+        let m = buf.metas()[a.index()];
+        assert!(m.flags & META_LOCAL != 0);
+        assert_eq!(m.outputs, 0b011_0000, "local sinks cached");
+        assert_eq!(m.adaptive_vc, NO_VC);
+        buf.begin_departure(a, Tick::new(50));
+        assert_eq!(buf.local_waiting_mask(), 0, "transit entry is not local");
+        assert_eq!(buf.waiting_mask(), bit, "transit entry still waits");
+        buf.debug_validate();
     }
 
     #[test]

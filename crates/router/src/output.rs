@@ -161,11 +161,19 @@ impl OutputState {
 }
 
 /// Per-torus-output credit counters for the downstream router's buffers.
+///
+/// Besides the exact counters, the bank maintains — incrementally, at
+/// every consume/refund — a per-VC bitmask of torus outputs that hold at
+/// least one credit. The LA eligibility test is a pure mask intersection
+/// (`adaptive ∩ wired ∩ free ∩ credited`), so the saturated scan never
+/// probes counters output-by-output.
 #[derive(Clone, Debug)]
 pub struct CreditBank {
     /// `credits[dir][vc]` = free downstream packet slots; `dir` indexes
     /// the four torus outputs.
     credits: [[u16; NUM_VCS]; 4],
+    /// Bit `dir` of `credited[vc]` set while `credits[dir][vc] > 0`.
+    credited: [u8; NUM_VCS],
 }
 
 impl CreditBank {
@@ -173,12 +181,17 @@ impl CreditBank {
     /// downstream buffer partition.
     pub fn new(downstream: &crate::vc::BufferConfig) -> Self {
         let mut credits = [[0u16; NUM_VCS]; 4];
-        for pool in credits.iter_mut() {
+        let mut credited = [0u8; NUM_VCS];
+        for (dir, pool) in credits.iter_mut().enumerate() {
             for vc in VcId::all() {
-                pool[vc.index()] = downstream.capacity(vc) as u16;
+                let cap = downstream.capacity(vc) as u16;
+                pool[vc.index()] = cap;
+                if cap > 0 {
+                    credited[vc.index()] |= 1 << dir;
+                }
             }
         }
-        CreditBank { credits }
+        CreditBank { credits, credited }
     }
 
     /// Free downstream slots for `vc` behind torus output `port`.
@@ -192,6 +205,24 @@ impl CreditBank {
         self.credits[port.index()][vc.index()]
     }
 
+    /// Mask (over output-port indices; torus outputs occupy bits 0..4) of
+    /// outputs holding at least one `vc` credit. Equivalent to testing
+    /// [`CreditBank::available`]` > 0` per output, maintained
+    /// incrementally.
+    #[inline]
+    pub fn credited_mask(&self, vc: VcId) -> u8 {
+        let mask = self.credited[vc.index()];
+        #[cfg(debug_assertions)]
+        for dir in 0..4 {
+            debug_assert_eq!(
+                mask & (1 << dir) != 0,
+                self.credits[dir][vc.index()] > 0,
+                "credit mask drifted from the counters"
+            );
+        }
+        mask
+    }
+
     /// Consumes one credit at grant time.
     ///
     /// # Panics
@@ -201,11 +232,15 @@ impl CreditBank {
         let c = &mut self.credits[port.index()][vc.index()];
         assert!(*c > 0, "credit underflow on {port} {vc}");
         *c -= 1;
+        if *c == 0 {
+            self.credited[vc.index()] &= !(1 << port.index());
+        }
     }
 
     /// Returns one credit (downstream slot released).
     pub fn refund(&mut self, port: OutputPort, vc: VcId) {
         self.credits[port.index()][vc.index()] += 1;
+        self.credited[vc.index()] |= 1 << port.index();
     }
 }
 
@@ -343,6 +378,17 @@ mod tests {
         assert_eq!(bank.available(OutputPort::North, vc), 49);
         bank.refund(OutputPort::North, vc);
         assert_eq!(bank.available(OutputPort::North, vc), 50);
+    }
+
+    #[test]
+    fn credited_mask_tracks_counters() {
+        let mut bank = CreditBank::new(&BufferConfig::uniform(1));
+        let vc = VcId::special();
+        assert_eq!(bank.credited_mask(vc), 0b1111, "all four dirs credited");
+        bank.consume(OutputPort::North, vc);
+        assert_eq!(bank.credited_mask(vc), 0b1110, "north exhausted");
+        bank.refund(OutputPort::North, vc);
+        assert_eq!(bank.credited_mask(vc), 0b1111, "refund restores the bit");
     }
 
     #[test]

@@ -30,9 +30,8 @@ use arbitration::ports::{
     InputPort, OutputPort, NETWORK_ROW_MASK, NUM_ARBITER_ROWS, NUM_INPUT_PORTS, NUM_OUTPUT_PORTS,
 };
 use arbitration::wfa::WfaArbiter;
+use simcore::wheel::TimingWheel;
 use simcore::{SimRng, Tick};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A packet being handed to a router, with its routing pre-computed.
 #[derive(Clone, Copy, Debug)]
@@ -93,32 +92,44 @@ pub enum RouterOutput {
     },
 }
 
-/// Ordered pending-arrival record. Ordering (and equality) use only the
-/// unique `(eligible_at, seq)` key so the heap order is total.
+/// A pending arrival awaiting its decode/eligibility tick. The timing
+/// wheel it lives on keys it by `(eligible_at, insertion order)`, exactly
+/// the total order the former binary heap used.
 #[derive(Clone, Copy, Debug)]
 struct PendingArrival {
-    eligible_at: Tick,
-    seq: u64,
     input: u8,
     incoming: IncomingPacket,
 }
 
-impl PartialEq for PendingArrival {
-    fn eq(&self, other: &Self) -> bool {
-        (self.eligible_at, self.seq) == (other.eligible_at, other.seq)
-    }
+/// One deferred housekeeping event. All three kinds share a single
+/// per-router timing wheel, so the every-cycle step pays one due-check
+/// and one drain instead of three; the processing phases then run over
+/// the drained batch kind-by-kind, in the same order the split queues
+/// were drained in (each kind's relative `(time, insertion)` order is
+/// preserved by the shared wheel).
+#[derive(Clone, Copy, Debug)]
+enum HouseEvent {
+    /// An arrival finishing input synchronization/decode.
+    Arrival(PendingArrival),
+    /// An inbound credit refund `(output, vc)`.
+    Credit(u8, u8),
+    /// A buffer release `(input, entry)` at tail-done time.
+    Release(u8, EntryId),
 }
-impl Eq for PendingArrival {}
-impl PartialOrd for PendingArrival {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingArrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.eligible_at, self.seq).cmp(&(other.eligible_at, other.seq))
-    }
-}
+
+/// Ring lookahead of the per-router timing wheels, in core-clock edges.
+///
+/// Every event a router schedules for itself comes due a *bounded* number
+/// of edges ahead: an arrival decodes `input_delay` cycles after its pin
+/// time (itself at most the GA→pin plus wire latency ahead of the
+/// dispatching step), a credit refund arrives one wire latency after a
+/// release, a GA decision lands `latency - 1` cycles after LA, and a
+/// buffer release waits out at most a 19-flit train at link rate behind a
+/// bounded first-flit offset — all comfortably under 64 core cycles for
+/// both the production and the 2× scaled pipelines. Events past the ring
+/// (none in practice) spill into the wheel's overflow heap, preserving
+/// exactness either way.
+const WHEEL_SLOTS: usize = 64;
 
 /// What an entry could do this cycle, with the downstream VC resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,17 +178,15 @@ pub struct Router {
     read_ports: Vec<ReadPortState>,
     /// Per read port: VC ids in least-recently-selected-first order.
     vc_lru: Vec<Vec<u8>>,
-    /// Arrivals not yet decoded into the entry table.
-    pending_arrivals: BinaryHeap<Reverse<PendingArrival>>,
-    arrival_seq: u64,
+    /// All deferred housekeeping events (arrivals, credit refunds, buffer
+    /// releases) on one bounded-horizon timing wheel keyed by due tick.
+    house: TimingWheel<HouseEvent>,
+    /// Arrivals pending on the wheel (for packet accounting).
+    pending_arrival_count: u32,
     /// Slots reserved by pending arrivals, per (input, vc).
     reserved: [[u16; NUM_VCS]; NUM_INPUT_PORTS],
-    /// Inbound credit refunds (time, output, vc).
-    pending_credits: BinaryHeap<Reverse<(Tick, u8, u8)>>,
-    /// Buffer releases (time, input, entry).
-    releases: BinaryHeap<Reverse<(Tick, u8, EntryId)>>,
-    /// SPAA nominations awaiting GA.
-    ga_queue: BinaryHeap<Reverse<Nomination>>,
+    /// SPAA nominations awaiting GA, keyed by decide tick.
+    ga_queue: TimingWheel<Nomination>,
     /// Next window start for the PIM1/WFA driver.
     next_window: Tick,
     antistarve: AntiStarvation,
@@ -189,8 +198,16 @@ pub struct Router {
     active_entries: u32,
     /// SPAA GA phase: nominations maturing this cycle.
     scratch_due: Vec<Nomination>,
+    /// GA-wheel drain buffer.
+    scratch_ga: Vec<(Tick, Nomination)>,
+    /// Housekeeping-wheel drain buffer.
+    scratch_house: Vec<(Tick, HouseEvent)>,
+    /// Release-reorder buffer (restores the split queues' release order).
+    scratch_releases: Vec<(Tick, (u8, EntryId))>,
     /// Windowed driver: (input, entry) pairs dispatched this window.
     scratch_dispatched: Vec<(usize, EntryId)>,
+    /// Windowed driver: per-input collected ready-entry slots.
+    scratch_collect: Vec<u32>,
     /// Windowed driver: the per-window offer table, reset in place.
     win_snapshot: WindowSnapshot,
     /// Windowed driver: the request matrix, rebuilt in place each window.
@@ -252,6 +269,7 @@ impl Router {
             .collect();
         let credits = CreditBank::new(&cfg.buffers);
         let antistarve = AntiStarvation::new(cfg.antistarvation);
+        let core_period = cfg.timing.core.period();
         Router {
             id,
             cfg,
@@ -269,18 +287,20 @@ impl Router {
             rng,
             read_ports: vec![ReadPortState::default(); NUM_ARBITER_ROWS],
             vc_lru: vec![(0..NUM_VCS as u8).collect(); NUM_ARBITER_ROWS],
-            pending_arrivals: BinaryHeap::new(),
-            arrival_seq: 0,
+            house: TimingWheel::new(core_period, WHEEL_SLOTS),
+            pending_arrival_count: 0,
             reserved: [[0; NUM_VCS]; NUM_INPUT_PORTS],
-            pending_credits: BinaryHeap::new(),
-            releases: BinaryHeap::new(),
-            ga_queue: BinaryHeap::new(),
+            ga_queue: TimingWheel::new(core_period, WHEEL_SLOTS),
             next_window: Tick::ZERO,
             antistarve,
             stats: RouterStats::default(),
             active_entries: 0,
             scratch_due: Vec::new(),
+            scratch_ga: Vec::new(),
+            scratch_house: Vec::new(),
+            scratch_releases: Vec::new(),
             scratch_dispatched: Vec::new(),
+            scratch_collect: Vec::new(),
             win_snapshot: WindowSnapshot::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS),
             win_req: RequestMatrix::default(),
         }
@@ -312,7 +332,7 @@ impl Router {
             .iter()
             .map(|b| b.total_occupancy())
             .sum::<usize>()
-            + self.pending_arrivals.len()
+            + self.pending_arrival_count as usize
     }
 
     /// Packets this router is accountable for: pending arrivals plus
@@ -321,7 +341,8 @@ impl Router {
     /// pending arrivals, or the network's delivery queue), so summing
     /// `accounted_packets` across routers never double-counts.
     pub fn accounted_packets(&self) -> usize {
-        self.inputs.iter().map(|b| b.owned_packets()).sum::<usize>() + self.pending_arrivals.len()
+        self.inputs.iter().map(|b| b.owned_packets()).sum::<usize>()
+            + self.pending_arrival_count as usize
     }
 
     /// Free buffer slots of `vc` at `input`, accounting for in-flight
@@ -343,14 +364,14 @@ impl Router {
         };
         let eligible_at = incoming.pin_time + self.cfg.timing.core_cycles(delay);
         self.reserved[input.index()][incoming.vc.index()] += 1;
-        let seq = self.arrival_seq;
-        self.arrival_seq += 1;
-        self.pending_arrivals.push(Reverse(PendingArrival {
+        self.pending_arrival_count += 1;
+        self.house.schedule(
             eligible_at,
-            seq,
-            input: input.index() as u8,
-            incoming,
-        }));
+            HouseEvent::Arrival(PendingArrival {
+                input: input.index() as u8,
+                incoming,
+            }),
+        );
     }
 
     /// Hands the router a credit refund for torus output `output` (the
@@ -358,8 +379,10 @@ impl Router {
     /// includes the credit wire latency).
     pub fn accept_credit(&mut self, output: OutputPort, vc: VcId, at: Tick) {
         assert!(output.is_network(), "credits only exist for torus outputs");
-        self.pending_credits
-            .push(Reverse((at, output.index() as u8, vc.index() as u8)));
+        self.house.schedule(
+            at,
+            HouseEvent::Credit(output.index() as u8, vc.index() as u8),
+        );
     }
 
     /// True when stepping this router can only replay empty housekeeping
@@ -391,19 +414,37 @@ impl Router {
     /// [`Tick::MAX`] when it is fully idle until an external packet or
     /// credit arrives.
     pub fn next_wake(&self) -> Tick {
-        let arrival = self
-            .pending_arrivals
-            .peek()
-            .map_or(Tick::MAX, |&Reverse(p)| p.eligible_at);
-        let release = self
-            .releases
-            .peek()
-            .map_or(Tick::MAX, |&Reverse((t, _, _))| t);
-        let credit = self
-            .pending_credits
-            .peek()
-            .map_or(Tick::MAX, |&Reverse((t, _, _))| t);
-        arrival.min(release).min(credit)
+        self.house.next_due_edge().unwrap_or(Tick::MAX)
+    }
+
+    /// The earliest tick at which stepping this router can do anything at
+    /// all — the generalization of [`Router::next_wake`] to *loaded*
+    /// routers.
+    ///
+    /// A SPAA router with buffered work arbitrates every cycle, so it
+    /// must be stepped every cycle (`Tick::ZERO`). A *windowed* router
+    /// (PIM1/WFA/iSLIP) with buffered work arbitrates only at its next
+    /// window start; between windows a step with no due wheel event and
+    /// no due anti-starvation census is provably a no-op (every phase
+    /// short-circuits: the drains find nothing due, `scan_due` is false,
+    /// and `now < next_window`), so the network layer may skip it
+    /// bit-for-bit safely. External packets or credits re-arm the wake
+    /// through the usual [`Router::next_wake`] minimum.
+    pub fn next_work(&self) -> Tick {
+        let busy =
+            self.active_entries > 0 || !self.ga_queue.is_empty() || self.antistarve.draining();
+        if busy {
+            if self.cfg.algorithm.is_spaa() {
+                return Tick::ZERO;
+            }
+            return self
+                .next_window
+                .min(self.antistarve.next_scan_tick())
+                .min(self.next_wake());
+        }
+        // Empty router: wheel events only (the idle catch-up replays the
+        // skipped empty census scans and window phases).
+        self.next_wake()
     }
 
     /// Replays the phase bookkeeping of skipped quiescent cycles: empty
@@ -429,9 +470,7 @@ impl Router {
     /// its externally visible events to `out`.
     pub fn step(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
         self.catch_up_idle(now);
-        self.process_arrivals(now);
-        self.process_credits(now);
-        self.process_releases(now, out);
+        self.process_housekeeping(now, out);
         self.antistarve_scan(now);
         if self.cfg.algorithm.is_spaa() {
             self.spaa_ga_phase(now, out);
@@ -447,20 +486,31 @@ impl Router {
     // Housekeeping phases
     // ------------------------------------------------------------------
 
-    fn process_arrivals(&mut self, now: Tick) {
-        while let Some(Reverse(head)) = self.pending_arrivals.peek().copied() {
-            if head.eligible_at > now {
-                break;
-            }
-            self.pending_arrivals.pop();
+    /// Runs all due housekeeping events: one wheel drain, then the three
+    /// former phases (arrivals, credit refunds, buffer releases) replayed
+    /// kind-by-kind over the batch in their original phase order.
+    fn process_housekeeping(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
+        if !self.house.has_due(now) {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.scratch_house);
+        due.clear();
+        self.house.drain_due(now, &mut due);
+        // Arrivals, in `(eligible_at, insertion)` order — the same total
+        // order the former dedicated queue popped in.
+        for &(eligible_at, ev) in &due {
+            let HouseEvent::Arrival(head) = ev else {
+                continue;
+            };
             let incoming = head.incoming;
             let input = head.input as usize;
+            self.pending_arrival_count -= 1;
             self.reserved[input][incoming.vc.index()] -= 1;
             self.inputs[input].insert(Entry {
                 packet: incoming.packet,
                 route: incoming.route,
                 vc: incoming.vc,
-                eligible_at: head.eligible_at,
+                eligible_at,
                 in_flit_period: incoming.in_flit_period,
                 state: EntryState::Waiting {
                     not_before: Tick::ZERO,
@@ -469,27 +519,29 @@ impl Router {
             self.active_entries += 1;
             self.stats.packets_in.bump();
         }
-    }
-
-    fn process_credits(&mut self, now: Tick) {
-        while let Some(&Reverse((t, o, v))) = self.pending_credits.peek() {
-            if t > now {
-                break;
-            }
-            self.pending_credits.pop();
+        // Credit refunds: commutative (each only increments one
+        // `(output, vc)` counter), so batch order is immaterial.
+        for &(_, ev) in &due {
+            let HouseEvent::Credit(o, v) = ev else {
+                continue;
+            };
             self.credits.refund(
                 OutputPort::from_index(o as usize),
                 VcId::from_index(v as usize),
             );
         }
-    }
-
-    fn process_releases(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
-        while let Some(&Reverse((t, p, id))) = self.releases.peek() {
-            if t > now {
-                break;
+        // Releases are order-sensitive: the order slots return to the
+        // free lists decides which slot the next arrival claims. Restore
+        // the former queue's `(time, input, slot)` order exactly.
+        let mut rel = std::mem::take(&mut self.scratch_releases);
+        rel.clear();
+        for &(t, ev) in &due {
+            if let HouseEvent::Release(p, id) = ev {
+                rel.push((t, (p, id)));
             }
-            self.releases.pop();
+        }
+        rel.sort_unstable_by_key(|&(t, (p, id))| (t, p, id.index()));
+        for &(t, (p, id)) in &rel {
             let input = InputPort::from_index(p as usize);
             let entry = self.inputs[p as usize].release(id);
             if input.is_network() {
@@ -500,6 +552,8 @@ impl Router {
                 });
             }
         }
+        self.scratch_releases = rel;
+        self.scratch_house = due;
     }
 
     fn antistarve_scan(&mut self, now: Tick) {
@@ -522,6 +576,41 @@ impl Router {
     // Shared arbitration helpers
     // ------------------------------------------------------------------
 
+    /// The incremental request-tracking test at the heart of the
+    /// saturated LA prune: true when VC `v` of this input holds a queued
+    /// `Waiting` entry whose candidate direction is simultaneously wired
+    /// for this row, free, and credited for the direction's downstream VC
+    /// — the necessary condition for a scan of that VC to nominate
+    /// anything. The buffer maintains the per-direction unions at every
+    /// state transition ([`InputBuffer::want_masks`]); the credited masks
+    /// are maintained by the bank at every consume/refund. One mask
+    /// intersection therefore replaces a queue walk, bit-exactly: every
+    /// eligibility branch of a skipped VC's entries intersects to zero.
+    /// (Local deliveries consume no credits; callers exempt VCs with
+    /// waiting local entries via [`InputBuffer::local_waiting_mask`].)
+    #[inline]
+    fn vc_live(&self, buf: &InputBuffer, v: usize, wired: u8) -> bool {
+        let (want_a, want_e0, want_e1) = buf.want_masks(v);
+        let special = VcId::special().index();
+        let (avc, evc0, evc1) = if v == special {
+            (special, special, special)
+        } else {
+            let base = 3 * (v / 3);
+            (base, base + 1, base + 2)
+        };
+        let mut live = 0u8;
+        if want_a != 0 {
+            live |= want_a & self.credits.credited_mask(VcId::from_index(avc));
+        }
+        if want_e0 != 0 {
+            live |= want_e0 & self.credits.credited_mask(VcId::from_index(evc0));
+        }
+        if want_e1 != 0 {
+            live |= want_e1 & self.credits.credited_mask(VcId::from_index(evc1));
+        }
+        live & wired != 0
+    }
+
     /// Mask of output ports the LA stage considers free at `now`: ports
     /// whose current packet clears within the entry table's fixed
     /// prediction horizon ([`RouterConfig::la_lookahead`]).
@@ -534,61 +623,6 @@ impl Router {
             }
         }
         mask
-    }
-
-    /// Dispatch options for `entry` from `row` right now: either local
-    /// sink ports, adaptive candidates (with the class's adaptive VC), or
-    /// — only when every adaptive option is blocked ("packets adaptively
-    /// route within the adaptive channel until they get blocked", §2.1) —
-    /// the dimension-order escape hop with its deadlock-free VC. The VC is
-    /// decided *here*, because the escape direction often coincides with
-    /// an adaptive candidate and the output index alone cannot identify
-    /// the channel.
-    fn eligibility(&self, row: usize, entry: &Entry, free: u8) -> Eligibility {
-        let wired = self.conn.row_mask(row) as u8 & free;
-        match &entry.route {
-            RouteInfo::Local { outputs } => Eligibility::Local {
-                outputs: outputs & wired,
-            },
-            RouteInfo::Transit {
-                adaptive,
-                escape,
-                escape_vc,
-            } => {
-                let class = entry.packet.class;
-                if class.may_route_adaptively() {
-                    let vc = VcId::adaptive(class);
-                    let mut a = adaptive & wired;
-                    let mut m = a;
-                    while m != 0 {
-                        let bit = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        if self.credits.available(OutputPort::from_index(bit), vc) == 0 {
-                            a &= !(1 << bit);
-                        }
-                    }
-                    if a != 0 {
-                        return Eligibility::Adaptive { outputs: a, vc };
-                    }
-                }
-                // Blocked adaptively (or an escape-only class): take the
-                // dimension-order hop.
-                let vc = if class == crate::packet::CoherenceClass::Special {
-                    VcId::special()
-                } else {
-                    VcId::escape(class, *escape_vc)
-                };
-                let bit = 1u8 << escape.index();
-                if bit & wired != 0 && self.credits.available(*escape, vc) > 0 {
-                    Eligibility::Escape {
-                        output: escape.index(),
-                        vc,
-                    }
-                } else {
-                    Eligibility::None
-                }
-            }
-        }
     }
 
     /// Picks one (output, downstream VC) from an eligibility result per
@@ -664,18 +698,31 @@ impl Router {
     ) -> Option<(EntryId, usize, Option<VcId>)> {
         let input = row / 2;
         let drain_cutoff = self.antistarve.cutoff();
-        let non_empty = self.inputs[input].non_empty_mask();
-        if non_empty == 0 || free == 0 {
+        // Only `Waiting` entries can be nominated, and only VCs whose
+        // class still has a credited free output (or a waiting local
+        // delivery) can yield a grant — both facts are incrementally
+        // maintained masks, so blocked VCs cost one AND instead of a
+        // queue walk. The scan result is provably the one a full walk
+        // would return.
+        // A row whose wired outputs are all busy can nominate nothing:
+        // every eligibility branch intersects `wired = row_mask & free`.
+        let wired = self.conn.row_mask(row) as u8 & free;
+        if wired == 0 {
+            return None;
+        }
+        let buf = &self.inputs[input];
+        let scannable = buf.non_empty_mask() & buf.waiting_mask();
+        if scannable == 0 {
             return None;
         }
         // Anti-starvation drain: old packets take priority, so scan for
         // them first; fall back to a normal scan when none can move.
         let mut found = None;
         if drain_cutoff.is_some() {
-            found = self.scan_for_nomination(row, now, free, non_empty, drain_cutoff);
+            found = self.scan_for_nomination(row, now, wired, scannable, drain_cutoff);
         }
         if found.is_none() {
-            found = self.scan_for_nomination(row, now, free, non_empty, None);
+            found = self.scan_for_nomination(row, now, wired, scannable, None);
         }
         let (pos, id, elig) = found?;
         let (out, vc_down) = self.choose_output(row, elig)?;
@@ -685,47 +732,102 @@ impl Router {
         Some((id, out, vc_down))
     }
 
-    /// One LA scan pass over a read port's VCs in LRU order. With
-    /// `only_older_than = Some(cutoff)`, only anti-starvation "old"
+    /// One LA scan pass over a read port's VCs in LRU order, restricted
+    /// to `scannable` VCs (non-empty with at least one `Waiting` entry).
+    /// With `only_older_than = Some(cutoff)`, only anti-starvation "old"
     /// entries qualify.
+    ///
+    /// The walk touches only the dense [`EntryMeta`] slab: readiness is
+    /// one flag-and-tick test and eligibility a handful of mask ANDs
+    /// against the cached candidate outputs and the bank's credited
+    /// masks; the fat [`Entry`] payload is loaded only on the rare
+    /// anti-starvation age check. The result is bit-identical to the
+    /// payload-walking scan it replaces ([`InputBuffer::debug_validate`]
+    /// proves `metadata ≡ entries`).
     fn scan_for_nomination(
         &self,
         row: usize,
         now: Tick,
-        free: u8,
-        non_empty: u32,
+        wired: u8,
+        scannable: u32,
         only_older_than: Option<Tick>,
     ) -> Option<(usize, EntryId, Eligibility)> {
         let input = row / 2;
+        let buf = &self.inputs[input];
+        let metas = buf.metas();
+        let local_vcs = buf.local_waiting_mask();
         for (pos, &vc_idx) in self.vc_lru[row].iter().enumerate() {
-            if non_empty & (1 << vc_idx) == 0 {
+            if scannable & (1 << vc_idx) == 0 {
+                continue;
+            }
+            // Request tracking: skip the VC outright unless one of its
+            // waiting entries' directions is wired+free+credited (or a
+            // local delivery waits, which needs no credit). The union
+            // test only pays for itself when it saves a deep walk, so
+            // shallow queues go straight to the scan.
+            if local_vcs & (1 << vc_idx) == 0
+                && buf.waiting_count(vc_idx as usize) > 2
+                && !self.vc_live(buf, vc_idx as usize, wired)
+            {
                 continue;
             }
             let vc = VcId::from_index(vc_idx as usize);
-            let buf = &self.inputs[input];
-            for (scanned, &id) in buf.queue(vc).iter().enumerate() {
-                if scanned >= self.cfg.scan_window {
-                    break;
-                }
-                let entry = buf.entry(id);
-                if !entry.nominable(now) {
+            let mut cur = buf.queue_head(vc);
+            let mut scanned = 0;
+            while cur != crate::entry::NIL_INDEX && scanned < self.cfg.scan_window {
+                let m = &metas[cur as usize];
+                scanned += 1;
+                if m.flags & crate::entry::META_WAITING == 0 || m.ready_at > now {
+                    cur = m.next;
                     continue;
                 }
                 if let Some(cutoff) = only_older_than {
-                    if entry.eligible_at > cutoff {
+                    if buf.entry_eligible_at(cur) > cutoff {
+                        cur = m.next;
                         continue;
                     }
                 }
-                let elig = self.eligibility(row, entry, free);
+                let elig = self.eligibility_meta(m, wired);
                 if matches!(elig, Eligibility::None)
                     || matches!(elig, Eligibility::Local { outputs: 0 })
                 {
+                    cur = m.next;
                     continue;
                 }
-                return Some((pos, id, elig));
+                return Some((pos, EntryId::new(cur, m.gen), elig));
             }
         }
         None
+    }
+
+    /// The eligibility test over the cached scan metadata: identical to
+    /// evaluating the entry's route against `wired` and the credit bank,
+    /// without loading the entry.
+    #[inline]
+    fn eligibility_meta(&self, m: &crate::entry::EntryMeta, wired: u8) -> Eligibility {
+        if m.flags & crate::entry::META_LOCAL != 0 {
+            return Eligibility::Local {
+                outputs: m.outputs & wired,
+            };
+        }
+        if m.adaptive_vc != crate::entry::NO_VC {
+            let vc = VcId::from_index(m.adaptive_vc as usize);
+            let a = m.outputs & wired & self.credits.credited_mask(vc);
+            if a != 0 {
+                return Eligibility::Adaptive { outputs: a, vc };
+            }
+        }
+        // Blocked adaptively (or an escape-only class): take the
+        // dimension-order hop.
+        let vc = VcId::from_index(m.escape_vc as usize);
+        if m.escape_mask & wired != 0 && self.credits.credited_mask(vc) & m.escape_mask != 0 {
+            Eligibility::Escape {
+                output: m.escape_mask.trailing_zeros() as usize,
+                vc,
+            }
+        } else {
+            Eligibility::None
+        }
     }
 
     /// Commits a grant: streams the packet out and emits events.
@@ -791,13 +893,10 @@ impl Router {
         // The read port streams the flits; the buffer slot frees with the
         // tail.
         self.read_ports[row].busy_until = sched.done;
-        let e = self.inputs[input].entry_mut(id);
-        e.state = EntryState::Departing {
-            done_at: sched.done,
-        };
+        self.inputs[input].begin_departure(id, sched.done);
         self.active_entries -= 1;
-        self.inputs[input].dequeue(id);
-        self.releases.push(Reverse((sched.done, input as u8, id)));
+        self.house
+            .schedule(sched.done, HouseEvent::Release(input as u8, id));
     }
 
     // ------------------------------------------------------------------
@@ -805,29 +904,42 @@ impl Router {
     // ------------------------------------------------------------------
 
     fn spaa_ga_phase(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
-        // Pop all nominations maturing now, grouped per output. The list
-        // lives in a router-owned scratch buffer (moved out for the
+        if !self.ga_queue.has_due(now) {
+            return;
+        }
+        // Pop all nominations maturing now, grouped per output. The lists
+        // live in router-owned scratch buffers (moved out for the
         // duration of the phase) so the steady state never allocates.
+        //
+        // Wheel-drain order is `(decide_at, insertion order)`; all
+        // nominations sharing a decide tick come from the same LA cycle,
+        // which pushed them in ascending row order — exactly the
+        // `(decide_at, row, …)` order the former binary heap popped in.
+        let mut matured = std::mem::take(&mut self.scratch_ga);
+        matured.clear();
+        self.ga_queue.drain_due(now, &mut matured);
         let mut due = std::mem::take(&mut self.scratch_due);
         due.clear();
-        while let Some(&Reverse(n)) = self.ga_queue.peek() {
-            if n.decide_at > now {
-                break;
-            }
-            self.ga_queue.pop();
+        for &(_, n) in &matured {
             // Stale-check: the entry must still hold this nomination
-            // (grants of sibling nominations cancel the others).
-            let entry = self.inputs[n.input as usize].entry(n.entry);
-            let live = matches!(
-                entry.state,
-                EntryState::Nominated { read_port, output, decide_at }
-                    if read_port == n.row % 2 && output == n.output && decide_at == n.decide_at
-            );
+            // (grants of sibling nominations cancel the others; a
+            // handle whose entry departed and was released reads as not
+            // current).
+            let live = self.inputs[n.input as usize]
+                .entry_if_current(n.entry)
+                .is_some_and(|entry| {
+                    matches!(
+                        entry.state,
+                        EntryState::Nominated { read_port, output, decide_at }
+                            if read_port == n.row % 2 && output == n.output && decide_at == n.decide_at
+                    )
+                });
             self.read_ports[n.row as usize].retire(n.entry);
             if live {
                 due.push(n);
             }
         }
+        self.scratch_ga = matured;
         if due.is_empty() {
             self.scratch_due = due;
             return;
@@ -893,10 +1005,8 @@ impl Router {
                 // Loser (or no winner): reset for re-nomination next cycle
                 // (SPAA step 3).
                 self.stats.collisions.bump();
-                let e = self.inputs[n.input as usize].entry_mut(n.entry);
-                e.state = EntryState::Waiting {
-                    not_before: now + self.cfg.timing.core.period(),
-                };
+                self.inputs[n.input as usize]
+                    .set_waiting(n.entry, now + self.cfg.timing.core.period());
             }
         }
         self.scratch_due = due;
@@ -915,11 +1025,9 @@ impl Router {
             if id == granted {
                 continue;
             }
-            let e = self.inputs[input].entry_mut(id);
+            let e = self.inputs[input].entry(id);
             if matches!(e.state, EntryState::Nominated { read_port, .. } if read_port == rp) {
-                e.state = EntryState::Waiting {
-                    not_before: now + self.cfg.timing.core.period(),
-                };
+                self.inputs[input].set_waiting(id, now + self.cfg.timing.core.period());
             }
         }
     }
@@ -943,22 +1051,20 @@ impl Router {
             }
             if let Some((id, output, vc_down)) = self.pick_nomination(row, now, free) {
                 let input = row / 2;
-                let e = self.inputs[input].entry_mut(id);
-                e.state = EntryState::Nominated {
-                    read_port: (row % 2) as u8,
-                    output: output as u8,
-                    decide_at: ga,
-                };
+                self.inputs[input].set_nominated(id, (row % 2) as u8, output as u8, ga);
                 self.read_ports[row].inflight.push(id);
                 self.stats.nominations.bump();
-                self.ga_queue.push(Reverse(Nomination {
-                    row: row as u8,
-                    input: input as u8,
-                    entry: id,
-                    output: output as u8,
-                    downstream_vc: vc_down,
-                    decide_at: ga,
-                }));
+                self.ga_queue.schedule(
+                    ga,
+                    Nomination {
+                        row: row as u8,
+                        input: input as u8,
+                        entry: id,
+                        output: output as u8,
+                        downstream_vc: vc_down,
+                        decide_at: ga,
+                    },
+                );
             }
         }
     }
@@ -1031,67 +1137,141 @@ impl Router {
         self.win_snapshot = snapshot;
     }
 
+    /// Builds the window's offer table. The snapshot's cells are disjoint
+    /// per row, so the fill visits *inputs* (walking each input's queues
+    /// once) and replays the collected ready entries for each of the
+    /// input's two read-port rows in that row's own LRU VC order — the
+    /// resulting snapshot is bit-identical to the row-by-row walk it
+    /// replaces, at half the queue traffic.
     fn fill_snapshot(
-        &self,
+        &mut self,
         snap: &mut WindowSnapshot,
         now: Tick,
         free: u8,
         only_older_than: Option<Tick>,
     ) {
         let lookahead = self.cfg.timing.core_cycles(self.cfg.la_lookahead());
-        for row in 0..NUM_ARBITER_ROWS {
-            if !self.read_ports[row].can_arbitrate(now, lookahead, 1) {
+        let mut collected = std::mem::take(&mut self.scratch_collect);
+        for input in 0..NUM_INPUT_PORTS {
+            let rows = [2 * input, 2 * input + 1];
+            // Per-row gates: a busy read port or a fully-busy wired set
+            // offers nothing.
+            let wired: [u8; 2] = std::array::from_fn(|i| {
+                let row = rows[i];
+                if self.read_ports[row].can_arbitrate(now, lookahead, 1) {
+                    self.conn.row_mask(row) as u8 & free
+                } else {
+                    0
+                }
+            });
+            if wired == [0, 0] {
                 continue;
             }
-            let input = row / 2;
-            let non_empty = self.inputs[input].non_empty_mask();
-            if non_empty == 0 {
+            let buf = &self.inputs[input];
+            // Nominable entries are `Waiting` by definition, so VCs
+            // without one are skipped by the incremental mask, and the
+            // per-VC request-tracking test skips VCs dead for both rows
+            // (bit-identical to scanning them and finding nothing). The
+            // walk touches only the dense scan metadata.
+            let scannable = buf.non_empty_mask() & buf.waiting_mask();
+            if scannable == 0 {
                 continue;
             }
-            for &vc_idx in &self.vc_lru[row] {
-                if non_empty & (1 << vc_idx) == 0 {
+            let metas = buf.metas();
+            let local_vcs = buf.local_waiting_mask();
+            let wired_union = wired[0] | wired[1];
+            // Collect the ready candidates of each VC's scan window once
+            // (grouped per VC; readiness is row-independent).
+            collected.clear();
+            let mut ranges = [(0u16, 0u16); NUM_VCS];
+            let mut mask = scannable;
+            while mask != 0 {
+                let v = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if local_vcs & (1 << v) == 0
+                    && buf.waiting_count(v) > 2
+                    && !self.vc_live(buf, v, wired_union)
+                {
                     continue;
                 }
-                let vc = VcId::from_index(vc_idx as usize);
-                let buf = &self.inputs[input];
-                for (scanned, &id) in buf.queue(vc).iter().enumerate() {
-                    if scanned >= self.cfg.scan_window {
+                let start = collected.len() as u16;
+                let mut cur = buf.queue_head(VcId::from_index(v));
+                let mut scanned = 0;
+                while cur != crate::entry::NIL_INDEX && scanned < self.cfg.scan_window {
+                    let m = &metas[cur as usize];
+                    scanned += 1;
+                    let next = m.next;
+                    if m.flags & crate::entry::META_WAITING != 0 && m.ready_at <= now {
+                        let old_enough = match only_older_than {
+                            Some(cutoff) => buf.entry_eligible_at(cur) <= cutoff,
+                            None => true,
+                        };
+                        if old_enough {
+                            collected.push(cur);
+                        }
+                    }
+                    cur = next;
+                }
+                ranges[v] = (start, collected.len() as u16);
+            }
+            if collected.is_empty() {
+                continue;
+            }
+            // Replay per row, in that row's LRU VC order (the order
+            // decides which entry claims a first-writer-wins cell).
+            for (i, &row) in rows.iter().enumerate() {
+                let wired = wired[i];
+                if wired == 0 {
+                    continue;
+                }
+                for &vc_idx in &self.vc_lru[row] {
+                    // Once every wired output of this row holds a
+                    // candidate, deeper entries could only re-offer
+                    // claimed cells (no-ops), so the row scan can stop —
+                    // exactly what a full walk would produce.
+                    if wired & !(snap.row_masks()[row] as u8) == 0 {
                         break;
                     }
-                    let entry = buf.entry(id);
-                    if !entry.nominable(now) {
-                        continue;
-                    }
-                    if let Some(cutoff) = only_older_than {
-                        if entry.eligible_at > cutoff {
-                            continue;
-                        }
-                    }
-                    match self.eligibility(row, entry, free) {
-                        Eligibility::None => {}
-                        Eligibility::Local { outputs } => {
-                            let mut m = outputs;
-                            while m != 0 {
-                                let col = m.trailing_zeros() as usize;
-                                m &= m - 1;
-                                snap.offer(
-                                    row,
-                                    col,
-                                    Candidate {
-                                        entry: id,
-                                        downstream_vc: None,
-                                    },
-                                );
+                    let (start, end) = ranges[vc_idx as usize];
+                    for &idx in &collected[start as usize..end as usize] {
+                        let m = &metas[idx as usize];
+                        let id = EntryId::new(idx, m.gen);
+                        match self.eligibility_meta(m, wired) {
+                            Eligibility::None => {}
+                            Eligibility::Local { outputs } => {
+                                let mut bits = outputs;
+                                while bits != 0 {
+                                    let col = bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    snap.offer(
+                                        row,
+                                        col,
+                                        Candidate {
+                                            entry: id,
+                                            downstream_vc: None,
+                                        },
+                                    );
+                                }
                             }
-                        }
-                        Eligibility::Adaptive { outputs, vc } => {
-                            let mut m = outputs;
-                            while m != 0 {
-                                let col = m.trailing_zeros() as usize;
-                                m &= m - 1;
+                            Eligibility::Adaptive { outputs, vc } => {
+                                let mut bits = outputs;
+                                while bits != 0 {
+                                    let col = bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    snap.offer(
+                                        row,
+                                        col,
+                                        Candidate {
+                                            entry: id,
+                                            downstream_vc: Some(vc),
+                                        },
+                                    );
+                                }
+                            }
+                            Eligibility::Escape { output, vc } => {
                                 snap.offer(
                                     row,
-                                    col,
+                                    output,
                                     Candidate {
                                         entry: id,
                                         downstream_vc: Some(vc),
@@ -1099,19 +1279,10 @@ impl Router {
                                 );
                             }
                         }
-                        Eligibility::Escape { output, vc } => {
-                            snap.offer(
-                                row,
-                                output,
-                                Candidate {
-                                    entry: id,
-                                    downstream_vc: Some(vc),
-                                },
-                            );
-                        }
                     }
                 }
             }
         }
+        self.scratch_collect = collected;
     }
 }

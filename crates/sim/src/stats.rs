@@ -301,6 +301,17 @@ impl Histogram {
         self.overflow
     }
 
+    /// Lower edge of the covered range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the covered range (samples at or beyond it land in
+    /// the overflow bin, never dropped).
+    pub fn hi(&self) -> f64 {
+        self.lo + self.width * self.bins.len() as f64
+    }
+
     /// Samples that fell below the covered range.
     pub fn underflow(&self) -> u64 {
         self.underflow
@@ -528,6 +539,25 @@ mod tests {
         assert_eq!(h.bins()[0], 1);
         assert_eq!(h.bins()[9], 1);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn latency_histogram_clamp_overflows_not_drops() {
+        // The network layer's transit-latency histogram is clamped at
+        // [0, 2000) ns with 200 bins; transit times past the clamp must
+        // land in the dedicated overflow bin so every delivered packet
+        // stays accounted for (saturated tails routinely exceed 2 µs).
+        let mut h = Histogram::new(0.0, 2000.0, 200);
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 2000.0);
+        h.record(1999.999); // just inside: top bin
+        h.record(2000.0); // exactly at the clamp: overflow, not a bin
+        h.record(123_456.7); // far tail: overflow
+        assert_eq!(h.bins()[199], 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3, "no sample silently dropped");
+        // Overflowed samples keep influencing quantiles as top-edge mass.
+        assert_eq!(h.quantile(1.0), Some(2000.0));
     }
 
     #[test]

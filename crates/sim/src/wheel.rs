@@ -13,10 +13,12 @@
 //! no observable simulation result.
 
 use crate::time::Tick;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// An overflow record ordered by `(at, seq)` only.
+#[derive(Clone, Debug)]
 struct Spill<T> {
     at: u64,
     seq: u64,
@@ -63,6 +65,7 @@ impl<T> Ord for Spill<T> {
 /// let labels: Vec<_> = out.iter().map(|&(at, s)| (at.as_ticks(), s)).collect();
 /// assert_eq!(labels, vec![(21, "a"), (25, "b")]); // (at, seq) order
 /// ```
+#[derive(Clone, Debug)]
 pub struct TimingWheel<T> {
     granularity: u64,
     slots: Vec<Vec<(u64, u64, T)>>,
@@ -73,6 +76,12 @@ pub struct TimingWheel<T> {
     overflow: BinaryHeap<Reverse<Spill<T>>>,
     seq: u64,
     len: usize,
+    /// Cached lower bound on the next due edge. Lowered on every
+    /// `schedule`; when a drain advances the cursor past it, the next
+    /// [`TimingWheel::next_due_edge`] query repairs it with one ring scan
+    /// (amortized O(1) per event batch instead of O(slots) per query).
+    /// Meaningless while `len == 0`.
+    next_due: Cell<u64>,
     /// Per-edge merge scratch, reused across drains.
     scratch: Vec<(u64, u64, T)>,
 }
@@ -95,6 +104,7 @@ impl<T> TimingWheel<T> {
             overflow: BinaryHeap::new(),
             seq: 0,
             len: 0,
+            next_due: Cell::new(u64::MAX),
             scratch: Vec::new(),
         }
     }
@@ -120,6 +130,9 @@ impl<T> TimingWheel<T> {
         let edge = edge.max(self.cursor_edge);
         let seq = self.seq;
         self.seq += 1;
+        if self.len == 0 || edge < self.next_due.get() {
+            self.next_due.set(edge);
+        }
         self.len += 1;
         let offset = ((edge - self.cursor_edge) / self.granularity) as usize;
         if offset < self.slots.len() {
@@ -130,36 +143,130 @@ impl<T> TimingWheel<T> {
         }
     }
 
+    /// The earliest edge at which [`TimingWheel::drain_due`] would yield
+    /// an event, or `None` when nothing is scheduled. This is the wake
+    /// tick an idle-skipping caller must not sleep past.
+    pub fn next_due_edge(&self) -> Option<Tick> {
+        if self.len == 0 {
+            return None;
+        }
+        // The cached bound is exact while it has not been drained past:
+        // schedules only lower it, and no event can exist on an edge
+        // below it (any such schedule would have lowered it further).
+        let cached = self.next_due.get();
+        if cached >= self.cursor_edge {
+            return Some(Tick::new(cached));
+        }
+        // Stale (the cursor consumed its edge): one ring scan repairs it.
+        let n = self.slots.len();
+        let mut next = u64::MAX;
+        for k in 0..n {
+            if !self.slots[(self.cursor + k) % n].is_empty() {
+                next = self.cursor_edge + k as u64 * self.granularity;
+                break;
+            }
+        }
+        if let Some(Reverse(head)) = self.overflow.peek() {
+            // An overflow event pops at the first edge >= its due time.
+            let edge = head.at.div_ceil(self.granularity) * self.granularity;
+            next = next.min(edge.max(self.cursor_edge));
+        }
+        debug_assert_ne!(next, u64::MAX, "len > 0 but no event found");
+        self.next_due.set(next);
+        Some(Tick::new(next))
+    }
+
+    /// True when a [`TimingWheel::drain_due`] at `now` would yield at
+    /// least one event (may rarely report a false positive while the
+    /// cached due bound lags a just-drained batch; the drain then yields
+    /// nothing and repairs the cache).
+    #[inline]
+    pub fn has_due(&self, now: Tick) -> bool {
+        self.len > 0 && self.next_due.get() <= now.as_ticks()
+    }
+
     /// Appends all events due at or before `now` to `out` in
     /// `(at, insertion order)` order, advancing the wheel.
+    ///
+    /// The nothing-due case is O(1): the cursor stays parked and only the
+    /// cached due bound is consulted, so per-edge stepping costs nothing
+    /// while the wheel idles. When the cursor does move, sparse gaps are
+    /// skipped in O(slots), not O(elapsed edges), so a caller that left
+    /// the wheel idle for a long stretch (an idle-skipped router) pays
+    /// nothing for the skipped time. (A lagging cursor only shortens the
+    /// ring's effective lookahead — late schedules spill to the overflow
+    /// heap, which preserves exactness.)
     pub fn drain_due(&mut self, now: Tick, out: &mut Vec<(Tick, T)>) {
+        if !self.has_due(now) {
+            return;
+        }
         let now = now.as_ticks();
+        if self.cursor_edge > now {
+            return;
+        }
         while self.cursor_edge <= now {
-            let mut scratch = std::mem::take(&mut self.scratch);
-            scratch.clear();
-            let slot = &mut self.slots[self.cursor];
-            self.len -= slot.len();
-            scratch.append(slot);
-            // Overflow events pop at exactly the edge `ceil(at/g)*g`, so
-            // any head due at or before this edge belongs to this batch.
-            while let Some(Reverse(head)) = self.overflow.peek() {
-                if head.at > self.cursor_edge {
-                    break;
-                }
-                let Reverse(spill) = self.overflow.pop().expect("peeked");
-                self.len -= 1;
-                scratch.push((spill.at, spill.seq, spill.item));
+            if self.len == 0 {
+                // Nothing scheduled: every remaining edge drains empty.
+                // Jump the cursor past `now` without visiting the slots.
+                let edges = (now - self.cursor_edge) / self.granularity + 1;
+                self.cursor = (self.cursor + edges as usize) % self.slots.len();
+                self.cursor_edge += edges * self.granularity;
+                return;
             }
-            // One edge's events — from the slot and the overflow alike —
-            // all have `at` in the same half-open interval behind the
-            // edge; merging them by (at, seq) reproduces exact min-heap
-            // drain order across the whole stream.
-            scratch.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
-            out.extend(scratch.drain(..).map(|(at, _, item)| (Tick::new(at), item)));
-            self.scratch = scratch;
+            // A gap longer than the ring (a router waking from a long
+            // idle-skip sleep) is crossed in one hop to the next due edge
+            // instead of edge-by-edge. `due` is always a multiple of the
+            // granularity, so the cursor lands exactly on it. Short gaps
+            // (the step-every-cycle hot path) skip this scan entirely.
+            let gap_edges = (now - self.cursor_edge) / self.granularity + 1;
+            if gap_edges as usize > self.slots.len() {
+                match self.next_due_edge().map(Tick::as_ticks) {
+                    Some(due) if due <= now => {
+                        let edges = (due - self.cursor_edge) / self.granularity;
+                        self.cursor = (self.cursor + edges as usize) % self.slots.len();
+                        self.cursor_edge = due;
+                    }
+                    _ => {
+                        let edges = (now - self.cursor_edge) / self.granularity + 1;
+                        self.cursor = (self.cursor + edges as usize) % self.slots.len();
+                        self.cursor_edge += edges * self.granularity;
+                        return;
+                    }
+                }
+            }
+            let overflow_due = matches!(
+                self.overflow.peek(), Some(Reverse(head)) if head.at <= self.cursor_edge
+            );
+            if !self.slots[self.cursor].is_empty() || overflow_due {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                let slot = &mut self.slots[self.cursor];
+                self.len -= slot.len();
+                scratch.append(slot);
+                // Overflow events pop at exactly the edge `ceil(at/g)*g`,
+                // so any head due at or before this edge belongs to this
+                // batch.
+                while let Some(Reverse(head)) = self.overflow.peek() {
+                    if head.at > self.cursor_edge {
+                        break;
+                    }
+                    let Reverse(spill) = self.overflow.pop().expect("peeked");
+                    self.len -= 1;
+                    scratch.push((spill.at, spill.seq, spill.item));
+                }
+                // One edge's events — from the slot and the overflow alike
+                // — all have `at` in the same half-open interval behind
+                // the edge; merging them by (at, seq) reproduces exact
+                // min-heap drain order across the whole stream.
+                scratch.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+                out.extend(scratch.drain(..).map(|(at, _, item)| (Tick::new(at), item)));
+                self.scratch = scratch;
+            }
             self.cursor = (self.cursor + 1) % self.slots.len();
             self.cursor_edge += self.granularity;
         }
+        // Re-arm the O(1) fast path for the steps ahead.
+        let _ = self.next_due_edge();
     }
 }
 
@@ -229,6 +336,69 @@ mod tests {
             all.extend(drain(&mut w, t));
         }
         assert_eq!(all, vec![(5, 2), (95, 1)]);
+    }
+
+    #[test]
+    fn next_due_edge_tracks_schedules_and_drains() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(Tick::new(10), 8);
+        assert_eq!(w.next_due_edge(), None);
+        assert!(!w.has_due(Tick::new(1_000_000)));
+        w.schedule(Tick::new(35), 1);
+        assert_eq!(w.next_due_edge(), Some(Tick::new(40)), "first edge >= 35");
+        w.schedule(Tick::new(12), 2);
+        assert_eq!(w.next_due_edge(), Some(Tick::new(20)), "earlier event wins");
+        assert!(!w.has_due(Tick::new(10)));
+        assert!(w.has_due(Tick::new(20)));
+        assert_eq!(drain(&mut w, 20), vec![(12, 2)]);
+        assert_eq!(w.next_due_edge(), Some(Tick::new(40)), "cache repaired");
+        assert_eq!(drain(&mut w, 40), vec![(35, 1)]);
+        assert_eq!(w.next_due_edge(), None);
+    }
+
+    #[test]
+    fn next_due_edge_sees_overflow_events() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(Tick::new(10), 4);
+        w.schedule(Tick::new(905), 1); // far past the 4-slot ring
+        assert_eq!(w.next_due_edge(), Some(Tick::new(910)));
+        let mut all = Vec::new();
+        for t in (0..=1000).step_by(10) {
+            all.extend(drain(&mut w, t));
+        }
+        assert_eq!(all, vec![(905, 1)]);
+    }
+
+    #[test]
+    fn long_idle_gaps_cost_constant_time() {
+        // A caller may leave the wheel idle for millions of ticks; the
+        // next drain must not walk the elapsed edges one by one. Proxy
+        // assertion: the results stay exact across a huge jump.
+        let mut w: TimingWheel<u32> = TimingWheel::new(Tick::new(10), 8);
+        w.schedule(Tick::new(15), 1);
+        assert_eq!(drain(&mut w, 10_000_000), vec![(15, 1)]);
+        w.schedule(Tick::new(10_000_005), 2);
+        assert_eq!(w.next_due_edge(), Some(Tick::new(10_000_010)));
+        assert_eq!(drain(&mut w, 20_000_000), vec![(10_000_005, 2)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn parked_cursor_keeps_order_via_overflow() {
+        // The nothing-due fast path leaves the cursor behind; later
+        // schedules then exceed the ring's effective lookahead and spill
+        // to the overflow heap. Order must still be exact.
+        let mut w: TimingWheel<u32> = TimingWheel::new(Tick::new(10), 4);
+        w.schedule(Tick::new(500), 1);
+        let mut out = Vec::new();
+        w.drain_due(Tick::new(100), &mut out); // nothing due; cursor parks
+        assert!(out.is_empty());
+        w.schedule(Tick::new(130), 2); // within horizon of `now`, not of the cursor
+        w.schedule(Tick::new(125), 3);
+        assert_eq!(
+            drain(&mut w, 200),
+            vec![(125, 3), (130, 2)],
+            "(at, insertion) order across the spill"
+        );
+        assert_eq!(drain(&mut w, 500), vec![(500, 1)]);
     }
 
     #[test]

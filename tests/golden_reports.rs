@@ -1,0 +1,193 @@
+//! Golden end-to-end report digests: the engine's observable output is
+//! pinned bit-for-bit across a matrix of {algorithm × pattern × load ×
+//! seed} short coherence runs.
+//!
+//! Every digest folds in the exact counters of a [`NetworkReport`]
+//! (delivered packets and flits, injections, the in-flight population)
+//! and the raw IEEE-754 bit patterns of the latency statistics and the
+//! full latency histogram — so *any* behavioural drift in the hot path
+//! (a reordered grant, a different RNG draw, one histogram bucket off)
+//! fails the comparison. This is the safety net that licensed the
+//! saturated-path restructuring (incremental request tracking, timing
+//! wheels, slab entry storage): the refactored engine must reproduce
+//! `tests/golden/reports.txt` byte-for-byte.
+//!
+//! Regenerate (only when intentionally changing simulation semantics)
+//! with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_reports
+//! ```
+
+use alpha21364::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/reports.txt");
+
+/// 64-bit FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// One matrix point: everything needed to reproduce the run.
+struct Case {
+    algo: ArbAlgorithm,
+    pattern: TrafficPattern,
+    bursty: bool,
+    rate: f64,
+    seed: u64,
+}
+
+fn pattern_label(c: &Case) -> String {
+    let base = match c.pattern {
+        TrafficPattern::Uniform => "uniform",
+        TrafficPattern::Hotspot { .. } => "hotspot",
+        _ => "other",
+    };
+    if c.bursty {
+        format!("{base}+burst")
+    } else {
+        base.to_string()
+    }
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    // Broad algorithm coverage at low / knee / post-saturation loads.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::SpaaBase,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        for rate in [0.01, 0.04, 0.1] {
+            for seed in [1, 2] {
+                cases.push(Case {
+                    algo,
+                    pattern: TrafficPattern::Uniform,
+                    bursty: false,
+                    rate,
+                    seed,
+                });
+            }
+        }
+    }
+    // Scenario engines (hotspot targets, bursty modulation) exercise the
+    // hot-draw and on/off paths through the same routers.
+    let hotspot = TrafficPattern::Hotspot {
+        targets: HotspotTargets::new(&[5, 10]),
+        fraction: 0.25,
+    };
+    for algo in [ArbAlgorithm::SpaaRotary, ArbAlgorithm::Pim1] {
+        cases.push(Case {
+            algo,
+            pattern: hotspot,
+            bursty: false,
+            rate: 0.04,
+            seed: 1,
+        });
+        cases.push(Case {
+            algo,
+            pattern: TrafficPattern::Uniform,
+            bursty: true,
+            rate: 0.04,
+            seed: 1,
+        });
+    }
+    cases
+}
+
+fn digest_line(c: &Case) -> String {
+    let cfg = NetworkConfig {
+        torus: Torus::net_4x4(),
+        router: RouterConfig::alpha_21364(c.algo),
+        seed: c.seed,
+        warmup_cycles: 400,
+        measure_cycles: 1600,
+    };
+    let mut wl = WorkloadConfig::paper(c.pattern, c.rate);
+    if c.bursty {
+        wl = wl.with_burst(BurstConfig::new(60.0, 240.0));
+    }
+    let endpoints = build_endpoints(&cfg, &wl);
+    let mut sim = NetworkSim::new(cfg, endpoints);
+    let r = sim.run();
+
+    let mut lat = Fnv::new();
+    lat.u64(r.latency.count());
+    lat.f64(r.latency.mean());
+    lat.f64(r.latency.variance());
+    lat.f64(r.latency.min().unwrap_or(f64::NAN));
+    lat.f64(r.latency.max().unwrap_or(f64::NAN));
+    lat.u64(r.total_latency.count());
+    lat.f64(r.total_latency.mean());
+    lat.f64(r.total_latency.variance());
+
+    let mut hist = Fnv::new();
+    hist.u64(r.latency_hist.underflow());
+    for &b in r.latency_hist.bins() {
+        hist.u64(b);
+    }
+    hist.u64(r.latency_hist.overflow());
+
+    format!(
+        "{} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
+         noms={} grants={} coll={} esc={} drains={} lat={:016x} hist={:016x}",
+        c.algo,
+        pattern_label(c),
+        c.rate,
+        c.seed,
+        r.delivered_packets,
+        r.delivered_flits,
+        r.injected_packets,
+        r.in_flight_packets,
+        r.nominations,
+        r.grants,
+        r.collisions,
+        r.escape_dispatches,
+        r.drain_engagements,
+        lat.0,
+        hist.0,
+    )
+}
+
+#[test]
+fn reports_match_golden_digests() {
+    let lines: Vec<String> = cases().iter().map(digest_line).collect();
+    let rendered = lines.join("\n") + "\n";
+    if std::env::var("GOLDEN_UPDATE").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden digests");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/reports.txt missing — run with GOLDEN_UPDATE=1 to record");
+    // Line-by-line comparison so a failure names the drifting config.
+    for (got, want) in lines.iter().zip(golden.lines()) {
+        assert_eq!(got, want, "report digest drifted");
+    }
+    assert_eq!(
+        lines.len(),
+        golden.lines().count(),
+        "golden case count drifted — regenerate with GOLDEN_UPDATE=1"
+    );
+}

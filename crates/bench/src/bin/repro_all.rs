@@ -36,6 +36,7 @@ const JOBS: &[(&str, &[&str])] = &[
     // default-mode baselines.
     ("fig_islip", &["--out", "results/BENCH_islip.json"]),
     ("fig_scenarios", &["--out", "results/BENCH_scenarios.json"]),
+    ("fig_bigtorus", &["--out", "results/BENCH_bigtorus.json"]),
     // Non-gating engine-speed smoke: prints cycles/sec for the saturated
     // open-loop panel so perf regressions show up in repro logs (compare
     // against the committed BENCH_hot_path.json).

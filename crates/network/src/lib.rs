@@ -13,16 +13,22 @@
 //! * [`sim`] — the network simulator: steps every router on each 1.2 GHz
 //!   core-clock edge, transports packets over 0.8 GHz links with three
 //!   link-clocks of wire latency, returns credits, and delivers packets to
-//!   per-node [`sim::Endpoint`]s.
+//!   per-node [`sim::Endpoint`]s;
+//! * [`sharded`] — the same simulation on N worker threads: contiguous
+//!   torus shards stepped in lockstep one core cycle at a time, exchanging
+//!   cross-shard events at a barrier — bit-for-bit identical to [`sim`].
 //!
 //! The traffic side (coherence transactions, MSHRs, §4.2 patterns) lives
 //! in the `workload` crate; anything implementing [`sim::Endpoint`] can
 //! drive the network.
 
 pub mod routing;
+pub(crate) mod shard;
+pub mod sharded;
 pub mod sim;
 pub mod topology;
 
 pub use routing::route_for;
+pub use sharded::ShardedNetworkSim;
 pub use sim::{Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx};
-pub use topology::Torus;
+pub use topology::{ShardMap, Torus};

@@ -1,0 +1,378 @@
+//! Shard state: the per-worker slice of a simulation.
+//!
+//! Both network engines are built from the same [`Shard`]:
+//!
+//! * [`crate::sim::NetworkSim`] owns **one** shard covering every node
+//!   and runs its phases inline;
+//! * [`crate::sharded::ShardedNetworkSim`] owns one shard per worker
+//!   thread and separates the phases with a barrier.
+//!
+//! A shard owns a contiguous node-id range of routers and endpoints
+//! (see [`crate::topology::ShardMap`]), its own delivery wheel, idle-skip
+//! wake array, and the order-insensitive measurement accumulators
+//! (integer counters and the latency histogram, whose merges are exact).
+//! Every cycle splits into:
+//!
+//! * **Phase A** ([`Shard::phase_a`]) — step the shard's routers, drain
+//!   its due deliveries, let its endpoints inject. `Delivered` events are
+//!   scheduled on the shard's own wheel immediately (a delivery is
+//!   emitted by the destination's own router, so it never crosses a
+//!   shard); `Forward`/`Credit` events are *deferred* to the caller's
+//!   outbox, tagged with the emitting router.
+//! * **Phase B** ([`Shard::apply`]) — apply the deferred events destined
+//!   to this shard, in ascending `(source router, emission order)`
+//!   sequence. This reproduces the order in which an engine that applies
+//!   events inline inserts them into the destination's event wheel, and
+//!   — because every event's effect tick lies strictly in the future —
+//!   deferring the application to the end of the cycle is behaviorally
+//!   invisible (the one-cycle-horizon argument; see DESIGN.md "Sharded
+//!   engine").
+//!
+//! The only order-*sensitive* statistics — the Welford latency
+//! accumulators, whose floating-point sums do not reassociate — are not
+//! accumulated in the shard at all: phase A emits one [`MeasureRecord`]
+//! per measured delivery, and the engine replays all shards' records
+//! through [`replay_records`] in the canonical key order, reproducing the
+//! single-threaded accumulation bit for bit.
+
+use crate::routing::route_for;
+use crate::sim::{Endpoint, NetworkConfig, NodeCtx};
+use crate::topology::Torus;
+use router::{IncomingPacket, Packet, Router, RouterOutput};
+use simcore::stats::Histogram;
+use simcore::wheel::TimingWheel;
+use simcore::{SimRng, Tick};
+
+/// Per-cycle constants shared by both phases of every shard.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CycleEnv {
+    pub(crate) torus: Torus,
+    pub(crate) now: Tick,
+    pub(crate) cycle: u64,
+    pub(crate) warmup_end: Tick,
+    pub(crate) core_period: Tick,
+    pub(crate) link_latency: Tick,
+}
+
+impl CycleEnv {
+    pub(crate) fn at(cfg: &NetworkConfig, cycle: u64) -> Self {
+        let core = cfg.router.timing.core;
+        CycleEnv {
+            torus: cfg.torus,
+            now: core.edge(cycle),
+            cycle,
+            warmup_end: core.edge(cfg.warmup_cycles),
+            core_period: core.period(),
+            link_latency: cfg.router.timing.link_latency_ticks(),
+        }
+    }
+}
+
+/// A deferred `Forward`/`Credit` event, tagged with the router that
+/// emitted it. Within one outbox bucket, events keep their emission
+/// order; across buckets the engine establishes ascending-source order by
+/// visiting source shards in index order (shards are contiguous).
+#[derive(Debug)]
+pub(crate) struct OutEvent {
+    pub(crate) src: u16,
+    pub(crate) ev: RouterOutput,
+}
+
+/// The destination router of a deferred event: the link neighbour a
+/// forward enters, or the upstream neighbour a credit returns to.
+pub(crate) fn event_destination(torus: &Torus, src: u16, ev: &RouterOutput) -> u16 {
+    match ev {
+        RouterOutput::Forward(o) => torus.neighbor(src, o.output),
+        RouterOutput::Credit { input, .. } => torus.neighbor(src, Torus::input_direction(*input)),
+        RouterOutput::Delivered { .. } => src,
+    }
+}
+
+/// A pending delivery on a shard's wheel, carrying the canonical emission
+/// key of the `Delivered` event that scheduled it.
+#[derive(Debug)]
+struct Delivery {
+    node: u16,
+    emit_cycle: u64,
+    emit_seq: u32,
+    packet: Packet,
+}
+
+/// One measured delivery, keyed for the canonical cross-shard replay.
+///
+/// The single-threaded engine records latencies in its global delivery
+/// wheel's drain order: `(delivery tick, wheel insertion order)`, where
+/// insertion order is `(emission cycle, emitting router, per-step
+/// emission index)` — routers are stepped in id order within a cycle.
+/// Sorting records by [`MeasureRecord::key`] therefore reconstructs the
+/// exact global sequence from per-shard streams.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MeasureRecord {
+    at: Tick,
+    emit_cycle: u64,
+    node: u16,
+    emit_seq: u32,
+    pub(crate) transit_ns: f64,
+    pub(crate) total_ns: f64,
+}
+
+impl MeasureRecord {
+    fn key(&self) -> (u64, u64, u16, u32) {
+        (
+            self.at.as_ticks(),
+            self.emit_cycle,
+            self.node,
+            self.emit_seq,
+        )
+    }
+}
+
+/// Sorts one cycle's measurement records into canonical order and replays
+/// them through `record`, draining the buffer. Feeding each cycle's batch
+/// (from any number of shards) through this reproduces the
+/// single-threaded engine's floating-point accumulation bit for bit.
+pub(crate) fn replay_records(
+    records: &mut Vec<MeasureRecord>,
+    latency: &mut simcore::stats::OnlineStats,
+    total_latency: &mut simcore::stats::OnlineStats,
+) {
+    records.sort_unstable_by_key(MeasureRecord::key);
+    for r in records.drain(..) {
+        latency.record(r.transit_ns);
+        total_latency.record(r.total_ns);
+    }
+}
+
+/// The per-worker slice of a simulation: routers, endpoints, deliveries,
+/// idle-skip state and order-insensitive accumulators for one contiguous
+/// node range.
+pub(crate) struct Shard<E> {
+    /// First node id of this shard's contiguous range.
+    base: u16,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) endpoints: Vec<E>,
+    /// Pending deliveries for this shard's nodes, keyed by last-flit time.
+    /// Deliveries never cross shards (the destination's own router emits
+    /// them), so per-shard wheels drain in the same relative order the
+    /// single global wheel would.
+    deliveries: TimingWheel<Delivery>,
+    delivery_scratch: Vec<(Tick, Delivery)>,
+    scratch: Vec<RouterOutput>,
+    /// Idle-skip: step a router only while it has work (see
+    /// [`crate::sim::NetworkSim::set_idle_skip`]).
+    idle_skip: bool,
+    /// Per local router: `Tick::ZERO` while awake; otherwise the earliest
+    /// tick at which it must be stepped again.
+    wake_at: Vec<Tick>,
+    pub(crate) skipped_steps: u64,
+    pub(crate) injected_packets: u64,
+    pub(crate) injected_flits: u64,
+    pub(crate) measured_packets: u64,
+    pub(crate) measured_flits: u64,
+    /// Transit-latency histogram partial (bin counts are integers, so
+    /// shard partials merge exactly; see [`Histogram::merge`]).
+    pub(crate) latency_hist: Histogram,
+}
+
+impl<E: Endpoint> Shard<E> {
+    /// Builds the shard owning nodes `base..base + endpoints.len()`.
+    /// Router RNG streams are forked from the config seed by *global*
+    /// node id, so the resulting simulation state is independent of the
+    /// partition.
+    pub(crate) fn new(cfg: &NetworkConfig, base: u16, endpoints: Vec<E>) -> Self {
+        let root = SimRng::from_seed(cfg.seed);
+        let routers: Vec<Router> = (0..endpoints.len() as u16)
+            .map(|i| {
+                let id = base + i;
+                Router::new(id, cfg.router.clone(), root.fork(id as u64))
+            })
+            .collect();
+        Shard {
+            base,
+            deliveries: TimingWheel::new(cfg.router.timing.core.period(), 256),
+            delivery_scratch: Vec::with_capacity(64),
+            scratch: Vec::with_capacity(64),
+            idle_skip: true,
+            wake_at: vec![Tick::ZERO; routers.len()],
+            skipped_steps: 0,
+            injected_packets: 0,
+            injected_flits: 0,
+            measured_packets: 0,
+            measured_flits: 0,
+            latency_hist: Histogram::new(0.0, 2000.0, 200),
+            routers,
+            endpoints,
+        }
+    }
+
+    /// Number of routers in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// First node id of the shard's range.
+    pub(crate) fn base(&self) -> u16 {
+        self.base
+    }
+
+    pub(crate) fn set_idle_skip(&mut self, enabled: bool) {
+        self.idle_skip = enabled;
+        if !enabled {
+            self.wake_at.fill(Tick::ZERO);
+        }
+    }
+
+    /// Undelivered packets still parked on the delivery wheel.
+    pub(crate) fn pending_deliveries(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Phase A of one core cycle, in the same order the original
+    /// single-threaded engine used:
+    ///
+    /// 1. routers arbitrate and emit events (skipping quiescent routers
+    ///    until their wake tick — a skipped step would have been a
+    ///    no-op); `Delivered` lands on the shard's wheel, everything else
+    ///    goes to `emit`;
+    /// 2. deliveries due now reach their endpoints, appending a
+    ///    [`MeasureRecord`] per measured delivery;
+    /// 3. endpoints generate new traffic.
+    ///
+    /// Endpoint decisions cannot observe the deferred events: injections
+    /// check `free_space` on *local* input ports only, while forwards
+    /// reserve torus-input slots, and a credit's effect tick lies cycles
+    /// ahead — so deferring the application to [`Shard::apply`] after the
+    /// barrier leaves phase A bit-identical to inline application.
+    pub(crate) fn phase_a(
+        &mut self,
+        env: &CycleEnv,
+        emit: &mut impl FnMut(u16, RouterOutput),
+        records: &mut Vec<MeasureRecord>,
+    ) {
+        let now = env.now;
+        // 1. Routers.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..self.routers.len() {
+            if self.idle_skip && now < self.wake_at[i] {
+                self.skipped_steps += 1;
+                continue;
+            }
+            self.wake_at[i] = Tick::ZERO;
+            scratch.clear();
+            self.routers[i].step(now, &mut scratch);
+            let src = self.base + i as u16;
+            for (seq, ev) in scratch.drain(..).enumerate() {
+                match ev {
+                    RouterOutput::Delivered { packet, at, .. } => {
+                        self.deliveries.schedule(
+                            at,
+                            Delivery {
+                                node: src,
+                                emit_cycle: env.cycle,
+                                emit_seq: seq as u32,
+                                packet,
+                            },
+                        );
+                    }
+                    other => emit(src, other),
+                }
+            }
+            if self.idle_skip {
+                self.wake_at[i] = self.routers[i].next_work();
+            }
+        }
+        self.scratch = scratch;
+
+        // 2. Deliveries due now reach their endpoints.
+        let mut due = std::mem::take(&mut self.delivery_scratch);
+        due.clear();
+        self.deliveries.drain_due(now, &mut due);
+        for &(at, ref d) in &due {
+            self.endpoints[(d.node - self.base) as usize].on_delivered(&d.packet, at);
+            if at >= env.warmup_end {
+                let transit_ns = (at - d.packet.injected).as_ns();
+                self.latency_hist.record(transit_ns);
+                self.measured_packets += 1;
+                self.measured_flits += d.packet.len() as u64;
+                records.push(MeasureRecord {
+                    at,
+                    emit_cycle: d.emit_cycle,
+                    node: d.node,
+                    emit_seq: d.emit_seq,
+                    transit_ns,
+                    total_ns: (at - d.packet.birth).as_ns(),
+                });
+            }
+        }
+        self.delivery_scratch = due;
+
+        // 3. Endpoints generate new traffic.
+        for i in 0..self.routers.len() {
+            let mut ctx = NodeCtx {
+                router: &mut self.routers[i],
+                torus: &env.torus,
+                node: self.base + i as u16,
+                now,
+                core_period: env.core_period,
+                injected_packets: &mut self.injected_packets,
+                injected_flits: &mut self.injected_flits,
+                woke: false,
+            };
+            self.endpoints[i].on_cycle(&mut ctx);
+            if ctx.woke && self.idle_skip {
+                // An injection is processed by the router on a later
+                // edge; until then the router may stay asleep. Recompute
+                // the wake exactly (a `min` against the previous value
+                // could retain a stale earlier tick and trigger spurious
+                // steps).
+                self.wake_at[i] = self.routers[i].next_work();
+            }
+        }
+    }
+
+    /// Phase B: applies one deferred event to its destination, which must
+    /// lie in this shard. The caller supplies events in ascending
+    /// `(source router, emission order)` sequence.
+    ///
+    /// The `next_wake` minimum re-arms idle-skip: applying it here rather
+    /// than at emission time is exact because the event's earliest effect
+    /// tick is strictly later than the cycle that emitted it, so the
+    /// destination's skip decisions up to and including that cycle are
+    /// unchanged, and `min(next_work(before), next_wake(after)) ==
+    /// next_work(after)` re-establishes the invariant for the cycles
+    /// after.
+    pub(crate) fn apply(&mut self, env: &CycleEnv, src: u16, ev: RouterOutput) {
+        match ev {
+            RouterOutput::Forward(o) => {
+                let neighbor = env.torus.neighbor(src, o.output);
+                let entry = Torus::entry_port(o.output);
+                let packet = o.packet;
+                let pin_time = o.first_flit + env.link_latency;
+                let route = route_for(&env.torus, neighbor, &packet);
+                let local = (neighbor - self.base) as usize;
+                self.routers[local].accept_packet(
+                    entry,
+                    IncomingPacket {
+                        packet,
+                        route,
+                        vc: o.downstream_vc,
+                        pin_time,
+                        in_flit_period: o.flit_period,
+                    },
+                );
+                self.wake_at[local] = self.wake_at[local].min(self.routers[local].next_wake());
+            }
+            RouterOutput::Credit { input, vc, at } => {
+                let dir = Torus::input_direction(input);
+                let upstream = env.torus.neighbor(src, dir);
+                let output = Torus::feeder_port(input);
+                let local = (upstream - self.base) as usize;
+                self.routers[local].accept_credit(output, vc, at + env.link_latency);
+                self.wake_at[local] = self.wake_at[local].min(self.routers[local].next_wake());
+            }
+            RouterOutput::Delivered { .. } => {
+                unreachable!("deliveries are scheduled in phase A and never deferred")
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The sharded network engine: one simulation on N worker threads,
+//! bit-for-bit identical to [`NetworkSim`](crate::NetworkSim).
+//!
+//! # Why a one-cycle horizon is safe
+//!
+//! Every inter-router interaction in the model crosses a torus link, and
+//! every link has three 0.8 GHz link-clocks (= 4.5 core cycles) of wire
+//! latency; even a local injection is decoded cycles after it pins. So
+//! any event a router emits at cycle *k* takes effect strictly after
+//! cycle *k* — no router's cycle-*k* decisions can observe another
+//! router's cycle-*k* outputs. That makes one core cycle a safe
+//! parallelism quantum: run every shard's cycle-*k* phase A concurrently,
+//! exchange the emitted `Forward`/`Credit` events at a barrier, apply
+//! them (phase B), repeat. The single-threaded engine performs the same
+//! two phases inline, so the equivalence is structural; the golden and
+//! shard-equivalence suites pin it bit for bit.
+//!
+//! # Canonical order
+//!
+//! Determinism needs more than correctness of *values* — the events must
+//! be applied to each destination router in the same *order* the
+//! single-threaded engine would, and the order-sensitive floating-point
+//! latency accumulators must see deliveries in the same sequence:
+//!
+//! * **Events**: the single-threaded engine applies events in emission
+//!   order — ascending (source router, per-step emission index) within a
+//!   cycle. Each worker writes per-destination outbox buckets in
+//!   emission order; the destination drains source shards in index
+//!   order, and because shards are contiguous node ranges that *is*
+//!   ascending source order.
+//! * **Latencies**: each measured delivery is tagged with its canonical
+//!   key (delivery tick, emission cycle, destination router, emission
+//!   index); the coordinator sorts each cycle's records on that key and
+//!   replays them into one pair of Welford accumulators — the exact
+//!   global wheel-drain order. All other statistics (counters, the
+//!   latency histogram) merge exactly.
+//!
+//! # RNG streams
+//!
+//! Router and endpoint streams are forked per *node* from the run seed
+//! (`seed.fork(node)` and `(seed ^ 0x5eed_f00d).fork(node)`), never per
+//! shard, so partitioning cannot perturb a single random draw.
+
+use crate::shard::{event_destination, replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
+use crate::sim::{report_from_parts, Endpoint, NetworkConfig, NetworkReport};
+use crate::topology::{ShardMap, Torus};
+use simcore::stats::OnlineStats;
+use simcore::sweep::effective_workers;
+use simcore::sync::SpinBarrier;
+use std::sync::Mutex;
+
+/// A sharded simulation: the torus is partitioned into contiguous node
+/// ranges, one per worker thread, stepped in lockstep one core cycle at
+/// a time.
+pub struct ShardedNetworkSim<E: Endpoint> {
+    cfg: NetworkConfig,
+    torus: Torus,
+    map: ShardMap,
+    shards: Vec<Mutex<Shard<E>>>,
+    cycle: u64,
+    latency: OnlineStats,
+    total_latency: OnlineStats,
+}
+
+impl<E: Endpoint + Send> ShardedNetworkSim<E> {
+    /// Builds a sharded simulator with one endpoint per node, split
+    /// across `workers` shards. `workers == 0` sizes automatically:
+    /// `SIM_WORKERS` override or available parallelism, clamped to 1
+    /// inside a `parallel_map` region so nested fan-out cannot
+    /// oversubscribe (see [`effective_workers`]). Requests beyond the
+    /// node count are clamped to one node per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `endpoints.len()` equals the node count.
+    pub fn new(cfg: NetworkConfig, endpoints: Vec<E>, workers: usize) -> Self {
+        let torus = cfg.torus;
+        assert_eq!(
+            endpoints.len(),
+            torus.nodes() as usize,
+            "one endpoint per node"
+        );
+        let workers = effective_workers(workers, torus.nodes() as usize);
+        let map = ShardMap::new(&torus, workers);
+        let mut endpoints = endpoints.into_iter();
+        let shards: Vec<Mutex<Shard<E>>> = (0..map.shards())
+            .map(|s| {
+                let range = map.range(s);
+                let base = range.start;
+                let slice: Vec<E> = endpoints.by_ref().take(range.len()).collect();
+                let shard = Shard::new(&cfg, base, slice);
+                debug_assert_eq!(shard.base(), base);
+                debug_assert_eq!(shard.len(), range.len());
+                Mutex::new(shard)
+            })
+            .collect();
+        ShardedNetworkSim {
+            torus,
+            map,
+            shards,
+            cycle: 0,
+            latency: OnlineStats::new(),
+            total_latency: OnlineStats::new(),
+            cfg,
+        }
+    }
+
+    /// Number of shards (= worker threads) the run uses.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The torus shape.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Endpoint access after a run.
+    pub fn endpoint(&mut self, node: u16) -> &E {
+        let s = self.map.shard_of(node);
+        let base = self.map.range(s).start;
+        &self.shards[s]
+            .get_mut()
+            .expect("worker fleet panicked")
+            .endpoints[(node - base) as usize]
+    }
+
+    /// Enables or disables idle-skip on every shard (on by default; the
+    /// two modes are bit-for-bit identical, as in the single-threaded
+    /// engine).
+    pub fn set_idle_skip(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard
+                .get_mut()
+                .expect("worker fleet panicked")
+                .set_idle_skip(enabled);
+        }
+    }
+
+    /// Router steps avoided by idle-skip so far, summed over shards.
+    pub fn skipped_router_steps(&mut self) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| s.get_mut().expect("worker fleet panicked").skipped_steps)
+            .sum()
+    }
+
+    /// Runs the configured warmup + measurement window and reports.
+    pub fn run(&mut self) -> NetworkReport {
+        let total = self.cfg.total_cycles();
+        if self.cycle >= total {
+            return self.report();
+        }
+        if self.shards.len() == 1 {
+            self.run_inline(total);
+        } else {
+            self.run_fleet(total);
+        }
+        self.cycle = total;
+        self.report()
+    }
+
+    /// Single-shard fast path: no threads, no barrier — the same loop
+    /// [`crate::NetworkSim`] runs.
+    fn run_inline(&mut self, total: u64) {
+        let shard = self.shards[0].get_mut().expect("worker fleet panicked");
+        let mut outbox: Vec<OutEvent> = Vec::with_capacity(64);
+        let mut records: Vec<MeasureRecord> = Vec::with_capacity(64);
+        for k in self.cycle..total {
+            let env = CycleEnv::at(&self.cfg, k);
+            shard.phase_a(
+                &env,
+                &mut |src, ev| outbox.push(OutEvent { src, ev }),
+                &mut records,
+            );
+            for OutEvent { src, ev } in outbox.drain(..) {
+                shard.apply(&env, src, ev);
+            }
+            replay_records(&mut records, &mut self.latency, &mut self.total_latency);
+        }
+    }
+
+    /// Barrier-quantum fleet: W workers plus this coordinator thread.
+    ///
+    /// Segment *k* (between barrier crossings *k* and *k+1*) runs, on
+    /// each worker: apply phase B of cycle *k−1* from the previous
+    /// segment's outboxes, then phase A of cycle *k* into this segment's
+    /// outboxes. Outboxes and record buffers are double-buffered by
+    /// cycle parity, so one barrier per cycle suffices: parity-*p*
+    /// buffers are written in segment *k* (p = k mod 2), drained in
+    /// segment *k+1*, and not rewritten until *k+2*. The coordinator
+    /// spends segment *k* replaying cycle *k−1*'s measurement records.
+    /// Every mutex in the scheme is uncontended by construction — locks
+    /// only order memory, the barrier orders time.
+    fn run_fleet(&mut self, total: u64) {
+        let w = self.shards.len();
+        let start = self.cycle;
+        let barrier = SpinBarrier::new(w + 1);
+        let buckets = |n: usize| -> Vec<Mutex<Vec<OutEvent>>> {
+            (0..n).map(|_| Mutex::new(Vec::new())).collect()
+        };
+        // outboxes[parity][src_shard][dst_shard]
+        let outboxes: [Vec<Vec<Mutex<Vec<OutEvent>>>>; 2] = [
+            (0..w).map(|_| buckets(w)).collect(),
+            (0..w).map(|_| buckets(w)).collect(),
+        ];
+        // records[parity][shard]
+        let mk_records = || -> Vec<Mutex<Vec<MeasureRecord>>> {
+            (0..w).map(|_| Mutex::new(Vec::new())).collect()
+        };
+        let records: [Vec<Mutex<Vec<MeasureRecord>>>; 2] = [mk_records(), mk_records()];
+
+        let shards = &self.shards;
+        let map = &self.map;
+        let torus = self.torus;
+        let cfg = &self.cfg;
+        let latency = &mut self.latency;
+        let total_latency = &mut self.total_latency;
+
+        std::thread::scope(|scope| {
+            for me in 0..w {
+                let barrier = &barrier;
+                let outboxes = &outboxes;
+                let records = &records;
+                scope.spawn(move || {
+                    let mut shard = shards[me].lock().expect("worker fleet panicked");
+                    for k in start..=total {
+                        barrier.wait();
+                        if k > start {
+                            // Phase B of cycle k-1: events destined to
+                            // this shard, source shards in index order =
+                            // ascending source router (canonical).
+                            let env = CycleEnv::at(cfg, k - 1);
+                            let parity = ((k - 1) % 2) as usize;
+                            for src_row in &outboxes[parity] {
+                                let mut bucket = src_row[me].lock().expect("worker fleet panicked");
+                                for OutEvent { src, ev } in bucket.drain(..) {
+                                    shard.apply(&env, src, ev);
+                                }
+                            }
+                        }
+                        if k < total {
+                            // Phase A of cycle k into this parity's
+                            // buckets (drained last segment, free now).
+                            let env = CycleEnv::at(cfg, k);
+                            let parity = (k % 2) as usize;
+                            let mut rows: Vec<_> = outboxes[parity][me]
+                                .iter()
+                                .map(|m| m.lock().expect("worker fleet panicked"))
+                                .collect();
+                            let mut recs =
+                                records[parity][me].lock().expect("worker fleet panicked");
+                            shard.phase_a(
+                                &env,
+                                &mut |src, ev| {
+                                    let dst = map.shard_of(event_destination(&torus, src, &ev));
+                                    rows[dst].push(OutEvent { src, ev });
+                                },
+                                &mut recs,
+                            );
+                        }
+                    }
+                });
+            }
+
+            // Coordinator: replay cycle k-1's measurement records during
+            // segment k, in canonical key order across all shards.
+            let mut scratch: Vec<MeasureRecord> = Vec::new();
+            for k in start..=total {
+                barrier.wait();
+                if k > start {
+                    let parity = ((k - 1) % 2) as usize;
+                    for shard_records in &records[parity] {
+                        scratch.append(&mut shard_records.lock().expect("worker fleet panicked"));
+                    }
+                    replay_records(&mut scratch, latency, total_latency);
+                }
+            }
+        });
+    }
+
+    /// Builds the report for the window simulated so far. Takes `&mut`
+    /// only to prove no worker holds a shard (the run has ended).
+    pub fn report(&mut self) -> NetworkReport {
+        let measure_ns = self
+            .cfg
+            .router
+            .timing
+            .core
+            .cycles(self.cfg.measure_cycles)
+            .as_ns();
+        let shards: Vec<&Shard<E>> = self
+            .shards
+            .iter_mut()
+            .map(|s| &*s.get_mut().expect("worker fleet panicked"))
+            .collect();
+        report_from_parts(
+            &self.cfg,
+            measure_ns,
+            shards,
+            &self.latency,
+            &self.total_latency,
+        )
+    }
+}

@@ -18,12 +18,12 @@
 //! coherence generator is the production endpoint; tests use simpler ones.
 
 use crate::routing::route_for;
+use crate::shard::{replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
 use crate::topology::Torus;
 use arbitration::ports::InputPort;
-use router::{CoherenceClass, IncomingPacket, Packet, Router, RouterConfig, RouterOutput, VcId};
+use router::{CoherenceClass, IncomingPacket, Packet, Router, RouterConfig, VcId};
 use simcore::stats::{Histogram, OnlineStats};
-use simcore::wheel::TimingWheel;
-use simcore::{SimRng, Tick};
+use simcore::Tick;
 
 /// Result of an injection attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,15 +36,15 @@ pub enum InjectionOutcome {
 
 /// Per-node view handed to an [`Endpoint`] every cycle.
 pub struct NodeCtx<'a> {
-    router: &'a mut Router,
-    torus: &'a Torus,
-    node: u16,
-    now: Tick,
-    core_period: Tick,
-    injected_packets: &'a mut u64,
-    injected_flits: &'a mut u64,
+    pub(crate) router: &'a mut Router,
+    pub(crate) torus: &'a Torus,
+    pub(crate) node: u16,
+    pub(crate) now: Tick,
+    pub(crate) core_period: Tick,
+    pub(crate) injected_packets: &'a mut u64,
+    pub(crate) injected_flits: &'a mut u64,
     /// Set when an injection gave the router new work (idle-skip wake).
-    woke: bool,
+    pub(crate) woke: bool,
 }
 
 impl NodeCtx<'_> {
@@ -200,35 +200,26 @@ impl NetworkReport {
     }
 }
 
-/// The simulator.
+/// The single-threaded simulator: one [`Shard`] covering every node,
+/// phases run inline.
+///
+/// Since the sharded-engine refactor this engine is itself structured as
+/// a coordinator over one shard: each cycle runs the shard's phase A
+/// (routers, deliveries, endpoints) with `Forward`/`Credit` events
+/// deferred to an outbox, then applies the outbox in emission order
+/// (phase B). Deferring is bit-for-bit equivalent to inline application
+/// because every event's effect tick lies strictly beyond the emitting
+/// cycle — the same one-cycle-horizon argument that makes
+/// [`crate::ShardedNetworkSim`] exact (see DESIGN.md "Sharded engine");
+/// the golden-report suite pins the equivalence.
 pub struct NetworkSim<E: Endpoint> {
     cfg: NetworkConfig,
     torus: Torus,
-    routers: Vec<Router>,
-    endpoints: Vec<E>,
-    /// Pending (destination node, packet) deliveries, keyed by last-flit
-    /// time on a per-core-cycle timing wheel (wire latency and flit trains
-    /// bound the horizon to a few dozen cycles).
-    deliveries: TimingWheel<(u16, Packet)>,
-    delivery_scratch: Vec<(Tick, (u16, Packet))>,
-    scratch: Vec<RouterOutput>,
+    shard: Shard<E>,
+    outbox: Vec<OutEvent>,
+    records: Vec<MeasureRecord>,
     cycle: u64,
-    /// Idle-skip: step a router only while it has work. Bit-for-bit
-    /// equivalent to stepping every router every cycle (see DESIGN.md);
-    /// on by default, off only for equivalence testing.
-    idle_skip: bool,
-    /// Per router: `Tick::ZERO` while awake (step every cycle); otherwise
-    /// the earliest tick at which it must be stepped again (`Tick::MAX`
-    /// when fully idle until an external packet or credit arrives).
-    wake_at: Vec<Tick>,
-    /// Router steps avoided by idle-skip (performance accounting).
-    skipped_steps: u64,
-    injected_packets: u64,
-    injected_flits: u64,
-    measured_packets: u64,
-    measured_flits: u64,
     latency: OnlineStats,
-    latency_hist: Histogram,
     total_latency: OnlineStats,
 }
 
@@ -245,28 +236,14 @@ impl<E: Endpoint> NetworkSim<E> {
             torus.nodes() as usize,
             "one endpoint per node"
         );
-        let root = SimRng::from_seed(cfg.seed);
-        let routers: Vec<Router> = (0..torus.nodes())
-            .map(|id| Router::new(id, cfg.router.clone(), root.fork(id as u64)))
-            .collect();
         NetworkSim {
-            deliveries: TimingWheel::new(cfg.router.timing.core.period(), 256),
-            delivery_scratch: Vec::with_capacity(64),
-            scratch: Vec::with_capacity(64),
+            shard: Shard::new(&cfg, 0, endpoints),
+            outbox: Vec::with_capacity(64),
+            records: Vec::with_capacity(64),
             cycle: 0,
-            idle_skip: true,
-            wake_at: vec![Tick::ZERO; routers.len()],
-            skipped_steps: 0,
-            torus,
-            routers,
-            endpoints,
-            injected_packets: 0,
-            injected_flits: 0,
-            measured_packets: 0,
-            measured_flits: 0,
             latency: OnlineStats::new(),
-            latency_hist: Histogram::new(0.0, 2000.0, 200),
             total_latency: OnlineStats::new(),
+            torus,
             cfg,
         }
     }
@@ -278,27 +255,24 @@ impl<E: Endpoint> NetworkSim<E> {
 
     /// Immutable router access (tests, statistics).
     pub fn router(&self, node: u16) -> &Router {
-        &self.routers[node as usize]
+        &self.shard.routers[node as usize]
     }
 
     /// Endpoint access after a run.
     pub fn endpoint(&self, node: u16) -> &E {
-        &self.endpoints[node as usize]
+        &self.shard.endpoints[node as usize]
     }
 
     /// Enables or disables idle-skip (on by default). The two modes
     /// produce bit-for-bit identical results; disabling exists for
     /// equivalence testing and engine benchmarking.
     pub fn set_idle_skip(&mut self, enabled: bool) {
-        self.idle_skip = enabled;
-        if !enabled {
-            self.wake_at.fill(Tick::ZERO);
-        }
+        self.shard.set_idle_skip(enabled);
     }
 
     /// Router steps avoided by idle-skip so far.
     pub fn skipped_router_steps(&self) -> u64 {
-        self.skipped_steps
+        self.shard.skipped_steps
     }
 
     /// Runs the configured warmup + measurement window and reports.
@@ -312,113 +286,31 @@ impl<E: Endpoint> NetworkSim<E> {
 
     /// Advances exactly one core cycle (exposed for incremental tests).
     pub fn step_cycle(&mut self) {
-        let core = self.cfg.router.timing.core;
-        let now = core.edge(self.cycle);
-        let warmup_end = core.edge(self.cfg.warmup_cycles);
+        let env = CycleEnv::at(&self.cfg, self.cycle);
 
-        // 1. Routers arbitrate and emit events. Routers with nothing to
-        // do this cycle are skipped until their wake tick (or an external
-        // event): a skipped step would have been a no-op — the router is
-        // either empty, or loaded on a *windowed* arbiter with no wheel
-        // event, census, or window due — and Router::step's catch-up
-        // keeps the skipped-phase bookkeeping bit-for-bit identical.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        for i in 0..self.routers.len() {
-            if self.idle_skip && now < self.wake_at[i] {
-                self.skipped_steps += 1;
-                continue;
-            }
-            self.wake_at[i] = Tick::ZERO;
-            scratch.clear();
-            self.routers[i].step(now, &mut scratch);
-            for ev in scratch.drain(..) {
-                self.apply_event(i as u16, ev);
-            }
-            if self.idle_skip {
-                self.wake_at[i] = self.routers[i].next_work();
-            }
-        }
-        self.scratch = scratch;
+        // Phase A: routers, deliveries, endpoints; Forward/Credit events
+        // land in the outbox in emission order.
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut records = std::mem::take(&mut self.records);
+        self.shard.phase_a(
+            &env,
+            &mut |src, ev| outbox.push(OutEvent { src, ev }),
+            &mut records,
+        );
 
-        // 2. Deliveries due now reach their endpoints.
-        let mut due = std::mem::take(&mut self.delivery_scratch);
-        due.clear();
-        self.deliveries.drain_due(now, &mut due);
-        for &(at, (node, ref packet)) in &due {
-            self.endpoints[node as usize].on_delivered(packet, at);
-            if at >= warmup_end {
-                let transit_ns = (at - packet.injected).as_ns();
-                self.latency.record(transit_ns);
-                self.latency_hist.record(transit_ns);
-                self.total_latency.record((at - packet.birth).as_ns());
-                self.measured_packets += 1;
-                self.measured_flits += packet.len() as u64;
-            }
+        // Phase B: apply the deferred events. Emission order here *is*
+        // the canonical `(source router ascending, per-step emission
+        // index)` order, because phase A visits routers in id order.
+        for OutEvent { src, ev } in outbox.drain(..) {
+            self.shard.apply(&env, src, ev);
         }
-        self.delivery_scratch = due;
+        self.outbox = outbox;
 
-        // 3. Endpoints generate new traffic.
-        let core_period = core.period();
-        for node in 0..self.routers.len() {
-            let mut ctx = NodeCtx {
-                router: &mut self.routers[node],
-                torus: &self.torus,
-                node: node as u16,
-                now,
-                core_period,
-                injected_packets: &mut self.injected_packets,
-                injected_flits: &mut self.injected_flits,
-                woke: false,
-            };
-            self.endpoints[node].on_cycle(&mut ctx);
-            if ctx.woke && self.idle_skip {
-                // An injection is processed by the router on a later edge;
-                // until then the router may stay asleep. Recompute the
-                // wake exactly (a `min` against the previous value could
-                // retain a stale earlier tick and trigger spurious
-                // steps).
-                self.wake_at[node] = self.routers[node].next_work();
-            }
-        }
+        // Latency accumulation in canonical delivery order.
+        replay_records(&mut records, &mut self.latency, &mut self.total_latency);
+        self.records = records;
 
         self.cycle += 1;
-    }
-
-    fn apply_event(&mut self, from: u16, ev: RouterOutput) {
-        let timing = &self.cfg.router.timing;
-        match ev {
-            RouterOutput::Forward(o) => {
-                let neighbor = self.torus.neighbor(from, o.output);
-                let entry = Torus::entry_port(o.output);
-                let packet = o.packet;
-                let pin_time = o.first_flit + timing.link_latency_ticks();
-                let route = route_for(&self.torus, neighbor, &packet);
-                let neighbor = neighbor as usize;
-                self.routers[neighbor].accept_packet(
-                    entry,
-                    IncomingPacket {
-                        packet,
-                        route,
-                        vc: o.downstream_vc,
-                        pin_time,
-                        in_flit_period: o.flit_period,
-                    },
-                );
-                self.wake_at[neighbor] =
-                    self.wake_at[neighbor].min(self.routers[neighbor].next_wake());
-            }
-            RouterOutput::Delivered { packet, at, .. } => {
-                self.deliveries.schedule(at, (from, packet));
-            }
-            RouterOutput::Credit { input, vc, at } => {
-                let dir = Torus::input_direction(input);
-                let upstream = self.torus.neighbor(from, dir) as usize;
-                let output = Torus::feeder_port(input);
-                self.routers[upstream].accept_credit(output, vc, at + timing.link_latency_ticks());
-                self.wake_at[upstream] =
-                    self.wake_at[upstream].min(self.routers[upstream].next_wake());
-            }
-        }
     }
 
     /// Builds the report for the window simulated so far.
@@ -430,14 +322,42 @@ impl<E: Endpoint> NetworkSim<E> {
             .core
             .cycles(self.cfg.measure_cycles)
             .as_ns();
-        let routers = self.routers.len() as f64;
-        let mut nominations = 0;
-        let mut grants = 0;
-        let mut collisions = 0;
-        let mut escapes = 0;
-        let mut drains = 0;
-        let mut in_flight = 0u64;
-        for r in &self.routers {
+        report_from_parts(
+            &self.cfg,
+            measure_ns,
+            std::iter::once(&self.shard),
+            &self.latency,
+            &self.total_latency,
+        )
+    }
+}
+
+/// Assembles a [`NetworkReport`] from shard partials plus the centrally
+/// replayed latency accumulators. Shared by both engines; every merge in
+/// here is exact (integer sums and [`Histogram::merge`]) — the only
+/// order-sensitive state, the `OnlineStats` pair, is handed in already
+/// accumulated in canonical order.
+pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
+    cfg: &NetworkConfig,
+    measure_ns: f64,
+    shards: impl IntoIterator<Item = &'a Shard<E>>,
+    latency: &OnlineStats,
+    total_latency: &OnlineStats,
+) -> NetworkReport {
+    let routers = cfg.torus.nodes() as f64;
+    let mut nominations = 0;
+    let mut grants = 0;
+    let mut collisions = 0;
+    let mut escapes = 0;
+    let mut drains = 0;
+    let mut in_flight = 0u64;
+    let mut injected_packets = 0;
+    let mut injected_flits = 0;
+    let mut measured_packets = 0;
+    let mut measured_flits = 0;
+    let mut latency_hist = Histogram::new(0.0, 2000.0, 200);
+    for shard in shards {
+        for r in &shard.routers {
             nominations += r.stats().nominations.get();
             grants += r.stats().grants.get();
             collisions += r.stats().collisions.get();
@@ -445,23 +365,28 @@ impl<E: Endpoint> NetworkSim<E> {
             drains += r.stats().drain_engagements.get();
             in_flight += r.accounted_packets() as u64;
         }
-        let in_flight = in_flight + self.deliveries.len() as u64;
-        NetworkReport {
-            delivered_packets: self.measured_packets,
-            delivered_flits: self.measured_flits,
-            latency: self.latency.clone(),
-            latency_hist: self.latency_hist.clone(),
-            total_latency: self.total_latency.clone(),
-            flits_per_router_ns: self.measured_flits as f64 / (routers * measure_ns),
-            injected_packets: self.injected_packets,
-            injected_flits: self.injected_flits,
-            in_flight_packets: in_flight,
-            nominations,
-            grants,
-            collisions,
-            escape_dispatches: escapes,
-            drain_engagements: drains,
-        }
+        in_flight += shard.pending_deliveries() as u64;
+        injected_packets += shard.injected_packets;
+        injected_flits += shard.injected_flits;
+        measured_packets += shard.measured_packets;
+        measured_flits += shard.measured_flits;
+        latency_hist.merge(&shard.latency_hist);
+    }
+    NetworkReport {
+        delivered_packets: measured_packets,
+        delivered_flits: measured_flits,
+        latency: latency.clone(),
+        latency_hist,
+        total_latency: total_latency.clone(),
+        flits_per_router_ns: measured_flits as f64 / (routers * measure_ns),
+        injected_packets,
+        injected_flits,
+        in_flight_packets: in_flight,
+        nominations,
+        grants,
+        collisions,
+        escape_dispatches: escapes,
+        drain_engagements: drains,
     }
 }
 

@@ -46,6 +46,17 @@ impl Torus {
         Torus::new(12, 12)
     }
 
+    /// A 256-processor network (beyond the paper's studies; reachable
+    /// with the sharded engine).
+    pub fn net_16x16() -> Self {
+        Torus::new(16, 16)
+    }
+
+    /// A 1024-processor network (sharded-engine scale).
+    pub fn net_32x32() -> Self {
+        Torus::new(32, 32)
+    }
+
     /// Width (x extent).
     pub fn width(&self) -> u16 {
         self.width
@@ -159,6 +170,91 @@ fn ring_distance(a: u16, b: u16, extent: u16) -> u16 {
     d.min(extent - d)
 }
 
+/// A partition of a torus's routers into contiguous near-equal shards.
+///
+/// The sharded engine assigns each worker thread one shard. Shards are
+/// contiguous node-id ranges (row-major order, so a shard is a band of
+/// rows plus partial edge rows): contiguity is what lets the engine apply
+/// deferred cross-shard events in ascending-source order by simply
+/// visiting shards in index order. Sizes differ by at most one node, with
+/// lower-indexed shards taking the remainder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s node range;
+    /// `bounds[0] == 0` and `*bounds.last() == torus.nodes()`.
+    bounds: Vec<u16>,
+}
+
+impl ShardMap {
+    /// Partitions `torus` into `shards` contiguous node ranges. The
+    /// request is clamped to `[1, nodes]` — asking for more shards than
+    /// routers yields one single-node shard per router, and `0` is
+    /// treated as 1 — so every shard is non-empty.
+    pub fn new(torus: &Torus, shards: usize) -> Self {
+        let nodes = torus.nodes() as usize;
+        let shards = shards.clamp(1, nodes);
+        let base = nodes / shards;
+        let extra = nodes % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u16);
+        let mut at = 0usize;
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at as u16);
+        }
+        ShardMap { bounds }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The contiguous node-id range owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn range(&self, shard: usize) -> std::ops::Range<u16> {
+        self.bounds[shard]..self.bounds[shard + 1]
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is outside the partitioned torus.
+    pub fn shard_of(&self, node: u16) -> usize {
+        assert!(
+            node < *self.bounds.last().expect("bounds never empty"),
+            "node {node} outside the shard map"
+        );
+        self.bounds.partition_point(|&b| b <= node) - 1
+    }
+
+    /// Every ordered pair `(a, b)` where `a` and `b` are distinct torus
+    /// neighbours living in different shards — the links across which the
+    /// sharded engine must exchange packets and credits. Each undirected
+    /// cross-shard link appears exactly twice, once per direction, so the
+    /// relation is symmetric by construction checks (and deduplicated:
+    /// on a 2-extent ring both directions reach the same neighbour).
+    pub fn cross_shard_links(&self, torus: &Torus) -> Vec<(u16, u16)> {
+        use arbitration::ports::OutputPort::{East, North, South, West};
+        let mut links = Vec::new();
+        for node in 0..torus.nodes() {
+            for dir in [North, South, East, West] {
+                let peer = torus.neighbor(node, dir);
+                if self.shard_of(node) != self.shard_of(peer) {
+                    links.push((node, peer));
+                }
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +334,48 @@ mod tests {
     #[should_panic(expected = "at least 2x2")]
     fn degenerate_torus_rejected() {
         let _ = Torus::new(1, 8);
+    }
+
+    #[test]
+    fn shard_map_partitions_evenly() {
+        let t = Torus::net_4x4();
+        let m = ShardMap::new(&t, 4);
+        assert_eq!(m.shards(), 4);
+        for s in 0..4 {
+            assert_eq!(m.range(s).len(), 4);
+        }
+        assert_eq!(m.range(0), 0..4);
+        assert_eq!(m.range(3), 12..16);
+    }
+
+    #[test]
+    fn shard_map_uneven_remainder_goes_to_low_shards() {
+        let t = Torus::net_4x4(); // 16 nodes
+        let m = ShardMap::new(&t, 3); // 6 + 5 + 5
+        assert_eq!(m.range(0), 0..6);
+        assert_eq!(m.range(1), 6..11);
+        assert_eq!(m.range(2), 11..16);
+        for node in 0..t.nodes() {
+            let s = m.shard_of(node);
+            assert!(m.range(s).contains(&node));
+        }
+    }
+
+    #[test]
+    fn shard_map_clamps_degenerate_requests() {
+        let t = Torus::net_4x4();
+        assert_eq!(ShardMap::new(&t, 0).shards(), 1, "0 behaves as 1");
+        assert_eq!(ShardMap::new(&t, 1).range(0), 0..16);
+        let per_node = ShardMap::new(&t, 1000);
+        assert_eq!(per_node.shards(), 16, "clamped to one router per shard");
+        for s in 0..16 {
+            assert_eq!(per_node.range(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cross_links() {
+        let t = Torus::net_8x8();
+        assert!(ShardMap::new(&t, 1).cross_shard_links(&t).is_empty());
     }
 }

@@ -1,0 +1,162 @@
+//! Property tests for the shard map the parallel engine is built on.
+//!
+//! The sharded engine's correctness argument leans on structural facts
+//! about the partition — every router owned exactly once, contiguous
+//! ranges, near-equal sizes, and a symmetric cross-shard link relation —
+//! so those facts are pinned here over a grid of (torus, shard-count)
+//! combinations rather than assumed.
+
+use network::{ShardMap, Torus};
+
+/// Torus shapes under test, including non-square and 2-extent rings
+/// (where a node's two neighbours in one dimension coincide).
+fn torus_shapes() -> Vec<Torus> {
+    vec![
+        Torus::new(2, 2),
+        Torus::new(4, 2),
+        Torus::new(2, 5),
+        Torus::net_4x4(),
+        Torus::new(5, 3),
+        Torus::net_8x8(),
+        Torus::new(7, 9),
+        Torus::net_12x12(),
+        Torus::net_16x16(),
+    ]
+}
+
+/// Shard-count requests, from degenerate (0, 1) through non-dividing
+/// counts to far beyond any node count.
+fn shard_requests() -> Vec<usize> {
+    vec![
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 11, 16, 63, 64, 100, 1_000, 10_000,
+    ]
+}
+
+#[test]
+fn every_router_lives_in_exactly_one_shard() {
+    for torus in torus_shapes() {
+        for request in shard_requests() {
+            let map = ShardMap::new(&torus, request);
+            let label = format!("{}x{} request={request}", torus.width(), torus.height());
+            let mut owners = vec![0u32; torus.nodes() as usize];
+            for s in 0..map.shards() {
+                for node in map.range(s) {
+                    owners[node as usize] += 1;
+                    assert_eq!(
+                        map.shard_of(node),
+                        s,
+                        "{label}: shard_of must agree with range"
+                    );
+                }
+            }
+            assert!(
+                owners.iter().all(|&c| c == 1),
+                "{label}: every node owned exactly once (got {owners:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn shards_are_contiguous_ascending_and_balanced() {
+    for torus in torus_shapes() {
+        for request in shard_requests() {
+            let map = ShardMap::new(&torus, request);
+            let label = format!("{}x{} request={request}", torus.width(), torus.height());
+            let mut next = 0u16;
+            let mut sizes = Vec::new();
+            for s in 0..map.shards() {
+                let range = map.range(s);
+                assert_eq!(range.start, next, "{label}: shard {s} not contiguous");
+                assert!(!range.is_empty(), "{label}: shard {s} empty");
+                sizes.push(range.len());
+                next = range.end;
+            }
+            assert_eq!(next, torus.nodes(), "{label}: ranges must cover the torus");
+            let (min, max) = (
+                *sizes.iter().min().expect("at least one shard"),
+                *sizes.iter().max().expect("at least one shard"),
+            );
+            assert!(
+                max - min <= 1,
+                "{label}: sizes must differ by at most one (got {sizes:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_requests_clamp_to_valid_partitions() {
+    for torus in torus_shapes() {
+        let nodes = torus.nodes() as usize;
+        assert_eq!(ShardMap::new(&torus, 0).shards(), 1, "0 clamps to 1");
+        assert_eq!(ShardMap::new(&torus, 1).shards(), 1);
+        // More shards than routers: one single-node shard per router.
+        let max = ShardMap::new(&torus, nodes + 1_000);
+        assert_eq!(max.shards(), nodes);
+        for s in 0..max.shards() {
+            assert_eq!(max.range(s).len(), 1);
+        }
+    }
+}
+
+#[test]
+fn cross_shard_links_are_symmetric_and_complete() {
+    for torus in torus_shapes() {
+        for request in shard_requests() {
+            let map = ShardMap::new(&torus, request);
+            let label = format!("{}x{} request={request}", torus.width(), torus.height());
+            let links = map.cross_shard_links(&torus);
+
+            // Sorted and deduplicated (the engine relies on a canonical
+            // listing).
+            let mut sorted = links.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(links, sorted, "{label}: links sorted and unique");
+
+            // Symmetric: (a, b) present iff (b, a) present.
+            for &(a, b) in &links {
+                assert!(
+                    links.binary_search(&(b, a)).is_ok(),
+                    "{label}: link ({a}, {b}) lacks its reverse"
+                );
+            }
+
+            // Every listed pair is a genuine torus link that crosses a
+            // shard boundary...
+            for &(a, b) in &links {
+                assert_eq!(torus.distance(a, b), 1, "{label}: ({a}, {b}) not a link");
+                assert_ne!(
+                    map.shard_of(a),
+                    map.shard_of(b),
+                    "{label}: ({a}, {b}) does not cross shards"
+                );
+            }
+            // ...and every neighbour pair in different shards is listed
+            // (completeness via the neighbour relation itself).
+            use arbitration::ports::OutputPort;
+            for node in 0..torus.nodes() {
+                for dir in [
+                    OutputPort::North,
+                    OutputPort::South,
+                    OutputPort::East,
+                    OutputPort::West,
+                ] {
+                    let peer = torus.neighbor(node, dir);
+                    if map.shard_of(node) != map.shard_of(peer) {
+                        assert!(
+                            links.binary_search(&(node, peer)).is_ok(),
+                            "{label}: missing cross link ({node}, {peer})"
+                        );
+                    }
+                }
+            }
+
+            // A single shard has no cross links at all.
+            if map.shards() == 1 {
+                assert!(links.is_empty(), "{label}: one shard, no cross links");
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //!   the paper's performance metric (§4.3).
 //! * [`table`] — plain-text/CSV emission for the figure harnesses.
 //! * [`sweep`] — a parallel runner used to farm out injection-rate sweeps.
+//! * [`sync`] — a spin barrier for the cycle-locked sharded engine.
 //!
 //! # Example
 //!
@@ -35,6 +36,7 @@ pub mod clock;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
+pub mod sync;
 pub mod table;
 pub mod time;
 pub mod wheel;

@@ -322,6 +322,33 @@ impl Histogram {
         &self.bins
     }
 
+    /// Merges another histogram with identical binning into this one.
+    ///
+    /// Bin counts are integers, so — unlike [`OnlineStats::merge`], which
+    /// reassociates floating-point sums — this merge is *exact*: merging
+    /// per-shard partials in any order equals recording every sample into
+    /// one histogram in any order. The sharded network engine relies on
+    /// this to keep its latency histograms bit-identical to the
+    /// single-threaded engine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `other` covers the same range with the same bin
+    /// count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.width.to_bits() == other.width.to_bits()
+                && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical binning"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += *b;
+        }
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
+    }
+
     /// Approximate quantile `q` in `[0,1]` using bin midpoints.
     ///
     /// Returns `None` when empty. Overflowed samples are treated as lying at
@@ -569,6 +596,37 @@ mod tests {
         let median = h.quantile(0.5).unwrap();
         assert!((median - 49.5).abs() <= 1.0, "median={median}");
         assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        // Split a sample stream across partials in an arbitrary order;
+        // the merged histogram must equal the sequentially-built one bin
+        // for bin (this is the sharded engine's correctness contract).
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 7.3) % 130.0 - 5.0).collect();
+        let mut whole = Histogram::new(0.0, 100.0, 10);
+        for &x in &samples {
+            whole.record(x);
+        }
+        let mut parts: Vec<Histogram> = (0..3).map(|_| Histogram::new(0.0, 100.0, 10)).collect();
+        for (i, &x) in samples.iter().enumerate() {
+            parts[(i * 31) % 3].record(x);
+        }
+        let mut merged = Histogram::new(0.0, 100.0, 10);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.bins(), whole.bins());
+        assert_eq!(merged.overflow(), whole.overflow());
+        assert_eq!(merged.underflow(), whole.underflow());
+        assert_eq!(merged.count(), whole.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binning")]
+    fn histogram_merge_rejects_mismatched_binning() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        a.merge(&Histogram::new(0.0, 100.0, 20));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use mshr::MshrTable;
 pub use pattern::{HotspotTargets, TrafficPattern};
 pub use txn::{CoherenceParams, TxnTag};
 
-use network::{NetworkConfig, NetworkSim};
+use network::{NetworkConfig, NetworkSim, ShardedNetworkSim};
 use simcore::SimRng;
 
 /// Builds one coherence endpoint per node of `net`.
@@ -47,6 +47,25 @@ pub fn run_coherence_sim(
     let endpoints = build_endpoints(&net, &wl);
     let nodes = net.torus.nodes();
     let mut sim = NetworkSim::new(net, endpoints);
+    let report = sim.run();
+    let mut stats = EndpointStats::default();
+    for node in 0..nodes {
+        stats.merge(sim.endpoint(node).stats());
+    }
+    (report, stats)
+}
+
+/// Like [`run_coherence_sim`], but on the sharded engine with `workers`
+/// threads (`0` = automatic sizing). Reports are bit-for-bit identical to
+/// the single-threaded runner for any worker count.
+pub fn run_coherence_sim_sharded(
+    net: NetworkConfig,
+    wl: WorkloadConfig,
+    workers: usize,
+) -> (network::NetworkReport, EndpointStats) {
+    let endpoints = build_endpoints(&net, &wl);
+    let nodes = net.torus.nodes();
+    let mut sim = ShardedNetworkSim::new(net, endpoints, workers);
     let report = sim.run();
     let mut stats = EndpointStats::default();
     for node in 0..nodes {

@@ -56,7 +56,8 @@ pub use workload;
 pub mod prelude {
     pub use arbitration::prelude::*;
     pub use network::{
-        Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx, Torus,
+        Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx, ShardMap,
+        ShardedNetworkSim, Torus,
     };
     pub use router::{
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,
@@ -67,8 +68,9 @@ pub mod prelude {
         find_mcm_saturation_load, run_standalone, AlgoKind, StandaloneConfig, StandaloneResult,
     };
     pub use workload::{
-        build_endpoints, run_coherence_sim, BurstConfig, CoherenceEndpoint, CoherenceParams,
-        HotspotTargets, MshrTable, TrafficPattern, WorkloadConfig,
+        build_endpoints, run_coherence_sim, run_coherence_sim_sharded, BurstConfig,
+        CoherenceEndpoint, CoherenceParams, HotspotTargets, MshrTable, TrafficPattern,
+        WorkloadConfig,
     };
 }
 

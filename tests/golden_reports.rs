@@ -50,10 +50,13 @@ impl Fnv {
 /// One matrix point: everything needed to reproduce the run.
 struct Case {
     algo: ArbAlgorithm,
+    torus: Torus,
     pattern: TrafficPattern,
     bursty: bool,
     rate: f64,
     seed: u64,
+    warmup_cycles: u64,
+    measure_cycles: u64,
 }
 
 fn pattern_label(c: &Case) -> String {
@@ -69,6 +72,46 @@ fn pattern_label(c: &Case) -> String {
     }
 }
 
+fn case_4x4(
+    algo: ArbAlgorithm,
+    pattern: TrafficPattern,
+    bursty: bool,
+    rate: f64,
+    seed: u64,
+) -> Case {
+    Case {
+        algo,
+        torus: Torus::net_4x4(),
+        pattern,
+        bursty,
+        rate,
+        seed,
+        warmup_cycles: 400,
+        measure_cycles: 1600,
+    }
+}
+
+fn case_16x16(
+    algo: ArbAlgorithm,
+    pattern: TrafficPattern,
+    bursty: bool,
+    rate: f64,
+    seed: u64,
+) -> Case {
+    // Shorter than the 4x4 runs (16x the routers per cycle), still long
+    // enough past warmup for thousands of measured deliveries per case.
+    Case {
+        algo,
+        torus: Torus::net_16x16(),
+        pattern,
+        bursty,
+        rate,
+        seed,
+        warmup_cycles: 200,
+        measure_cycles: 800,
+    }
+}
+
 fn cases() -> Vec<Case> {
     let mut cases = Vec::new();
     // Broad algorithm coverage at low / knee / post-saturation loads.
@@ -81,13 +124,7 @@ fn cases() -> Vec<Case> {
     ] {
         for rate in [0.01, 0.04, 0.1] {
             for seed in [1, 2] {
-                cases.push(Case {
-                    algo,
-                    pattern: TrafficPattern::Uniform,
-                    bursty: false,
-                    rate,
-                    seed,
-                });
+                cases.push(case_4x4(algo, TrafficPattern::Uniform, false, rate, seed));
             }
         }
     }
@@ -98,31 +135,53 @@ fn cases() -> Vec<Case> {
         fraction: 0.25,
     };
     for algo in [ArbAlgorithm::SpaaRotary, ArbAlgorithm::Pim1] {
-        cases.push(Case {
-            algo,
-            pattern: hotspot,
-            bursty: false,
-            rate: 0.04,
-            seed: 1,
-        });
-        cases.push(Case {
-            algo,
-            pattern: TrafficPattern::Uniform,
-            bursty: true,
-            rate: 0.04,
-            seed: 1,
-        });
+        cases.push(case_4x4(algo, hotspot, false, 0.04, 1));
+        cases.push(case_4x4(algo, TrafficPattern::Uniform, true, 0.04, 1));
     }
+    // 16x16: the scale the sharded engine unlocks. These digests were
+    // recorded on the single-threaded engine *before* the sharding
+    // refactor, so they pin the restructured engine — and, through
+    // tests/shard_equivalence.rs, every sharded worker count — to the
+    // pre-refactor behaviour.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        for rate in [0.01, 0.04] {
+            for seed in [1, 2] {
+                cases.push(case_16x16(algo, TrafficPattern::Uniform, false, rate, seed));
+            }
+        }
+    }
+    let hotspot_16 = TrafficPattern::Hotspot {
+        targets: HotspotTargets::new(&[17, 200]),
+        fraction: 0.25,
+    };
+    cases.push(case_16x16(
+        ArbAlgorithm::SpaaRotary,
+        hotspot_16,
+        false,
+        0.04,
+        1,
+    ));
+    cases.push(case_16x16(
+        ArbAlgorithm::Islip { iterations: 2 },
+        TrafficPattern::Uniform,
+        true,
+        0.04,
+        1,
+    ));
     cases
 }
 
 fn digest_line(c: &Case) -> String {
     let cfg = NetworkConfig {
-        torus: Torus::net_4x4(),
+        torus: c.torus,
         router: RouterConfig::alpha_21364(c.algo),
         seed: c.seed,
-        warmup_cycles: 400,
-        measure_cycles: 1600,
+        warmup_cycles: c.warmup_cycles,
+        measure_cycles: c.measure_cycles,
     };
     let mut wl = WorkloadConfig::paper(c.pattern, c.rate);
     if c.bursty {
@@ -150,8 +209,10 @@ fn digest_line(c: &Case) -> String {
     hist.u64(r.latency_hist.overflow());
 
     format!(
-        "{} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
+        "{}x{} {} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
          noms={} grants={} coll={} esc={} drains={} lat={:016x} hist={:016x}",
+        c.torus.width(),
+        c.torus.height(),
         c.algo,
         pattern_label(c),
         c.rate,

@@ -1,0 +1,219 @@
+//! The sharded engine must be *bit-for-bit* equivalent to the
+//! single-threaded engine for every worker count.
+//!
+//! Property: for any (seed, injection rate, arbitration algorithm, torus,
+//! worker count), `ShardedNetworkSim` produces a report identical to
+//! `NetworkSim` — exact counters, the full latency histogram, and the
+//! latency statistics compared on raw f64 bit patterns, so a single
+//! reordered floating-point accumulation (the classic parallel-reduction
+//! bug) fails the suite. This is what lets `fig_bigtorus` publish
+//! multi-threaded curves as *the* results rather than an approximation.
+
+use alpha21364::prelude::*;
+
+/// Worker counts under test: the inline path (1), even splits of 16
+/// nodes (2, 4, 8), non-dividing counts that leave uneven shards (3, 5),
+/// one-node shards (16), and an over-subscription request beyond the
+/// node count (17, clamped to 16).
+const WORKER_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 8, 16, 17];
+
+fn config(torus: Torus, algo: ArbAlgorithm, seed: u64, cycles: u64) -> NetworkConfig {
+    NetworkConfig {
+        torus,
+        router: RouterConfig::alpha_21364(algo),
+        seed,
+        warmup_cycles: cycles / 5,
+        measure_cycles: cycles - cycles / 5,
+    }
+}
+
+fn run_single(cfg: &NetworkConfig, wl: &WorkloadConfig, idle_skip: bool) -> NetworkReport {
+    let endpoints = workload::build_endpoints(cfg, wl);
+    let mut sim = NetworkSim::new(cfg.clone(), endpoints);
+    sim.set_idle_skip(idle_skip);
+    sim.run()
+}
+
+fn run_sharded(
+    cfg: &NetworkConfig,
+    wl: &WorkloadConfig,
+    workers: usize,
+    idle_skip: bool,
+) -> NetworkReport {
+    let endpoints = workload::build_endpoints(cfg, wl);
+    let mut sim = ShardedNetworkSim::new(cfg.clone(), endpoints, workers);
+    sim.set_idle_skip(idle_skip);
+    sim.run()
+}
+
+fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
+    assert_eq!(
+        a.delivered_packets, b.delivered_packets,
+        "{label}: delivered"
+    );
+    assert_eq!(a.delivered_flits, b.delivered_flits, "{label}: flits");
+    assert_eq!(a.injected_packets, b.injected_packets, "{label}: injected");
+    assert_eq!(
+        a.injected_flits, b.injected_flits,
+        "{label}: injected flits"
+    );
+    assert_eq!(
+        a.in_flight_packets, b.in_flight_packets,
+        "{label}: in-flight at final cycle"
+    );
+    // Latency statistics must match on raw bits: any reordering of the
+    // floating-point accumulation would show up here.
+    assert_eq!(a.latency.count(), b.latency.count(), "{label}: lat count");
+    assert_eq!(
+        a.latency.mean().to_bits(),
+        b.latency.mean().to_bits(),
+        "{label}: lat mean bits"
+    );
+    assert_eq!(
+        a.latency.variance().to_bits(),
+        b.latency.variance().to_bits(),
+        "{label}: lat variance bits"
+    );
+    assert_eq!(
+        a.total_latency.mean().to_bits(),
+        b.total_latency.mean().to_bits(),
+        "{label}: total lat mean bits"
+    );
+    assert_eq!(
+        a.latency_hist.bins(),
+        b.latency_hist.bins(),
+        "{label}: latency histogram"
+    );
+    assert_eq!(
+        a.latency_hist.overflow(),
+        b.latency_hist.overflow(),
+        "{label}: histogram overflow"
+    );
+    assert_eq!(
+        a.flits_per_router_ns.to_bits(),
+        b.flits_per_router_ns.to_bits(),
+        "{label}: throughput bits"
+    );
+    assert_eq!(a.nominations, b.nominations, "{label}: nominations");
+    assert_eq!(a.grants, b.grants, "{label}: grants");
+    assert_eq!(a.collisions, b.collisions, "{label}: collisions");
+    assert_eq!(
+        a.escape_dispatches, b.escape_dispatches,
+        "{label}: escape dispatches"
+    );
+    assert_eq!(
+        a.drain_engagements, b.drain_engagements,
+        "{label}: drain engagements"
+    );
+}
+
+#[test]
+fn sharded_engine_is_bit_for_bit_equivalent_across_worker_counts() {
+    // Every arbitration driver family (pipelined SPAA, windowed PIM1 and
+    // WFA, windowed iSLIP) at loads from near-idle to the saturation
+    // knee, against every worker count in WORKER_COUNTS.
+    let algos = [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::WfaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ];
+    for algo in algos {
+        for (seed, rate) in [(1u64, 0.002), (2, 0.02), (3, 0.1)] {
+            let cfg = config(Torus::net_4x4(), algo, seed, 3_000);
+            let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
+            let single = run_single(&cfg, &wl, true);
+            for workers in WORKER_COUNTS {
+                let label = format!("{algo} seed={seed} rate={rate} workers={workers}");
+                let sharded = run_sharded(&cfg, &wl, workers, true);
+                assert_reports_identical(&single, &sharded, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_with_idle_skip_off() {
+    // The skip machinery is per-shard; both settings must agree with the
+    // single-threaded engine under the same setting (which is itself
+    // pinned equivalent across settings by idle_skip_equivalence.rs).
+    let cfg = config(Torus::net_4x4(), ArbAlgorithm::SpaaRotary, 5, 3_000);
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.02);
+    for idle_skip in [false, true] {
+        let single = run_single(&cfg, &wl, idle_skip);
+        for workers in [2, 4, 5] {
+            let label = format!("idle_skip={idle_skip} workers={workers}");
+            let sharded = run_sharded(&cfg, &wl, workers, idle_skip);
+            assert_reports_identical(&single, &sharded, &label);
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_under_hotspot_and_bursty_traffic() {
+    // Hotspot concentrates cross-shard traffic onto a few destination
+    // routers (stressing canonical merge order at one receiver); bursts
+    // make whole shards oscillate between idle and 5x load (stressing
+    // the per-shard wake bookkeeping against cross-shard wakes).
+    let hotspot = WorkloadConfig::paper(
+        TrafficPattern::Hotspot {
+            targets: HotspotTargets::new(&[5, 10]),
+            fraction: 0.35,
+        },
+        0.03,
+    );
+    let bursty = WorkloadConfig::paper(TrafficPattern::Uniform, 0.02)
+        .with_burst(BurstConfig::new(50.0, 200.0));
+    for (name, wl) in [("hotspot", &hotspot), ("bursty", &bursty)] {
+        let cfg = config(
+            Torus::net_4x4(),
+            ArbAlgorithm::Islip { iterations: 2 },
+            23,
+            3_000,
+        );
+        let single = run_single(&cfg, wl, true);
+        for workers in [2, 3, 4, 8] {
+            let label = format!("{name} workers={workers}");
+            let sharded = run_sharded(&cfg, wl, workers, true);
+            assert_reports_identical(&single, &sharded, &label);
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_on_a_larger_torus() {
+    // 8x8: shards span multiple rows, so cross-shard links exist in both
+    // dimensions and the wraparound rows land in the first/last shards.
+    let cfg = config(Torus::net_8x8(), ArbAlgorithm::SpaaRotary, 9, 1_500);
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
+    let single = run_single(&cfg, &wl, true);
+    for workers in [2, 4, 7] {
+        let label = format!("8x8 workers={workers}");
+        let sharded = run_sharded(&cfg, &wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_under_saturation_drain() {
+    // Saturated WFA rotary engages anti-starvation drain mode; the
+    // engaged/released transitions must replay identically when the
+    // triggering credits arrive through the cross-shard outboxes.
+    let cfg = config(Torus::net_4x4(), ArbAlgorithm::WfaRotary, 7, 4_000);
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.4);
+    let single = run_single(&cfg, &wl, true);
+    for workers in [2, 4] {
+        let label = format!("drain stress workers={workers}");
+        let sharded = run_sharded(&cfg, &wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+}
+
+#[test]
+fn sharded_worker_request_is_clamped_to_node_count() {
+    let cfg = config(Torus::net_4x4(), ArbAlgorithm::SpaaRotary, 1, 100);
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
+    let endpoints = workload::build_endpoints(&cfg, &wl);
+    let sim = ShardedNetworkSim::new(cfg, endpoints, 1_000);
+    assert_eq!(sim.workers(), 16, "one shard per node at most");
+}

@@ -14,7 +14,7 @@ use workload::{run_coherence_sim, TrafficPattern, WorkloadConfig};
 
 fn timing_point(torus: Torus, algo: ArbAlgorithm, rate: f64, cycles: u64) -> f64 {
     let net = NetworkConfig {
-        torus,
+        topology: torus.into(),
         router: RouterConfig::alpha_21364(algo),
         seed: 0x21364,
         warmup_cycles: cycles / 5,
@@ -65,7 +65,7 @@ fn main() {
     // One Figure-11a scaled-pipeline point.
     h.bench("fig11a-2x-point", || {
         let net = NetworkConfig {
-            torus: Torus::net_8x8(),
+            topology: Torus::net_8x8().into(),
             router: RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary),
             seed: 0x21364,
             warmup_cycles: 300,

@@ -44,7 +44,7 @@ fn main() {
         let mut router = RouterConfig::alpha_21364(algo);
         router.buffers = BufferConfig::scaled(depth, 1);
         let net = NetworkConfig {
-            torus: Torus::net_8x8(),
+            topology: Torus::net_8x8().into(),
             router,
             seed: 0x21364,
             warmup_cycles: scale.cycles() / 5,

@@ -28,7 +28,7 @@ fn main() {
     let depths: Vec<u8> = (3..=8).collect();
     let results = parallel_map(0, depths.clone(), |latency| {
         let net = NetworkConfig {
-            torus: Torus::net_8x8(),
+            topology: Torus::net_8x8().into(),
             router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaDeep { latency }),
             seed: 0x21364,
             warmup_cycles: scale.cycles() / 5,

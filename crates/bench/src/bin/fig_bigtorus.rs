@@ -189,7 +189,7 @@ fn rates_32x32() -> Vec<f64> {
 /// single-threaded baseline before reporting the ratio.
 fn measure_speedup(cycles: u64, rate: f64) -> Speedup {
     let net = |seed_salt: u64| network::NetworkConfig {
-        torus: Torus::net_16x16(),
+        topology: Torus::net_16x16().into(),
         router: router::RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
         seed: 0x21364 ^ seed_salt,
         warmup_cycles: cycles / 5,

@@ -72,7 +72,7 @@ fn main() {
 
     let mut results = Vec::new();
     for (torus, pattern) in panels {
-        assert!(pattern.supports(&torus), "{pattern} unsupported");
+        assert!(pattern.supports(&torus.into()), "{pattern} unsupported");
         println!(
             "\niSLIP family: {}x{} torus, {} traffic ({mode} mode, {cycles} cycles/point)",
             torus.width(),

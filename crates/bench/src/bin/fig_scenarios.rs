@@ -126,7 +126,7 @@ fn main() {
     let mut panels = Vec::new();
     for (torus, scenario) in panels_spec {
         let pattern = scenario.pattern(&torus);
-        assert!(pattern.supports(&torus), "{pattern} unsupported");
+        assert!(pattern.supports(&torus.into()), "{pattern} unsupported");
         println!(
             "\nscenario {}: {}x{} torus, {} seeds x {} loads ({mode} mode, {cycles} cycles/point)",
             scenario.name(),

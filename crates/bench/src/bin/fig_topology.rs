@@ -1,0 +1,140 @@
+//! Topology-comparison BNF curves — same arbiters, different wiring.
+//!
+//! Sweeps the study's three reference arbiters (SPAA-rotary, PIM1,
+//! iSLIP2) under uniform open-loop traffic across the topology axis:
+//! the paper's 2D torus, the 2D mesh (same grids, no wrap links, plain
+//! XY escape), and the 5-node full mesh (every pair directly linked,
+//! VC-less deadlock-free routing). Expected reading: at equal grid size
+//! the mesh saturates earlier than the torus (edge links carry no wrap
+//! traffic, the bisection is halved) while zero-load latency is close;
+//! the full mesh delivers one-hop routes and the highest per-node
+//! throughput of the three, bounded by the source's four injection
+//! links rather than by path contention.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_topology [-- --quick | --paper] \
+//!     [--out BENCH_topology.json]
+//! ```
+//!
+//! `--quick` is the CI smoke mode: three load points, short runs. The
+//! full default regenerates the committed `BENCH_topology.json`.
+
+use bench::{curves_table, flag_value, Scale, SweepSpec};
+use network::{FullMesh, Mesh, NetTopology, Torus};
+use router::ArbAlgorithm;
+use simcore::bnf::BnfCurve;
+use workload::TrafficPattern;
+
+/// The same-arbiter set compared across every shape.
+fn algorithms() -> Vec<ArbAlgorithm> {
+    vec![
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ]
+}
+
+/// The topology axis: both grid sizes in both wirings, plus the
+/// largest full mesh the 4-port router supports.
+fn topologies() -> Vec<NetTopology> {
+    vec![
+        Torus::net_4x4().into(),
+        Mesh::new(4, 4).into(),
+        Torus::net_8x8().into(),
+        Mesh::new(8, 8).into(),
+        FullMesh::new(5).into(),
+    ]
+}
+
+struct Panel {
+    topology: NetTopology,
+    curves: Vec<BnfCurve>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_args();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_topology.json".into());
+
+    let (mode, cycles, rates): (&str, u64, Vec<f64>) = if quick {
+        // CI smoke: three load points spanning pre-bend, bend, and
+        // post-saturation, short enough to stay under a minute.
+        ("quick", 4_000, vec![0.004, 0.02, 0.055])
+    } else {
+        let mode = match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "default",
+        };
+        (mode, scale.cycles(), bench::default_rates())
+    };
+
+    let mut results = Vec::new();
+    for topology in topologies() {
+        println!(
+            "\nTopology axis: {topology}, uniform traffic ({mode} mode, {cycles} cycles/point)"
+        );
+        let curves: Vec<BnfCurve> = algorithms()
+            .into_iter()
+            .map(|algo| {
+                let mut spec = SweepSpec::new(algo, topology, TrafficPattern::Uniform, scale);
+                spec.rates = rates.clone();
+                spec.cycles = cycles;
+                let curve = spec.run(0);
+                eprintln!("  swept {algo}");
+                curve
+            })
+            .collect();
+        println!("{}", curves_table(&curves).to_text());
+        results.push(Panel { topology, curves });
+    }
+
+    let json = render_json(mode, cycles, &results);
+    std::fs::write(&out_path, json).expect("write BNF table");
+    println!("\nwrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): the same
+/// committed-table format as `BENCH_islip.json`, keyed by topology
+/// label instead of (torus, pattern).
+fn render_json(mode: &str, cycles: u64, panels: &[Panel]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig_topology\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"cycles_per_point\": {cycles},\n"));
+    s.push_str("  \"pattern\": \"uniform\",\n");
+    s.push_str("  \"figures\": [\n");
+    for (i, panel) in panels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"curves\": [\n",
+            panel.topology
+        ));
+        for (j, curve) in panel.curves.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"algorithm\": \"{}\", \"points\": [\n",
+                curve.label
+            ));
+            for (k, p) in curve.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"offered\": {:.4}, \"delivered_flits_per_router_ns\": {:.5}, \"latency_ns\": {:.2}, \"packets\": {}}}{}\n",
+                    p.offered,
+                    p.delivered_flits_per_router_ns,
+                    p.avg_latency_ns,
+                    p.packets,
+                    if k + 1 < curve.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "      ]}}{}\n",
+                if j + 1 < panel.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < panels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -57,7 +57,7 @@ const PRE_PR_SATURATED_CPS: [(&str, &str, f64, f64); 12] = [
 
 fn net(algo: ArbAlgorithm, torus: Torus, total_cycles: u64) -> NetworkConfig {
     NetworkConfig {
-        torus,
+        topology: torus.into(),
         router: RouterConfig::alpha_21364(algo),
         seed: 0x21364,
         warmup_cycles: total_cycles / 11,

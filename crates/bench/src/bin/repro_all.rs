@@ -35,6 +35,7 @@ const JOBS: &[(&str, &[&str])] = &[
     // repro run (especially --paper) cannot clobber the committed
     // default-mode baselines.
     ("fig_islip", &["--out", "results/BENCH_islip.json"]),
+    ("fig_topology", &["--out", "results/BENCH_topology.json"]),
     ("fig_scenarios", &["--out", "results/BENCH_scenarios.json"]),
     ("fig_bigtorus", &["--out", "results/BENCH_bigtorus.json"]),
     // Non-gating engine-speed smoke: prints cycles/sec for the saturated

@@ -11,7 +11,7 @@
 
 pub mod harness;
 
-use network::{NetworkConfig, Torus};
+use network::{NetTopology, NetworkConfig};
 use router::{ArbAlgorithm, RouterConfig};
 use simcore::bnf::{BnfCurve, BnfPoint, ReplicatedBnfCurve};
 use simcore::sweep::parallel_map;
@@ -53,8 +53,8 @@ impl Scale {
 pub struct SweepSpec {
     /// Curve label (algorithm name).
     pub algorithm: ArbAlgorithm,
-    /// Torus shape.
-    pub torus: Torus,
+    /// Network shape (torus, mesh, or full mesh).
+    pub topology: NetTopology,
     /// Traffic pattern.
     pub pattern: TrafficPattern,
     /// Outstanding-miss limit; `u32::MAX` disables the closed loop so the
@@ -83,18 +83,18 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// A paper-default sweep for an algorithm on a torus/pattern: the BNF
-    /// figures sweep the injection rate open-loop so the post-saturation
-    /// region is reachable.
+    /// A paper-default sweep for an algorithm on a topology/pattern: the
+    /// BNF figures sweep the injection rate open-loop so the
+    /// post-saturation region is reachable.
     pub fn new(
         algorithm: ArbAlgorithm,
-        torus: Torus,
+        topology: impl Into<NetTopology>,
         pattern: TrafficPattern,
         scale: Scale,
     ) -> Self {
         SweepSpec {
             algorithm,
-            torus,
+            topology: topology.into(),
             pattern,
             mshrs: u32::MAX,
             scaled_2x: false,
@@ -139,7 +139,7 @@ impl SweepSpec {
             RouterConfig::alpha_21364(self.algorithm)
         };
         NetworkConfig {
-            torus: self.torus,
+            topology: self.topology,
             router,
             seed: seed ^ ((rate_idx as u64) << 32),
             warmup_cycles: self.cycles / 5,
@@ -338,6 +338,7 @@ pub fn threads_flag(args: &[String], default: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use network::Torus;
 
     #[test]
     fn scale_cycles() {

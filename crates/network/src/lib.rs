@@ -1,22 +1,29 @@
-//! The 21364 interconnection network: a 2D torus of pipelined routers.
+//! The interconnection network: pipelined routers on a pluggable shape.
 //!
-//! This crate assembles `router` instances into the network of §2.1:
+//! This crate assembles `router` instances into a network. The paper's
+//! network is the 21364's 2D torus (§2.1), but topology, routing
+//! function, and deadlock-avoidance scheme are orthogonal axes here:
 //!
-//! * [`topology`] — torus coordinates, neighbour relations, and the
-//!   direction conventions that tie a router's output ports to its
-//!   neighbours' input ports;
-//! * [`routing`] — per-hop [`router::RouteInfo`] computation:
-//!   minimal-rectangle adaptive candidates ("the adaptive routing
-//!   algorithm has to pick one output port among a maximum of two"),
-//!   dimension-order escape hops, and the dateline VC0/VC1 selection that
-//!   keeps the escape sub-network deadlock-free;
+//! * [`topology`] — the [`topology::Topology`] trait (node enumeration,
+//!   links with latency, the feeder relation that returns credits
+//!   upstream) and its shapes: the paper's [`topology::Torus`], a 2D
+//!   [`topology::Mesh`] without wrap links, and a small-radix
+//!   [`topology::FullMesh`], all behind the `Copy`
+//!   [`topology::NetTopology`] enum;
+//! * [`routing`] — the [`routing::Routing`] trait producing per-hop
+//!   [`router::RouteInfo`]: minimal-rectangle adaptive candidates with
+//!   dateline VC0/VC1 escape on the torus, minimal-rectangle with plain
+//!   XY escape on the mesh, and VC-less direct-plus-misroute routing on
+//!   the full mesh — each pairing deadlock-free by its own argument
+//!   (DESIGN.md "Topology axis");
 //! * [`sim`] — the network simulator: steps every router on each 1.2 GHz
 //!   core-clock edge, transports packets over 0.8 GHz links with three
 //!   link-clocks of wire latency, returns credits, and delivers packets to
 //!   per-node [`sim::Endpoint`]s;
 //! * [`sharded`] — the same simulation on N worker threads: contiguous
-//!   torus shards stepped in lockstep one core cycle at a time, exchanging
-//!   cross-shard events at a barrier — bit-for-bit identical to [`sim`].
+//!   node-range shards stepped in lockstep one core cycle at a time,
+//!   exchanging cross-shard events at a barrier — bit-for-bit identical
+//!   to [`sim`].
 //!
 //! The traffic side (coherence transactions, MSHRs, §4.2 patterns) lives
 //! in the `workload` crate; anything implementing [`sim::Endpoint`] can
@@ -28,7 +35,7 @@ pub mod sharded;
 pub mod sim;
 pub mod topology;
 
-pub use routing::route_for;
+pub use routing::{route_for, FullMeshRouting, MeshRouting, Routing, TorusRouting};
 pub use sharded::ShardedNetworkSim;
 pub use sim::{Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx};
-pub use topology::{ShardMap, Torus};
+pub use topology::{FullMesh, LinkTarget, Mesh, NetTopology, ShardMap, Topology, Torus};

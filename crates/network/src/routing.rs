@@ -1,64 +1,186 @@
-//! Per-hop route computation (§2.1).
+//! Per-hop route computation: the [`Routing`] trait and one routing
+//! function per topology.
 //!
-//! **Adaptive routing in the minimal rectangle.** Of the four rectangles
-//! spanned by the current router and the destination on the torus, the
-//! 21364 routes within the one with minimum diagonal distance: per
-//! dimension the shorter way around the ring is productive, giving at most
-//! two candidate output ports. Ties (an offset of exactly half the ring)
-//! resolve to the positive direction so the candidate set stays ≤ 2.
+//! Routing is an axis orthogonal to the shape (see
+//! [`crate::topology`]): a routing function turns `(here, packet)` into
+//! the [`RouteInfo`] the router consumes — an adaptive candidate mask
+//! plus a deadlock-free escape hop. The simulator dispatches through
+//! [`route_for`], which pairs each [`NetTopology`] with its scheme:
 //!
-//! **Deadlock-free escape.** Blocked packets fall back to VC0/VC1, which
-//! route in strict dimension order (x, then y) with a *dateline* rule per
-//! dimension: a hop whose remaining path in the current dimension still
-//! crosses the ring's wrap edge travels on VC0, otherwise on VC1. VC0
-//! waits-for chains move monotonically toward the wrap edge and VC1 chains
-//! monotonically toward the destination, so neither can cycle — the
-//! standard torus dateline argument behind the 21364's Duato-style
-//! construction ("Duato has shown that such a scheme breaks routing
-//! deadlocks in such networks").
+//! * **Torus — minimal rectangle + dateline escape** ([`TorusRouting`],
+//!   §2.1). Adaptive candidates are the per-dimension shorter ways
+//!   around the rings (≤ 2 bits); blocked packets fall back to VC0/VC1
+//!   escape channels routed in strict dimension order with a *dateline*
+//!   switch: a hop whose remaining path in the current dimension still
+//!   crosses the wrap edge travels on VC0, otherwise on VC1. VC0 chains
+//!   move monotonically toward the wrap edge and VC1 chains toward the
+//!   destination, so neither can cycle — the standard torus dateline
+//!   argument behind the 21364's Duato-style construction.
+//! * **Mesh — minimal rectangle + XY escape** ([`MeshRouting`]). The
+//!   minimal rectangle survives unchanged (there is only one productive
+//!   way per dimension without wrap links); the escape is plain XY
+//!   dimension-order routing, which is deadlock-free on a mesh *without
+//!   any VC switch* — no wrap edge means no cyclic channel dependency
+//!   inside a dimension, and the x-before-y order forbids cycles across
+//!   dimensions. Every escape hop uses VC1; see DESIGN.md "Topology
+//!   axis" for the argument and the Papaphilippou & Chu
+//!   (arXiv:2303.10526) scheme this mirrors.
+//! * **Full mesh — VC-less direct + source misroute**
+//!   ([`FullMeshRouting`], after Cano et al., arXiv:2510.14730). The
+//!   escape is always the direct link (one hop, so the escape network
+//!   is trivially acyclic and needs no dateline VCs — every escape hop
+//!   uses VC0); the adaptive set adds non-minimal candidates through
+//!   intermediate nodes, restricted to the source hop and to
+//!   intermediates below the destination id, which bounds every path to
+//!   two hops and keeps the channel-dependency graph acyclic.
 
-use crate::topology::Torus;
+use crate::topology::{FullMesh, Mesh, NetTopology, Torus};
 use arbitration::ports::OutputPort;
 use router::{EscapeVc, Packet, RouteInfo};
 
-/// Computes the routing choices for `packet` sitting at router `here`.
+/// A routing function: produces the per-hop [`RouteInfo`] the router
+/// consumes. Implementations are deterministic and stateless — the same
+/// `(here, packet)` always yields the same route, which is what lets the
+/// sharded engine recompute routes at the receiving shard.
+pub trait Routing {
+    /// The routing choices for `packet` sitting at router `here`.
+    fn route(&self, here: u16, packet: &Packet) -> RouteInfo;
+}
+
+/// Computes the routing choices for `packet` sitting at router `here`,
+/// using the deadlock-free scheme native to `topo`.
 ///
 /// Delivery routes target the two local sink ports for coherence classes
 /// and the I/O port for I/O classes.
-pub fn route_for(torus: &Torus, here: u16, packet: &Packet) -> RouteInfo {
-    if here == packet.dest {
-        let outputs = match packet.class {
-            router::CoherenceClass::WriteIo | router::CoherenceClass::ReadIo => {
-                OutputPort::Io.mask() as u8
-            }
-            _ => (OutputPort::L0.mask() | OutputPort::L1.mask()) as u8,
-        };
-        return RouteInfo::local(outputs);
+pub fn route_for(topo: &NetTopology, here: u16, packet: &Packet) -> RouteInfo {
+    match *topo {
+        NetTopology::Torus(t) => TorusRouting(t).route(here, packet),
+        NetTopology::Mesh(m) => MeshRouting(m).route(here, packet),
+        NetTopology::FullMesh(f) => FullMeshRouting(f).route(here, packet),
     }
-    let (hx, hy) = torus.coords(here);
-    let (dx, dy) = torus.coords(packet.dest);
-    let x_dir = ring_direction(hx, dx, torus.width(), OutputPort::East, OutputPort::West);
-    let y_dir = ring_direction(hy, dy, torus.height(), OutputPort::South, OutputPort::North);
+}
 
-    let mut adaptive = 0u8;
-    if let Some(d) = x_dir {
-        adaptive |= d.mask() as u8;
-    }
-    if let Some(d) = y_dir {
-        adaptive |= d.mask() as u8;
-    }
-
-    // Dimension-order escape: x first, then y.
-    let (escape, escape_vc) = if let Some(d) = x_dir {
-        (d, dateline_vc(hx, dx, torus.width(), d == OutputPort::East))
-    } else {
-        let d = y_dir.expect("transit packet must be unaligned in some dimension");
-        (
-            d,
-            dateline_vc(hy, dy, torus.height(), d == OutputPort::South),
-        )
+/// The local-delivery route shared by every scheme: the two local sink
+/// ports for coherence classes, the I/O port for I/O classes.
+fn local_route(packet: &Packet) -> RouteInfo {
+    let outputs = match packet.class {
+        router::CoherenceClass::WriteIo | router::CoherenceClass::ReadIo => {
+            OutputPort::Io.mask() as u8
+        }
+        _ => (OutputPort::L0.mask() | OutputPort::L1.mask()) as u8,
     };
-    RouteInfo::transit(adaptive, escape, escape_vc)
+    RouteInfo::local(outputs)
+}
+
+/// Minimal-rectangle adaptive + dimension-order dateline escape on the
+/// torus — the 21364's scheme (§2.1).
+#[derive(Clone, Copy, Debug)]
+pub struct TorusRouting(pub Torus);
+
+impl Routing for TorusRouting {
+    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+        if here == packet.dest {
+            return local_route(packet);
+        }
+        let torus = &self.0;
+        let (hx, hy) = torus.coords(here);
+        let (dx, dy) = torus.coords(packet.dest);
+        let x_dir = ring_direction(hx, dx, torus.width(), OutputPort::East, OutputPort::West);
+        let y_dir = ring_direction(hy, dy, torus.height(), OutputPort::South, OutputPort::North);
+
+        let mut adaptive = 0u8;
+        if let Some(d) = x_dir {
+            adaptive |= d.mask() as u8;
+        }
+        if let Some(d) = y_dir {
+            adaptive |= d.mask() as u8;
+        }
+
+        // Dimension-order escape: x first, then y.
+        let (escape, escape_vc) = if let Some(d) = x_dir {
+            (d, dateline_vc(hx, dx, d == OutputPort::East))
+        } else {
+            let d = y_dir.expect("transit packet must be unaligned in some dimension");
+            (d, dateline_vc(hy, dy, d == OutputPort::South))
+        };
+        RouteInfo::transit(adaptive, escape, escape_vc)
+    }
+}
+
+/// Minimal-rectangle adaptive + XY dimension-order escape on the mesh.
+/// No wrap links means no dateline: every escape hop rides VC1 (the
+/// "past the dateline" channel a torus packet ends on).
+#[derive(Clone, Copy, Debug)]
+pub struct MeshRouting(pub Mesh);
+
+impl Routing for MeshRouting {
+    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+        if here == packet.dest {
+            return local_route(packet);
+        }
+        let mesh = &self.0;
+        let (hx, hy) = mesh.coords(here);
+        let (dx, dy) = mesh.coords(packet.dest);
+        let x_dir = match dx.cmp(&hx) {
+            std::cmp::Ordering::Greater => Some(OutputPort::East),
+            std::cmp::Ordering::Less => Some(OutputPort::West),
+            std::cmp::Ordering::Equal => None,
+        };
+        let y_dir = match dy.cmp(&hy) {
+            std::cmp::Ordering::Greater => Some(OutputPort::South),
+            std::cmp::Ordering::Less => Some(OutputPort::North),
+            std::cmp::Ordering::Equal => None,
+        };
+
+        let mut adaptive = 0u8;
+        if let Some(d) = x_dir {
+            adaptive |= d.mask() as u8;
+        }
+        if let Some(d) = y_dir {
+            adaptive |= d.mask() as u8;
+        }
+
+        // XY escape: x first, then y; deadlock-free without a VC switch.
+        let escape = x_dir
+            .or(y_dir)
+            .expect("transit packet must be unaligned in some dimension");
+        RouteInfo::transit(adaptive, escape, EscapeVc::Vc1)
+    }
+}
+
+/// VC-less deadlock-free full-mesh routing after Cano et al.
+/// (arXiv:2510.14730).
+///
+/// The escape hop is always the direct link to the destination — a
+/// one-hop escape network cannot hold a waiting cycle, so no dateline
+/// VCs are needed (every escape hop uses VC0, leaving VC1 idle). The
+/// adaptive set is the direct link plus, *at the source hop only*,
+/// misroute candidates through any intermediate `m < dest`: a misrouted
+/// packet re-routes at `m` with `here != src`, gets the direct link
+/// alone, and terminates — so paths are at most two hops (no livelock)
+/// and every channel dependency `c(s,m) → c(m,d)` steps from a channel
+/// ending at `m` to one ending at `d > m`, making the dependency graph
+/// acyclic.
+#[derive(Clone, Copy, Debug)]
+pub struct FullMeshRouting(pub FullMesh);
+
+impl Routing for FullMeshRouting {
+    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+        if here == packet.dest {
+            return local_route(packet);
+        }
+        let mesh = &self.0;
+        let direct = mesh.port_toward(here, packet.dest);
+        let mut adaptive = direct.mask() as u8;
+        if here == packet.src {
+            for m in 0..packet.dest.min(mesh.nodes()) {
+                if m != here {
+                    adaptive |= mesh.port_toward(here, m).mask() as u8;
+                }
+            }
+        }
+        RouteInfo::transit(adaptive, direct, EscapeVc::Vc0)
+    }
 }
 
 /// The productive direction in one ring dimension, or `None` when aligned.
@@ -84,7 +206,7 @@ fn ring_direction(
 /// Dateline VC selection for an escape hop: VC0 while the remaining path
 /// in this dimension still crosses the wrap edge, VC1 after (or when it
 /// never does).
-fn dateline_vc(from: u16, to: u16, extent: u16, moving_positive: bool) -> EscapeVc {
+fn dateline_vc(from: u16, to: u16, moving_positive: bool) -> EscapeVc {
     let crosses = if moving_positive {
         // Travelling +: wraps iff the destination is "behind" us.
         to < from
@@ -92,7 +214,6 @@ fn dateline_vc(from: u16, to: u16, extent: u16, moving_positive: bool) -> Escape
         // Travelling -: wraps iff the destination is "ahead" of us.
         to > from
     };
-    let _ = extent;
     if crosses {
         EscapeVc::Vc0
     } else {
@@ -122,16 +243,41 @@ mod tests {
         }
     }
 
+    fn torus_route(t: &Torus, here: u16, p: &Packet) -> RouteInfo {
+        TorusRouting(*t).route(here, p)
+    }
+
     #[test]
     fn local_delivery_routes() {
         let t = Torus::net_4x4();
-        let r = route_for(&t, 5, &pkt(0, 5, CoherenceClass::Request));
+        let r = torus_route(&t, 5, &pkt(0, 5, CoherenceClass::Request));
         assert_eq!(
             r,
             RouteInfo::local((OutputPort::L0.mask() | OutputPort::L1.mask()) as u8)
         );
-        let io = route_for(&t, 5, &pkt(0, 5, CoherenceClass::ReadIo));
+        let io = torus_route(&t, 5, &pkt(0, 5, CoherenceClass::ReadIo));
         assert_eq!(io, RouteInfo::local(OutputPort::Io.mask() as u8));
+    }
+
+    #[test]
+    fn dispatch_matches_concrete_schemes() {
+        let p = pkt(0, 5, CoherenceClass::Request);
+        let t = Torus::net_4x4();
+        assert_eq!(
+            route_for(&NetTopology::from(t), 0, &p),
+            TorusRouting(t).route(0, &p)
+        );
+        let m = Mesh::new(4, 4);
+        assert_eq!(
+            route_for(&NetTopology::from(m), 0, &p),
+            MeshRouting(m).route(0, &p)
+        );
+        let f = FullMesh::new(5);
+        let p5 = pkt(0, 3, CoherenceClass::Request);
+        assert_eq!(
+            route_for(&NetTopology::from(f), 0, &p5),
+            FullMeshRouting(f).route(0, &p5)
+        );
     }
 
     #[test]
@@ -139,7 +285,7 @@ mod tests {
         let t = Torus::net_4x4();
         // (0,0) -> (1,1): East and South are both productive.
         let (adaptive, escape, _) =
-            transit_parts(route_for(&t, 0, &pkt(0, 5, CoherenceClass::Request)));
+            transit_parts(torus_route(&t, 0, &pkt(0, 5, CoherenceClass::Request)));
         assert_eq!(
             adaptive,
             (OutputPort::East.mask() | OutputPort::South.mask()) as u8
@@ -153,12 +299,12 @@ mod tests {
         // (0,0) -> (2,0): only East (distance 2 both ways? no: east 2,
         // west 2 — a tie, positive direction wins).
         let (adaptive, escape, _) =
-            transit_parts(route_for(&t, 0, &pkt(0, 2, CoherenceClass::Request)));
+            transit_parts(torus_route(&t, 0, &pkt(0, 2, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::East.mask() as u8);
         assert_eq!(escape, OutputPort::East);
         // (0,0) -> (0,1): only South.
         let (adaptive, escape, _) =
-            transit_parts(route_for(&t, 0, &pkt(0, 4, CoherenceClass::Request)));
+            transit_parts(torus_route(&t, 0, &pkt(0, 4, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::South.mask() as u8);
         assert_eq!(escape, OutputPort::South);
     }
@@ -168,7 +314,7 @@ mod tests {
         let t = Torus::net_4x4();
         // (0,0) -> (3,0): West (1 hop) not East (3 hops).
         let (adaptive, escape, _) =
-            transit_parts(route_for(&t, 0, &pkt(0, 3, CoherenceClass::Request)));
+            transit_parts(torus_route(&t, 0, &pkt(0, 3, CoherenceClass::Request)));
         assert_eq!(adaptive, OutputPort::West.mask() as u8);
         assert_eq!(escape, OutputPort::West);
     }
@@ -179,7 +325,7 @@ mod tests {
         // I/O classes carry adaptive candidates in the route, but the
         // router's eligibility logic never uses them (escape-only class);
         // what matters is that the escape hop exists.
-        let (_, escape, _) = transit_parts(route_for(&t, 0, &pkt(0, 5, CoherenceClass::WriteIo)));
+        let (_, escape, _) = transit_parts(torus_route(&t, 0, &pkt(0, 5, CoherenceClass::WriteIo)));
         assert_eq!(escape, OutputPort::East);
     }
 
@@ -188,7 +334,7 @@ mod tests {
         let t = Torus::net_8x8();
         // (6,0) -> (1,0): East with wrap (6->7->0->1). Before the wrap
         // edge: remaining path crosses => VC0.
-        let (_, escape, vc) = transit_parts(route_for(
+        let (_, escape, vc) = transit_parts(torus_route(
             &t,
             t.node(6, 0),
             &pkt(0, t.node(1, 0), CoherenceClass::Request),
@@ -197,7 +343,7 @@ mod tests {
         assert_eq!(vc, EscapeVc::Vc0);
         // After wrapping to (0,0), the remaining path 0->1 no longer
         // crosses => VC1.
-        let (_, escape, vc) = transit_parts(route_for(
+        let (_, escape, vc) = transit_parts(torus_route(
             &t,
             t.node(0, 0),
             &pkt(0, t.node(1, 0), CoherenceClass::Request),
@@ -205,7 +351,7 @@ mod tests {
         assert_eq!(escape, OutputPort::East);
         assert_eq!(vc, EscapeVc::Vc1);
         // Negative direction: (1,0) -> (6,0) is West with wrap => VC0.
-        let (_, escape, vc) = transit_parts(route_for(
+        let (_, escape, vc) = transit_parts(torus_route(
             &t,
             t.node(1, 0),
             &pkt(0, t.node(6, 0), CoherenceClass::Request),
@@ -213,7 +359,7 @@ mod tests {
         assert_eq!(escape, OutputPort::West);
         assert_eq!(vc, EscapeVc::Vc0);
         // Non-wrapping westward path => VC1.
-        let (_, escape, vc) = transit_parts(route_for(
+        let (_, escape, vc) = transit_parts(torus_route(
             &t,
             t.node(6, 0),
             &pkt(0, t.node(3, 0), CoherenceClass::Request),
@@ -230,8 +376,11 @@ mod tests {
                 if here == dest {
                     continue;
                 }
-                let (adaptive, escape, _) =
-                    transit_parts(route_for(&t, here, &pkt(0, dest, CoherenceClass::Request)));
+                let (adaptive, escape, _) = transit_parts(torus_route(
+                    &t,
+                    here,
+                    &pkt(0, dest, CoherenceClass::Request),
+                ));
                 assert!(adaptive.count_ones() <= 2);
                 assert!(
                     adaptive & escape.mask() as u8 != 0,
@@ -251,7 +400,7 @@ mod tests {
                     continue;
                 }
                 let p = pkt(0, dest, CoherenceClass::Request);
-                let (adaptive, _, _) = transit_parts(route_for(&t, here, &p));
+                let (adaptive, _, _) = transit_parts(torus_route(&t, here, &p));
                 let mut m = adaptive;
                 while m != 0 {
                     let dir = OutputPort::from_index(m.trailing_zeros() as usize);
@@ -277,7 +426,7 @@ mod tests {
             let mut hops = 0;
             let mut seen_y = false;
             while here != dest {
-                let (_, escape, _) = transit_parts(route_for(
+                let (_, escape, _) = transit_parts(torus_route(
                     &t,
                     here,
                     &pkt(src, dest, CoherenceClass::Request),
@@ -293,6 +442,150 @@ mod tests {
                 assert!(hops <= t.distance(src, dest), "non-minimal escape path");
             }
             assert_eq!(hops, t.distance(src, dest));
+        }
+    }
+
+    #[test]
+    fn mesh_routes_stay_inside_the_rectangle() {
+        use crate::topology::Topology;
+        let m = Mesh::new(4, 4);
+        for here in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                if here == dest {
+                    continue;
+                }
+                let p = pkt(0, dest, CoherenceClass::Request);
+                let (adaptive, escape, vc) = transit_parts(MeshRouting(m).route(here, &p));
+                assert_eq!(vc, EscapeVc::Vc1, "mesh escape never switches VCs");
+                assert!(
+                    adaptive & escape.mask() as u8 != 0,
+                    "escape is always productive"
+                );
+                let mut mask = adaptive;
+                while mask != 0 {
+                    let dir = OutputPort::from_index(mask.trailing_zeros() as usize);
+                    mask &= mask - 1;
+                    let next = m.neighbor(here, dir).expect("candidate uses a real link");
+                    assert_eq!(
+                        Topology::distance(&m, next, dest),
+                        Topology::distance(&m, here, dest) - 1,
+                        "{here}->{dest} via {dir}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_escape_is_xy_dimension_order() {
+        let m = Mesh::new(4, 4);
+        // (0,0) -> (2,2): escape goes East until x aligns, then South.
+        let mut here = 0u16;
+        let dest = m.node(2, 2);
+        let mut dirs = Vec::new();
+        while here != dest {
+            let (_, escape, _) =
+                transit_parts(MeshRouting(m).route(here, &pkt(0, dest, CoherenceClass::Request)));
+            dirs.push(escape);
+            here = m.neighbor(here, escape).unwrap();
+        }
+        assert_eq!(
+            dirs,
+            vec![
+                OutputPort::East,
+                OutputPort::East,
+                OutputPort::South,
+                OutputPort::South
+            ]
+        );
+    }
+
+    #[test]
+    fn mesh_never_routes_off_the_edge() {
+        // The corner-to-corner route has no wrap shortcut to offer.
+        let m = Mesh::new(4, 4);
+        let (adaptive, escape, _) =
+            transit_parts(MeshRouting(m).route(0, &pkt(0, 15, CoherenceClass::Request)));
+        assert_eq!(
+            adaptive,
+            (OutputPort::East.mask() | OutputPort::South.mask()) as u8
+        );
+        assert_eq!(escape, OutputPort::East);
+        // From (3,3) back: only North/West.
+        let (adaptive, _, _) =
+            transit_parts(MeshRouting(m).route(15, &pkt(15, 0, CoherenceClass::Request)));
+        assert_eq!(
+            adaptive,
+            (OutputPort::West.mask() | OutputPort::North.mask()) as u8
+        );
+    }
+
+    #[test]
+    fn full_mesh_escape_is_the_direct_link() {
+        let f = FullMesh::new(5);
+        for here in 0..5u16 {
+            for dest in 0..5u16 {
+                if here == dest {
+                    continue;
+                }
+                let (adaptive, escape, vc) = transit_parts(
+                    FullMeshRouting(f).route(here, &pkt(here, dest, CoherenceClass::Request)),
+                );
+                assert_eq!(escape, f.port_toward(here, dest));
+                assert_eq!(vc, EscapeVc::Vc0, "VC-less: one escape channel");
+                assert!(adaptive & escape.mask() as u8 != 0, "direct is a candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mesh_misroutes_only_at_the_source_and_below_dest() {
+        let f = FullMesh::new(5);
+        // At the source 4 -> 3: direct plus intermediates {0,1,2}.
+        let (adaptive, _, _) =
+            transit_parts(FullMeshRouting(f).route(4, &pkt(4, 3, CoherenceClass::Request)));
+        let mut expect = f.port_toward(4, 3).mask() as u8;
+        for m in [0u16, 1, 2] {
+            expect |= f.port_toward(4, m).mask() as u8;
+        }
+        assert_eq!(adaptive, expect);
+        assert_eq!(adaptive.count_ones(), 4, "beyond the fixed two candidates");
+        // 4 -> 0: no intermediate below 0, direct only.
+        let (adaptive, _, _) =
+            transit_parts(FullMeshRouting(f).route(4, &pkt(4, 0, CoherenceClass::Request)));
+        assert_eq!(adaptive, f.port_toward(4, 0).mask() as u8);
+        // In transit (here != src): direct only, so every path is ≤ 2 hops.
+        let (adaptive, _, _) =
+            transit_parts(FullMeshRouting(f).route(1, &pkt(4, 3, CoherenceClass::Request)));
+        assert_eq!(adaptive, f.port_toward(1, 3).mask() as u8);
+    }
+
+    #[test]
+    fn full_mesh_adaptive_walks_terminate_within_two_hops() {
+        use crate::topology::Topology;
+        let f = FullMesh::new(5);
+        for src in 0..5u16 {
+            for dest in 0..5u16 {
+                if src == dest {
+                    continue;
+                }
+                let p = pkt(src, dest, CoherenceClass::Request);
+                let (adaptive, _, _) = transit_parts(FullMeshRouting(f).route(src, &p));
+                let mut mask = adaptive;
+                while mask != 0 {
+                    let port = OutputPort::from_index(mask.trailing_zeros() as usize);
+                    mask &= mask - 1;
+                    let hop1 = f.link(src, port).expect("candidate uses a real link").peer;
+                    if hop1 == dest {
+                        continue;
+                    }
+                    assert!(hop1 < dest, "misroute intermediate stays below dest");
+                    let (a2, _, _) = transit_parts(FullMeshRouting(f).route(hop1, &p));
+                    assert_eq!(a2, f.port_toward(hop1, dest).mask() as u8);
+                    let hop2 = f.link(hop1, f.port_toward(hop1, dest)).unwrap().peer;
+                    assert_eq!(hop2, dest, "second hop lands");
+                }
+            }
         }
     }
 }

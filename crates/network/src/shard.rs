@@ -37,7 +37,7 @@
 
 use crate::routing::route_for;
 use crate::sim::{Endpoint, NetworkConfig, NodeCtx};
-use crate::topology::Torus;
+use crate::topology::{NetTopology, Topology};
 use router::{IncomingPacket, Packet, Router, RouterOutput};
 use simcore::stats::Histogram;
 use simcore::wheel::TimingWheel;
@@ -46,7 +46,7 @@ use simcore::{SimRng, Tick};
 /// Per-cycle constants shared by both phases of every shard.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct CycleEnv {
-    pub(crate) torus: Torus,
+    pub(crate) topology: NetTopology,
     pub(crate) now: Tick,
     pub(crate) cycle: u64,
     pub(crate) warmup_end: Tick,
@@ -58,7 +58,7 @@ impl CycleEnv {
     pub(crate) fn at(cfg: &NetworkConfig, cycle: u64) -> Self {
         let core = cfg.router.timing.core;
         CycleEnv {
-            torus: cfg.torus,
+            topology: cfg.topology,
             now: core.edge(cycle),
             cycle,
             warmup_end: core.edge(cfg.warmup_cycles),
@@ -80,10 +80,18 @@ pub(crate) struct OutEvent {
 
 /// The destination router of a deferred event: the link neighbour a
 /// forward enters, or the upstream neighbour a credit returns to.
-pub(crate) fn event_destination(torus: &Torus, src: u16, ev: &RouterOutput) -> u16 {
+pub(crate) fn event_destination(topo: &NetTopology, src: u16, ev: &RouterOutput) -> u16 {
     match ev {
-        RouterOutput::Forward(o) => torus.neighbor(src, o.output),
-        RouterOutput::Credit { input, .. } => torus.neighbor(src, Torus::input_direction(*input)),
+        RouterOutput::Forward(o) => {
+            topo.link(src, o.output)
+                .expect("forward along an unwired port")
+                .peer
+        }
+        RouterOutput::Credit { input, .. } => {
+            topo.feeder(src, *input)
+                .expect("credit for an unwired input")
+                .0
+        }
         RouterOutput::Delivered { .. } => src,
     }
 }
@@ -310,7 +318,7 @@ impl<E: Endpoint> Shard<E> {
         for i in 0..self.routers.len() {
             let mut ctx = NodeCtx {
                 router: &mut self.routers[i],
-                torus: &env.torus,
+                topology: &env.topology,
                 node: self.base + i as u16,
                 now,
                 core_period: env.core_period,
@@ -344,11 +352,15 @@ impl<E: Endpoint> Shard<E> {
     pub(crate) fn apply(&mut self, env: &CycleEnv, src: u16, ev: RouterOutput) {
         match ev {
             RouterOutput::Forward(o) => {
-                let neighbor = env.torus.neighbor(src, o.output);
-                let entry = Torus::entry_port(o.output);
+                let target = env
+                    .topology
+                    .link(src, o.output)
+                    .expect("forward along an unwired port");
+                let (neighbor, entry) = (target.peer, target.entry);
                 let packet = o.packet;
-                let pin_time = o.first_flit + env.link_latency;
-                let route = route_for(&env.torus, neighbor, &packet);
+                let wire = env.topology.link_latency(src, o.output, env.link_latency);
+                let pin_time = o.first_flit + wire;
+                let route = route_for(&env.topology, neighbor, &packet);
                 let local = (neighbor - self.base) as usize;
                 self.routers[local].accept_packet(
                     entry,
@@ -363,11 +375,15 @@ impl<E: Endpoint> Shard<E> {
                 self.wake_at[local] = self.wake_at[local].min(self.routers[local].next_wake());
             }
             RouterOutput::Credit { input, vc, at } => {
-                let dir = Torus::input_direction(input);
-                let upstream = env.torus.neighbor(src, dir);
-                let output = Torus::feeder_port(input);
+                let (upstream, output) = env
+                    .topology
+                    .feeder(src, input)
+                    .expect("credit for an unwired input");
                 let local = (upstream - self.base) as usize;
-                self.routers[local].accept_credit(output, vc, at + env.link_latency);
+                let wire = env
+                    .topology
+                    .link_latency(upstream, output, env.link_latency);
+                self.routers[local].accept_credit(output, vc, at + wire);
                 self.wake_at[local] = self.wake_at[local].min(self.routers[local].next_wake());
             }
             RouterOutput::Delivered { .. } => {

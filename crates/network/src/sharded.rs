@@ -3,9 +3,12 @@
 //!
 //! # Why a one-cycle horizon is safe
 //!
-//! Every inter-router interaction in the model crosses a torus link, and
-//! every link has three 0.8 GHz link-clocks (= 4.5 core cycles) of wire
-//! latency; even a local injection is decoded cycles after it pins. So
+//! Every inter-router interaction in the model crosses a network link,
+//! and every link has at least three 0.8 GHz link-clocks (= 4.5 core
+//! cycles) of wire latency — a floor the [`crate::topology::Topology`]
+//! contract guarantees on every shape (`link_latency` never shrinks
+//! below one core cycle); even a local injection is decoded cycles
+//! after it pins. So
 //! any event a router emits at cycle *k* takes effect strictly after
 //! cycle *k* — no router's cycle-*k* decisions can observe another
 //! router's cycle-*k* outputs. That makes one core cycle a safe
@@ -43,18 +46,18 @@
 
 use crate::shard::{event_destination, replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
 use crate::sim::{report_from_parts, Endpoint, NetworkConfig, NetworkReport};
-use crate::topology::{ShardMap, Torus};
+use crate::topology::{NetTopology, ShardMap};
 use simcore::stats::OnlineStats;
 use simcore::sweep::effective_workers;
 use simcore::sync::SpinBarrier;
 use std::sync::Mutex;
 
-/// A sharded simulation: the torus is partitioned into contiguous node
-/// ranges, one per worker thread, stepped in lockstep one core cycle at
-/// a time.
+/// A sharded simulation: the network is partitioned into contiguous
+/// node ranges, one per worker thread, stepped in lockstep one core
+/// cycle at a time.
 pub struct ShardedNetworkSim<E: Endpoint> {
     cfg: NetworkConfig,
-    torus: Torus,
+    topology: NetTopology,
     map: ShardMap,
     shards: Vec<Mutex<Shard<E>>>,
     cycle: u64,
@@ -74,14 +77,14 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
     ///
     /// Panics unless `endpoints.len()` equals the node count.
     pub fn new(cfg: NetworkConfig, endpoints: Vec<E>, workers: usize) -> Self {
-        let torus = cfg.torus;
+        let topology = cfg.topology;
         assert_eq!(
             endpoints.len(),
-            torus.nodes() as usize,
+            topology.nodes() as usize,
             "one endpoint per node"
         );
-        let workers = effective_workers(workers, torus.nodes() as usize);
-        let map = ShardMap::new(&torus, workers);
+        let workers = effective_workers(workers, topology.nodes() as usize);
+        let map = ShardMap::new(&topology, workers);
         let mut endpoints = endpoints.into_iter();
         let shards: Vec<Mutex<Shard<E>>> = (0..map.shards())
             .map(|s| {
@@ -95,7 +98,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
             })
             .collect();
         ShardedNetworkSim {
-            torus,
+            topology,
             map,
             shards,
             cycle: 0,
@@ -110,9 +113,9 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
         self.shards.len()
     }
 
-    /// The torus shape.
-    pub fn torus(&self) -> &Torus {
-        &self.torus
+    /// The network shape.
+    pub fn topology(&self) -> &NetTopology {
+        &self.topology
     }
 
     /// Endpoint access after a run.
@@ -212,7 +215,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
 
         let shards = &self.shards;
         let map = &self.map;
-        let torus = self.torus;
+        let topology = self.topology;
         let cfg = &self.cfg;
         let latency = &mut self.latency;
         let total_latency = &mut self.total_latency;
@@ -253,7 +256,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
                             shard.phase_a(
                                 &env,
                                 &mut |src, ev| {
-                                    let dst = map.shard_of(event_destination(&torus, src, &ev));
+                                    let dst = map.shard_of(event_destination(&topology, src, &ev));
                                     rows[dst].push(OutEvent { src, ev });
                                 },
                                 &mut recs,

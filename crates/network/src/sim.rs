@@ -19,7 +19,7 @@
 
 use crate::routing::route_for;
 use crate::shard::{replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
-use crate::topology::Torus;
+use crate::topology::NetTopology;
 use arbitration::ports::InputPort;
 use router::{CoherenceClass, IncomingPacket, Packet, Router, RouterConfig, VcId};
 use simcore::stats::{Histogram, OnlineStats};
@@ -37,7 +37,7 @@ pub enum InjectionOutcome {
 /// Per-node view handed to an [`Endpoint`] every cycle.
 pub struct NodeCtx<'a> {
     pub(crate) router: &'a mut Router,
-    pub(crate) torus: &'a Torus,
+    pub(crate) topology: &'a NetTopology,
     pub(crate) node: u16,
     pub(crate) now: Tick,
     pub(crate) core_period: Tick,
@@ -92,7 +92,7 @@ impl NodeCtx<'_> {
             return InjectionOutcome::NoBufferSpace;
         }
         packet.injected = self.now;
-        let route = route_for(self.torus, self.node, &packet);
+        let route = route_for(self.topology, self.node, &packet);
         self.woke = true;
         *self.injected_packets += 1;
         *self.injected_flits += packet.len() as u64;
@@ -122,8 +122,8 @@ pub trait Endpoint {
 /// Network configuration.
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
-    /// Torus shape.
-    pub torus: Torus,
+    /// Network shape (torus, mesh, or full mesh).
+    pub topology: NetTopology,
     /// Router configuration (shared by every node).
     pub router: RouterConfig,
     /// Simulation seed; routers fork per-node streams from it.
@@ -214,7 +214,7 @@ impl NetworkReport {
 /// the golden-report suite pins the equivalence.
 pub struct NetworkSim<E: Endpoint> {
     cfg: NetworkConfig,
-    torus: Torus,
+    topology: NetTopology,
     shard: Shard<E>,
     outbox: Vec<OutEvent>,
     records: Vec<MeasureRecord>,
@@ -230,10 +230,10 @@ impl<E: Endpoint> NetworkSim<E> {
     ///
     /// Panics unless `endpoints.len()` equals the node count.
     pub fn new(cfg: NetworkConfig, endpoints: Vec<E>) -> Self {
-        let torus = cfg.torus;
+        let topology = cfg.topology;
         assert_eq!(
             endpoints.len(),
-            torus.nodes() as usize,
+            topology.nodes() as usize,
             "one endpoint per node"
         );
         NetworkSim {
@@ -243,14 +243,14 @@ impl<E: Endpoint> NetworkSim<E> {
             cycle: 0,
             latency: OnlineStats::new(),
             total_latency: OnlineStats::new(),
-            torus,
+            topology,
             cfg,
         }
     }
 
-    /// The torus shape.
-    pub fn torus(&self) -> &Torus {
-        &self.torus
+    /// The network shape.
+    pub fn topology(&self) -> &NetTopology {
+        &self.topology
     }
 
     /// Immutable router access (tests, statistics).
@@ -344,7 +344,7 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
     latency: &OnlineStats,
     total_latency: &OnlineStats,
 ) -> NetworkReport {
-    let routers = cfg.torus.nodes() as f64;
+    let routers = cfg.topology.nodes() as f64;
     let mut nominations = 0;
     let mut grants = 0;
     let mut collisions = 0;
@@ -393,6 +393,7 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Torus;
     use router::ArbAlgorithm;
 
     /// Injects one request to a fixed destination, then goes quiet.
@@ -426,7 +427,7 @@ mod tests {
 
     fn sim(dest: u16, algo: ArbAlgorithm) -> NetworkSim<OneShot> {
         let cfg = NetworkConfig {
-            torus: Torus::net_4x4(),
+            topology: Torus::net_4x4().into(),
             router: RouterConfig::alpha_21364(algo),
             seed: 7,
             warmup_cycles: 0,
@@ -576,7 +577,7 @@ mod tests {
     fn sleeping_router_never_misses_an_injection_wake() {
         let run = |idle_skip: bool| {
             let cfg = NetworkConfig {
-                torus: Torus::net_4x4(),
+                topology: Torus::net_4x4().into(),
                 router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
                 seed: 11,
                 warmup_cycles: 0,

@@ -1,12 +1,131 @@
-//! 2D-torus geometry (§2.1, Figure 3).
+//! Network shapes: the [`Topology`] trait and its three implementations.
 //!
-//! Nodes are numbered row-major; the four torus directions map to router
-//! ports as **North = −y, South = +y, East = +x, West = −x**, all with
-//! wraparound. A packet leaving router A through its North output arrives
-//! at the node above, entering through that router's *South* input — every
-//! link connects an output port to the opposite input port.
+//! The 21364 shipped on a 2D torus (§2.1, Figure 3), but nothing in the
+//! router model depends on that shape — a router sees packets arriving
+//! through four generic network ports with a pre-computed
+//! [`RouteInfo`](router::RouteInfo). The [`Topology`] trait captures what
+//! the simulation engines actually need from a shape: how many nodes
+//! exist, which `(node, output port)` pairs carry a link and where that
+//! link lands (peer node + entry input port), the inverse feeder relation
+//! used to return credits upstream, and per-link wire latency. The
+//! [`NetTopology`] enum dispatches over the concrete shapes so both
+//! engines stay monomorphic.
+//!
+//! Shapes:
+//!
+//! * [`Torus`] — the paper's `width × height` 2D torus. Nodes are
+//!   numbered row-major; the four directions map to router ports as
+//!   **North = −y, South = +y, East = +x, West = −x**, all with
+//!   wraparound. Every link connects an output port to the opposite
+//!   input port.
+//! * [`Mesh`] — the same grid without wrap links: edge nodes simply lack
+//!   the outward links (2–4 neighbours per node).
+//! * [`FullMesh`] — up to [`FullMesh::MAX_NODES`] nodes, every pair
+//!   directly linked. The four network ports become plain link indices:
+//!   port *k* of node *a* reaches the *k*-th other node in id order, so
+//!   the entry port at the peer depends on both endpoints rather than
+//!   being the geometric opposite.
+//!
+//! The sharded engine's one-cycle barrier quantum relies on a contract
+//! every implementation must honour: [`Topology::link_latency`] must be
+//! at least one core cycle on every link (see DESIGN.md "Topology
+//! axis").
 
 use arbitration::ports::{InputPort, OutputPort};
+use simcore::Tick;
+use std::fmt;
+
+/// Where a link lands: the peer node and the input port through which
+/// traffic enters it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkTarget {
+    /// The node at the far end of the link.
+    pub peer: u16,
+    /// The peer's input port fed by this link.
+    pub entry: InputPort,
+}
+
+/// A network shape: node enumeration, links with latency, and the
+/// inverse feeder relation. Everything the simulation engines need to
+/// move packets and credits between routers.
+pub trait Topology {
+    /// Number of nodes.
+    fn nodes(&self) -> u16;
+
+    /// The link leaving `node` through network output `port`, or `None`
+    /// when that port is unwired (a non-network port, a mesh edge, or a
+    /// full-mesh port beyond the peer count).
+    fn link(&self, node: u16, port: OutputPort) -> Option<LinkTarget>;
+
+    /// The upstream `(peer, peer's output port)` that feeds `input` at
+    /// `node` — the inverse of [`Topology::link`]: credits for `input`
+    /// return to that peer through that output port.
+    fn feeder(&self, node: u16, input: InputPort) -> Option<(u16, OutputPort)>;
+
+    /// Minimal hop distance between two nodes.
+    fn distance(&self, a: u16, b: u16) -> u16;
+
+    /// Wire latency of the link leaving `node` through `port`, given the
+    /// router timing's base link latency. The default is uniform wire
+    /// latency; implementations may stretch individual links but must
+    /// never return less than one core cycle — the sharded engine's
+    /// one-cycle barrier quantum depends on it (DESIGN.md "Topology
+    /// axis").
+    fn link_latency(&self, node: u16, port: OutputPort, base: Tick) -> Tick {
+        let _ = (node, port);
+        base
+    }
+
+    /// Average minimal hop distance over all (src, dest) pairs with
+    /// uniform random destinations (used to sanity-check zero-load
+    /// latencies against §4.3).
+    fn mean_uniform_distance(&self) -> f64 {
+        let n = self.nodes() as u32;
+        let mut total = 0u64;
+        for a in 0..self.nodes() {
+            for b in 0..self.nodes() {
+                total += self.distance(a, b) as u64;
+            }
+        }
+        total as f64 / (n as f64 * n as f64)
+    }
+}
+
+/// The entry input port of a grid link: always the geometric opposite of
+/// the output direction.
+fn grid_entry_port(dir: OutputPort) -> InputPort {
+    match dir {
+        OutputPort::North => InputPort::South,
+        OutputPort::South => InputPort::North,
+        OutputPort::East => InputPort::West,
+        OutputPort::West => InputPort::East,
+        _ => panic!("{dir} is not a grid direction"),
+    }
+}
+
+/// The grid output port that feeds an input port (inverse of
+/// [`grid_entry_port`]).
+fn grid_feeder_port(input: InputPort) -> OutputPort {
+    match input {
+        InputPort::North => OutputPort::South,
+        InputPort::South => OutputPort::North,
+        InputPort::East => OutputPort::West,
+        InputPort::West => OutputPort::East,
+        _ => panic!("{input} is not a grid direction"),
+    }
+}
+
+/// The grid direction an input port faces (which neighbour it receives
+/// from).
+fn grid_input_direction(input: InputPort) -> OutputPort {
+    match input {
+        InputPort::North => OutputPort::North,
+        InputPort::South => OutputPort::South,
+        InputPort::East => OutputPort::East,
+        InputPort::West => OutputPort::West,
+        _ => panic!("{input} is not a grid direction"),
+    }
+}
 
 /// A `width × height` torus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,37 +227,19 @@ impl Torus {
     /// The input port through which traffic sent via `dir` enters the
     /// neighbour (always the opposite side).
     pub fn entry_port(dir: OutputPort) -> InputPort {
-        match dir {
-            OutputPort::North => InputPort::South,
-            OutputPort::South => InputPort::North,
-            OutputPort::East => InputPort::West,
-            OutputPort::West => InputPort::East,
-            _ => panic!("{dir} is not a torus direction"),
-        }
+        grid_entry_port(dir)
     }
 
     /// The output port that feeds an input port (inverse of
     /// [`Torus::entry_port`]): credits for input `p` return to the
     /// neighbour in `p`'s direction, through this port.
     pub fn feeder_port(input: InputPort) -> OutputPort {
-        match input {
-            InputPort::North => OutputPort::South,
-            InputPort::South => OutputPort::North,
-            InputPort::East => OutputPort::West,
-            InputPort::West => OutputPort::East,
-            _ => panic!("{input} is not a torus direction"),
-        }
+        grid_feeder_port(input)
     }
 
     /// The torus direction of an input port (which neighbour it faces).
     pub fn input_direction(input: InputPort) -> OutputPort {
-        match input {
-            InputPort::North => OutputPort::North,
-            InputPort::South => OutputPort::South,
-            InputPort::East => OutputPort::East,
-            InputPort::West => OutputPort::West,
-            _ => panic!("{input} is not a torus direction"),
-        }
+        grid_input_direction(input)
     }
 
     /// Minimal hop distance between two nodes.
@@ -151,17 +252,37 @@ impl Torus {
     }
 
     /// Average minimal hop distance over all (src, dest) pairs with
-    /// uniform random destinations (used to sanity-check zero-load
-    /// latencies against §4.3).
+    /// uniform random destinations.
     pub fn mean_uniform_distance(&self) -> f64 {
-        let n = self.nodes() as u32;
-        let mut total = 0u64;
-        for a in 0..self.nodes() {
-            for b in 0..self.nodes() {
-                total += self.distance(a, b) as u64;
-            }
+        Topology::mean_uniform_distance(self)
+    }
+}
+
+impl Topology for Torus {
+    fn nodes(&self) -> u16 {
+        Torus::nodes(self)
+    }
+
+    fn link(&self, node: u16, port: OutputPort) -> Option<LinkTarget> {
+        if !port.is_network() {
+            return None;
         }
-        total as f64 / (n as f64 * n as f64)
+        Some(LinkTarget {
+            peer: self.neighbor(node, port),
+            entry: Torus::entry_port(port),
+        })
+    }
+
+    fn feeder(&self, node: u16, input: InputPort) -> Option<(u16, OutputPort)> {
+        if !input.is_network() {
+            return None;
+        }
+        let peer = self.neighbor(node, Torus::input_direction(input));
+        Some((peer, Torus::feeder_port(input)))
+    }
+
+    fn distance(&self, a: u16, b: u16) -> u16 {
+        Torus::distance(self, a, b)
     }
 }
 
@@ -170,28 +291,339 @@ fn ring_distance(a: u16, b: u16, extent: u16) -> u16 {
     d.min(extent - d)
 }
 
-/// A partition of a torus's routers into contiguous near-equal shards.
+/// A `width × height` 2D mesh: the torus grid without wrap links. Edge
+/// nodes have 2 or 3 neighbours, corners 2; the outward-facing ports are
+/// simply unwired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are at least 2 and the node count
+    /// fits `u16`.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width >= 2 && height >= 2, "mesh needs at least 2x2 nodes");
+        assert!(
+            (width as u32) * (height as u32) <= u16::MAX as u32,
+            "too many nodes"
+        );
+        Mesh { width, height }
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.width * self.height
+    }
+
+    /// Node id of `(x, y)` (row-major, like [`Torus::node`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn node(&self, x: u16, y: u16) -> u16 {
+        assert!(x < self.width && y < self.height, "coordinate out of range");
+        y * self.width + x
+    }
+
+    /// Coordinates of a node id.
+    pub fn coords(&self, node: u16) -> (u16, u16) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// The neighbour through `dir`, or `None` at the grid edge.
+    pub fn neighbor(&self, node: u16, dir: OutputPort) -> Option<u16> {
+        let (x, y) = self.coords(node);
+        let (nx, ny) = match dir {
+            OutputPort::North => (x, y.checked_sub(1)?),
+            OutputPort::South => (x, y + 1),
+            OutputPort::East => (x + 1, y),
+            OutputPort::West => (x.checked_sub(1)?, y),
+            _ => return None,
+        };
+        if nx < self.width && ny < self.height {
+            Some(self.node(nx, ny))
+        } else {
+            None
+        }
+    }
+}
+
+impl Topology for Mesh {
+    fn nodes(&self) -> u16 {
+        Mesh::nodes(self)
+    }
+
+    fn link(&self, node: u16, port: OutputPort) -> Option<LinkTarget> {
+        if !port.is_network() {
+            return None;
+        }
+        self.neighbor(node, port).map(|peer| LinkTarget {
+            peer,
+            entry: grid_entry_port(port),
+        })
+    }
+
+    fn feeder(&self, node: u16, input: InputPort) -> Option<(u16, OutputPort)> {
+        if !input.is_network() {
+            return None;
+        }
+        let peer = self.neighbor(node, grid_input_direction(input))?;
+        Some((peer, grid_feeder_port(input)))
+    }
+
+    fn distance(&self, a: u16, b: u16) -> u16 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+/// A full mesh over up to [`FullMesh::MAX_NODES`] nodes: every pair of
+/// nodes shares a direct link.
+///
+/// The router's four network ports become plain link indices: port *k*
+/// of node *a* reaches the *k*-th other node in ascending id order
+/// (skipping *a* itself). The entry port at the peer is *a*'s index in
+/// the *peer's* neighbour list — unlike the grid shapes, a link does
+/// *not* connect an output to the geometrically opposite input, which is
+/// why the engines route packets and credits through
+/// [`Topology::link`]/[`Topology::feeder`] rather than a static
+/// direction map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FullMesh {
+    nodes: u16,
+}
+
+impl FullMesh {
+    /// Largest node count a 4-network-port router can fully connect.
+    pub const MAX_NODES: u16 = 4 + 1;
+
+    /// Creates a full mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= nodes <= 5`: each node needs `nodes - 1`
+    /// network ports and the 21364 router has four.
+    pub fn new(nodes: u16) -> Self {
+        assert!(
+            (2..=Self::MAX_NODES).contains(&nodes),
+            "a full mesh over the 4-port router supports 2..=5 nodes (got {nodes})"
+        );
+        FullMesh { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The peer reached through link index `k` of `node`: the `k`-th
+    /// other node in ascending id order.
+    fn peer_of(&self, node: u16, k: u16) -> u16 {
+        if k < node {
+            k
+        } else {
+            k + 1
+        }
+    }
+
+    /// The output port of `from` on its direct link toward `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from == to` or either node is out of range.
+    pub fn port_toward(&self, from: u16, to: u16) -> OutputPort {
+        assert!(from < self.nodes && to < self.nodes, "node out of range");
+        assert_ne!(from, to, "no self-link in a full mesh");
+        let k = if to < from { to } else { to - 1 };
+        OutputPort::from_index(k as usize)
+    }
+}
+
+impl Topology for FullMesh {
+    fn nodes(&self) -> u16 {
+        FullMesh::nodes(self)
+    }
+
+    fn link(&self, node: u16, port: OutputPort) -> Option<LinkTarget> {
+        if !port.is_network() {
+            return None;
+        }
+        let k = port.index() as u16;
+        if k + 1 >= self.nodes {
+            return None;
+        }
+        let peer = self.peer_of(node, k);
+        let entry = if node < peer { node } else { node - 1 };
+        Some(LinkTarget {
+            peer,
+            entry: InputPort::from_index(entry as usize),
+        })
+    }
+
+    fn feeder(&self, node: u16, input: InputPort) -> Option<(u16, OutputPort)> {
+        if !input.is_network() {
+            return None;
+        }
+        let k = input.index() as u16;
+        if k + 1 >= self.nodes {
+            return None;
+        }
+        let peer = self.peer_of(node, k);
+        Some((peer, self.port_toward(peer, node)))
+    }
+
+    fn distance(&self, a: u16, b: u16) -> u16 {
+        assert!(a < self.nodes && b < self.nodes, "node out of range");
+        u16::from(a != b)
+    }
+}
+
+/// The concrete shapes the simulator knows, behind one `Copy` value so
+/// configs stay plain data and both engines stay monomorphic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetTopology {
+    /// 2D torus with wraparound (the paper's network).
+    Torus(Torus),
+    /// 2D mesh (no wrap links).
+    Mesh(Mesh),
+    /// Small-radix full mesh.
+    FullMesh(FullMesh),
+}
+
+impl NetTopology {
+    /// Grid extents when the shape is a grid (torus or mesh), `None` for
+    /// the full mesh. Both grids number nodes row-major, so
+    /// `node = y * width + x` holds whenever this returns `Some`.
+    pub fn grid(&self) -> Option<(u16, u16)> {
+        match self {
+            NetTopology::Torus(t) => Some((t.width(), t.height())),
+            NetTopology::Mesh(m) => Some((m.width(), m.height())),
+            NetTopology::FullMesh(_) => None,
+        }
+    }
+
+    /// Number of nodes (inherent convenience; also via [`Topology`]).
+    pub fn nodes(&self) -> u16 {
+        match self {
+            NetTopology::Torus(t) => t.nodes(),
+            NetTopology::Mesh(m) => m.nodes(),
+            NetTopology::FullMesh(f) => f.nodes(),
+        }
+    }
+
+    /// A compact shape label: `4x4` (torus, the historical spelling kept
+    /// stable for golden digests), `mesh4x4`, `fullmesh5`.
+    pub fn label(&self) -> String {
+        match self {
+            NetTopology::Torus(t) => format!("{}x{}", t.width(), t.height()),
+            NetTopology::Mesh(m) => format!("mesh{}x{}", m.width(), m.height()),
+            NetTopology::FullMesh(f) => format!("fullmesh{}", f.nodes()),
+        }
+    }
+}
+
+impl fmt::Display for NetTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl From<Torus> for NetTopology {
+    fn from(t: Torus) -> Self {
+        NetTopology::Torus(t)
+    }
+}
+
+impl From<Mesh> for NetTopology {
+    fn from(m: Mesh) -> Self {
+        NetTopology::Mesh(m)
+    }
+}
+
+impl From<FullMesh> for NetTopology {
+    fn from(f: FullMesh) -> Self {
+        NetTopology::FullMesh(f)
+    }
+}
+
+impl Topology for NetTopology {
+    fn nodes(&self) -> u16 {
+        NetTopology::nodes(self)
+    }
+
+    fn link(&self, node: u16, port: OutputPort) -> Option<LinkTarget> {
+        match self {
+            NetTopology::Torus(t) => t.link(node, port),
+            NetTopology::Mesh(m) => m.link(node, port),
+            NetTopology::FullMesh(f) => f.link(node, port),
+        }
+    }
+
+    fn feeder(&self, node: u16, input: InputPort) -> Option<(u16, OutputPort)> {
+        match self {
+            NetTopology::Torus(t) => t.feeder(node, input),
+            NetTopology::Mesh(m) => m.feeder(node, input),
+            NetTopology::FullMesh(f) => f.feeder(node, input),
+        }
+    }
+
+    fn distance(&self, a: u16, b: u16) -> u16 {
+        match self {
+            NetTopology::Torus(t) => Topology::distance(t, a, b),
+            NetTopology::Mesh(m) => Topology::distance(m, a, b),
+            NetTopology::FullMesh(f) => Topology::distance(f, a, b),
+        }
+    }
+
+    fn link_latency(&self, node: u16, port: OutputPort, base: Tick) -> Tick {
+        match self {
+            NetTopology::Torus(t) => t.link_latency(node, port, base),
+            NetTopology::Mesh(m) => m.link_latency(node, port, base),
+            NetTopology::FullMesh(f) => f.link_latency(node, port, base),
+        }
+    }
+}
+
+/// A partition of a topology's routers into contiguous near-equal shards.
 ///
 /// The sharded engine assigns each worker thread one shard. Shards are
-/// contiguous node-id ranges (row-major order, so a shard is a band of
-/// rows plus partial edge rows): contiguity is what lets the engine apply
-/// deferred cross-shard events in ascending-source order by simply
-/// visiting shards in index order. Sizes differ by at most one node, with
-/// lower-indexed shards taking the remainder.
+/// contiguous node-id ranges (on the grids, row-major order, so a shard
+/// is a band of rows plus partial edge rows): contiguity is what lets
+/// the engine apply deferred cross-shard events in ascending-source
+/// order by simply visiting shards in index order. Sizes differ by at
+/// most one node, with lower-indexed shards taking the remainder.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardMap {
     /// `bounds[s]..bounds[s + 1]` is shard `s`'s node range;
-    /// `bounds[0] == 0` and `*bounds.last() == torus.nodes()`.
+    /// `bounds[0] == 0` and `*bounds.last()` is the node count.
     bounds: Vec<u16>,
 }
 
 impl ShardMap {
-    /// Partitions `torus` into `shards` contiguous node ranges. The
+    /// Partitions `topo` into `shards` contiguous node ranges. The
     /// request is clamped to `[1, nodes]` — asking for more shards than
     /// routers yields one single-node shard per router, and `0` is
     /// treated as 1 — so every shard is non-empty.
-    pub fn new(torus: &Torus, shards: usize) -> Self {
-        let nodes = torus.nodes() as usize;
+    pub fn new(topo: &impl Topology, shards: usize) -> Self {
+        let nodes = topo.nodes() as usize;
         let shards = shards.clamp(1, nodes);
         let base = nodes / shards;
         let extra = nodes % shards;
@@ -223,7 +655,7 @@ impl ShardMap {
     ///
     /// # Panics
     ///
-    /// Panics when `node` is outside the partitioned torus.
+    /// Panics when `node` is outside the partitioned topology.
     pub fn shard_of(&self, node: u16) -> usize {
         assert!(
             node < *self.bounds.last().expect("bounds never empty"),
@@ -232,20 +664,21 @@ impl ShardMap {
         self.bounds.partition_point(|&b| b <= node) - 1
     }
 
-    /// Every ordered pair `(a, b)` where `a` and `b` are distinct torus
-    /// neighbours living in different shards — the links across which the
-    /// sharded engine must exchange packets and credits. Each undirected
-    /// cross-shard link appears exactly twice, once per direction, so the
-    /// relation is symmetric by construction checks (and deduplicated:
-    /// on a 2-extent ring both directions reach the same neighbour).
-    pub fn cross_shard_links(&self, torus: &Torus) -> Vec<(u16, u16)> {
-        use arbitration::ports::OutputPort::{East, North, South, West};
+    /// Every ordered pair `(a, b)` where `a` and `b` are distinct linked
+    /// neighbours living in different shards — the links across which
+    /// the sharded engine must exchange packets and credits. Each
+    /// undirected cross-shard link appears exactly twice, once per
+    /// direction, so the relation is symmetric by construction checks
+    /// (and deduplicated: on a 2-extent torus ring both directions reach
+    /// the same neighbour).
+    pub fn cross_shard_links(&self, topo: &impl Topology) -> Vec<(u16, u16)> {
         let mut links = Vec::new();
-        for node in 0..torus.nodes() {
-            for dir in [North, South, East, West] {
-                let peer = torus.neighbor(node, dir);
-                if self.shard_of(node) != self.shard_of(peer) {
-                    links.push((node, peer));
+        for node in 0..topo.nodes() {
+            for dir in &OutputPort::ALL[..4] {
+                if let Some(l) = topo.link(node, *dir) {
+                    if self.shard_of(node) != self.shard_of(l.peer) {
+                        links.push((node, l.peer));
+                    }
                 }
             }
         }
@@ -334,6 +767,132 @@ mod tests {
     #[should_panic(expected = "at least 2x2")]
     fn degenerate_torus_rejected() {
         let _ = Torus::new(1, 8);
+    }
+
+    /// The generic link/feeder relations must be mutual inverses on every
+    /// shape: following a link and then asking the destination who feeds
+    /// the entry port names the original `(node, port)`.
+    fn assert_link_feeder_inverse(topo: &impl Topology) {
+        for node in 0..topo.nodes() {
+            for port in &OutputPort::ALL[..4] {
+                if let Some(l) = topo.link(node, *port) {
+                    assert_eq!(
+                        topo.feeder(l.peer, l.entry),
+                        Some((node, *port)),
+                        "feeder inverts link at node {node} port {port}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_link_feeder_inverse() {
+        assert_link_feeder_inverse(&Torus::net_4x4());
+        assert_link_feeder_inverse(&Torus::new(2, 3));
+    }
+
+    #[test]
+    fn mesh_edges_are_unwired() {
+        let m = Mesh::new(4, 4);
+        // Corner (0,0): no North, no West.
+        assert_eq!(m.link(0, OutputPort::North), None);
+        assert_eq!(m.link(0, OutputPort::West), None);
+        assert_eq!(
+            m.link(0, OutputPort::East).map(|l| l.peer),
+            Some(1),
+            "interior links survive"
+        );
+        assert_eq!(m.link(0, OutputPort::South).map(|l| l.peer), Some(4));
+        // Interior node (1,1) = 5 keeps all four.
+        for port in &OutputPort::ALL[..4] {
+            assert!(m.link(5, *port).is_some());
+        }
+        assert_link_feeder_inverse(&m);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(Topology::distance(&m, 0, 3), 3, "no wraparound shortcut");
+        assert_eq!(Topology::distance(&m, 0, 15), 6);
+        assert_eq!(Topology::distance(&m, 5, 5), 0);
+    }
+
+    #[test]
+    fn full_mesh_links_every_pair_exactly_once() {
+        for n in 2..=FullMesh::MAX_NODES {
+            let f = FullMesh::new(n);
+            for a in 0..n {
+                let mut peers: Vec<u16> = Vec::new();
+                for port in &OutputPort::ALL[..4] {
+                    if let Some(l) = f.link(a, *port) {
+                        peers.push(l.peer);
+                    }
+                }
+                let mut expect: Vec<u16> = (0..n).filter(|&b| b != a).collect();
+                expect.sort_unstable();
+                peers.sort_unstable();
+                assert_eq!(peers, expect, "node {a} of {n}");
+            }
+            assert_link_feeder_inverse(&f);
+        }
+    }
+
+    #[test]
+    fn full_mesh_entry_port_is_not_the_opposite_direction() {
+        // The property that forces the engines through the trait: on the
+        // 5-node full mesh, node 0's port North (link 0) reaches node 1,
+        // entering through node 1's input *North* (index of 0 in 1's
+        // neighbour list) — not the grid opposite (South).
+        let f = FullMesh::new(5);
+        let l = f.link(0, OutputPort::North).unwrap();
+        assert_eq!(l.peer, 1);
+        assert_eq!(l.entry, InputPort::North);
+        // And 4's link toward 0 leaves through port North but enters 0
+        // through input West (4 is the 3rd other node of 0).
+        assert_eq!(f.port_toward(4, 0), OutputPort::North);
+        let l = f.link(4, OutputPort::North).unwrap();
+        assert_eq!(l.peer, 0);
+        assert_eq!(l.entry, InputPort::West);
+    }
+
+    #[test]
+    fn full_mesh_distance_and_mean() {
+        let f = FullMesh::new(5);
+        assert_eq!(Topology::distance(&f, 0, 0), 0);
+        assert_eq!(Topology::distance(&f, 0, 4), 1);
+        // Mean over all pairs incl. self: 20/25.
+        assert!((Topology::mean_uniform_distance(&f) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=5 nodes")]
+    fn oversized_full_mesh_rejected() {
+        let _ = FullMesh::new(6);
+    }
+
+    #[test]
+    fn net_topology_labels() {
+        assert_eq!(NetTopology::from(Torus::net_4x4()).label(), "4x4");
+        assert_eq!(NetTopology::from(Mesh::new(8, 8)).label(), "mesh8x8");
+        assert_eq!(NetTopology::from(FullMesh::new(5)).label(), "fullmesh5");
+        assert_eq!(NetTopology::from(Mesh::new(4, 4)).grid(), Some((4, 4)));
+        assert_eq!(NetTopology::from(FullMesh::new(3)).grid(), None);
+    }
+
+    #[test]
+    fn default_link_latency_is_the_base() {
+        let base = Tick::new(90);
+        for topo in [
+            NetTopology::from(Torus::net_4x4()),
+            NetTopology::from(Mesh::new(4, 4)),
+            NetTopology::from(FullMesh::new(4)),
+        ] {
+            for port in &OutputPort::ALL[..4] {
+                assert_eq!(topo.link_latency(0, *port, base), base);
+            }
+        }
     }
 
     #[test]

@@ -131,7 +131,9 @@ impl fmt::Display for ArbAlgorithm {
     }
 }
 
-/// How an input arbiter picks between two adaptive candidates.
+/// How an input arbiter picks among a packet's adaptive candidates
+/// (two on the grid topologies' minimal rectangle, up to four on the
+/// full mesh).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum AdaptiveChoice {
     /// Prefer the candidate whose downstream virtual channel holds more

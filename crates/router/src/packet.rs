@@ -113,7 +113,7 @@ pub struct Packet {
     pub class: CoherenceClass,
     /// Packet length in flits.
     pub len_flits: u8,
-    /// Source node (flat index in the torus).
+    /// Source node (flat index in the network).
     pub src: u16,
     /// Destination node.
     pub dest: u16,

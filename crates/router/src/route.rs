@@ -1,16 +1,23 @@
 //! Per-hop routing state handed to the router by the network layer.
 //!
-//! The 21364 routes adaptively within the *minimum rectangle* (§2.1): at
-//! any router a packet has at most two candidate productive directions.
-//! Blocked packets fall back to the deadlock-free channels VC0/VC1, which
-//! follow strict dimension-order routing with a dateline VC switch — the
-//! Duato-style escape construction that makes the adaptive network
-//! deadlock-free. Packets may return from the escape channels to the
-//! adaptive channel at a later router (virtual cut-through permits this).
+//! On the 21364's torus, packets route adaptively within the *minimum
+//! rectangle* (§2.1) — at most two candidate productive directions —
+//! and blocked packets fall back to the deadlock-free channels VC0/VC1,
+//! which follow strict dimension-order routing with a dateline VC
+//! switch: the Duato-style escape construction that makes the adaptive
+//! network deadlock-free. Packets may return from the escape channels to
+//! the adaptive channel at a later router (virtual cut-through permits
+//! this).
 //!
-//! The router crate is topology-agnostic, so it receives this pre-computed
-//! [`RouteInfo`] with each arriving packet; the `network` crate derives it
-//! from torus coordinates.
+//! The router crate is topology-agnostic: it receives this pre-computed
+//! [`RouteInfo`] with each arriving packet from the `network` crate's
+//! `Routing` implementations (`network::routing`), one per topology.
+//! The adaptive mask may name *any* subset of the four network ports —
+//! the torus scheme never sets more than two bits, but the full-mesh
+//! scheme's misroute candidates can fill all four — and the escape
+//! channel discipline is likewise the routing function's to choose (the
+//! torus switches VC0→VC1 at the dateline; the mesh and full-mesh
+//! schemes each ride a single escape VC).
 
 use arbitration::ports::OutputPort;
 
@@ -33,14 +40,15 @@ pub enum RouteInfo {
         /// Mask of acceptable delivery output ports.
         outputs: u8,
     },
-    /// The packet continues through the torus.
+    /// The packet continues through the network.
     Transit {
-        /// Mask of productive adaptive directions (1 or 2 bits among the
-        /// four torus outputs) — the minimal-rectangle choice set.
+        /// Mask of productive adaptive candidates among the four network
+        /// output ports — the minimal rectangle on the grids (≤ 2 bits),
+        /// direct-plus-misroute links on the full mesh (up to 4 bits).
         adaptive: u8,
-        /// The dimension-order escape direction.
+        /// The deadlock-free escape output port.
         escape: OutputPort,
-        /// The escape channel the dateline rule prescribes for that hop.
+        /// The escape channel the scheme prescribes for that hop.
         escape_vc: EscapeVc,
     },
 }
@@ -55,7 +63,7 @@ impl RouteInfo {
         assert!(outputs != 0, "local route needs at least one sink port");
         assert!(
             u32::from(outputs) & OutputPort::NETWORK_MASK == 0,
-            "local delivery cannot use torus ports"
+            "local delivery cannot use network ports"
         );
         RouteInfo::Local { outputs }
     }
@@ -64,19 +72,16 @@ impl RouteInfo {
     ///
     /// # Panics
     ///
-    /// Panics if `adaptive` has more than two bits or any non-torus bit,
-    /// or if `escape` is not a torus port. An empty adaptive mask is legal
-    /// (I/O-class packets route exclusively on the escape channels).
+    /// Panics if `adaptive` has any non-network bit or if `escape` is
+    /// not a network port. An empty adaptive mask is legal (I/O-class
+    /// packets route exclusively on the escape channels); so is a full
+    /// four-bit mask (full-mesh misrouting).
     pub fn transit(adaptive: u8, escape: OutputPort, escape_vc: EscapeVc) -> Self {
         assert!(
             u32::from(adaptive) & !OutputPort::NETWORK_MASK == 0,
-            "adaptive candidates must be torus ports"
+            "adaptive candidates must be network ports"
         );
-        assert!(
-            adaptive.count_ones() <= 2,
-            "at most two adaptive candidates in the minimal rectangle"
-        );
-        assert!(escape.is_network(), "escape must be a torus port");
+        assert!(escape.is_network(), "escape must be a network port");
         RouteInfo::Transit {
             adaptive,
             escape,
@@ -142,19 +147,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most two adaptive candidates")]
-    fn three_candidates_rejected() {
-        let _ = RouteInfo::transit(0b0111, OutputPort::North, EscapeVc::Vc0);
+    fn wide_adaptive_masks_are_legal() {
+        // Full-mesh misrouting can nominate every network port at once.
+        let r = RouteInfo::transit(0b1111, OutputPort::North, EscapeVc::Vc0);
+        assert_eq!(r.adaptive_mask(), 0b1111);
+        assert_eq!(r.all_outputs_mask(), 0b1111);
     }
 
     #[test]
-    #[should_panic(expected = "torus ports")]
+    #[should_panic(expected = "network ports")]
     fn local_sink_in_adaptive_rejected() {
         let _ = RouteInfo::transit(0b1_0000, OutputPort::North, EscapeVc::Vc0);
     }
 
     #[test]
-    #[should_panic(expected = "local delivery cannot use torus ports")]
+    #[should_panic(expected = "local delivery cannot use network ports")]
     fn torus_bit_in_local_rejected() {
         let _ = RouteInfo::local(0b0000_0001);
     }

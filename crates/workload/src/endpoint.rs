@@ -21,7 +21,7 @@ use crate::mshr::MshrTable;
 use crate::pattern::TrafficPattern;
 use crate::txn::{CoherenceParams, TxnTag};
 use arbitration::ports::InputPort;
-use network::{Endpoint, InjectionOutcome, NodeCtx, Torus};
+use network::{Endpoint, InjectionOutcome, NetTopology, NodeCtx};
 use router::packet::PacketId;
 use router::{CoherenceClass, Packet};
 use simcore::{SimRng, Tick};
@@ -218,7 +218,7 @@ impl Ord for ScheduledSend {
 #[derive(Clone, Debug)]
 pub struct CoherenceEndpoint {
     node: u16,
-    torus: Torus,
+    topology: NetTopology,
     cfg: WorkloadConfig,
     rng: SimRng,
     mshrs: MshrTable,
@@ -250,7 +250,7 @@ pub struct CoherenceEndpoint {
 
 impl CoherenceEndpoint {
     /// Creates the agent for `node`.
-    pub fn new(node: u16, torus: Torus, cfg: WorkloadConfig, rng: SimRng) -> Self {
+    pub fn new(node: u16, topology: NetTopology, cfg: WorkloadConfig, rng: SimRng) -> Self {
         let mshrs = MshrTable::new(cfg.mshrs);
         let burst_peak_rate = match cfg.burst {
             Some(b) => b.peak_rate(cfg.injection_rate),
@@ -259,7 +259,7 @@ impl CoherenceEndpoint {
         let burst_rng = rng.fork(BURST_STREAM);
         CoherenceEndpoint {
             node,
-            torus,
+            topology,
             cfg,
             rng,
             mshrs,
@@ -294,13 +294,16 @@ impl CoherenceEndpoint {
 
     /// Creates and enqueues a new request transaction.
     fn start_transaction(&mut self, now: Tick) {
-        let home = self.cfg.pattern.dest(&self.torus, self.node, &mut self.rng);
+        let home = self
+            .cfg
+            .pattern
+            .dest(&self.topology, self.node, &mut self.rng);
         let three_hop = self.rng.chance(self.cfg.coherence.three_hop_fraction);
         // "The second dimension selects the destination of the requests
         // and forwards": the forward target is drawn from the same
         // pattern, applied at the home node.
         let owner = if three_hop {
-            self.cfg.pattern.dest(&self.torus, home, &mut self.rng)
+            self.cfg.pattern.dest(&self.topology, home, &mut self.rng)
         } else {
             0
         };
@@ -454,12 +457,12 @@ impl Endpoint for CoherenceEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use network::{NetworkConfig, NetworkSim};
+    use network::{NetworkConfig, NetworkSim, Torus};
     use router::{ArbAlgorithm, RouterConfig};
 
     fn net(torus: Torus, algo: ArbAlgorithm, cycles: u64) -> NetworkConfig {
         NetworkConfig {
-            torus,
+            topology: torus.into(),
             router: RouterConfig::alpha_21364(algo),
             seed: 42,
             warmup_cycles: cycles / 5,

@@ -33,8 +33,8 @@ use simcore::SimRng;
 /// Builds one coherence endpoint per node of `net`.
 pub fn build_endpoints(net: &NetworkConfig, wl: &WorkloadConfig) -> Vec<CoherenceEndpoint> {
     let root = SimRng::from_seed(net.seed ^ 0x5eed_f00d);
-    (0..net.torus.nodes())
-        .map(|node| CoherenceEndpoint::new(node, net.torus, wl.clone(), root.fork(node as u64)))
+    (0..net.topology.nodes())
+        .map(|node| CoherenceEndpoint::new(node, net.topology, wl.clone(), root.fork(node as u64)))
         .collect()
 }
 
@@ -45,7 +45,7 @@ pub fn run_coherence_sim(
     wl: WorkloadConfig,
 ) -> (network::NetworkReport, EndpointStats) {
     let endpoints = build_endpoints(&net, &wl);
-    let nodes = net.torus.nodes();
+    let nodes = net.topology.nodes();
     let mut sim = NetworkSim::new(net, endpoints);
     let report = sim.run();
     let mut stats = EndpointStats::default();
@@ -64,7 +64,7 @@ pub fn run_coherence_sim_sharded(
     workers: usize,
 ) -> (network::NetworkReport, EndpointStats) {
     let endpoints = build_endpoints(&net, &wl);
-    let nodes = net.torus.nodes();
+    let nodes = net.topology.nodes();
     let mut sim = ShardedNetworkSim::new(net, endpoints, workers);
     let report = sim.run();
     let mut stats = EndpointStats::default();

@@ -9,8 +9,13 @@
 //! paper accordingly evaluates the 12×12 network with uniform traffic
 //! only. Beyond the paper's three patterns, [`TrafficPattern::Transpose`]
 //! and [`TrafficPattern::Tornado`] are provided for extension studies.
+//!
+//! Patterns are checked against the [`NetTopology`] they will run on:
+//! the index-permutation patterns need only a power-of-two node count
+//! (any shape), while the coordinate patterns (transpose, tornado) need
+//! a grid and are undefined on the full mesh.
 
-use network::Torus;
+use network::NetTopology;
 use simcore::SimRng;
 use std::fmt;
 
@@ -23,9 +28,12 @@ pub enum TrafficPattern {
     BitReversal,
     /// Perfect-shuffle (rotate-left-by-one) of the node index.
     PerfectShuffle,
-    /// Matrix transpose: (x, y) → (y, x) (extension; needs a square torus).
+    /// Matrix transpose: (x, y) → (y, x) (extension; needs a square
+    /// grid — torus or mesh).
     Transpose,
-    /// Tornado: half-way around the ring in x (extension).
+    /// Tornado: half-way around the ring in x (extension; needs a grid).
+    /// On a mesh the destination still wraps modulo the width, making it
+    /// an adversarial long-haul pattern rather than a ring rotation.
     Tornado,
     /// Hotspot (extension): a fraction of the traffic converges on a
     /// small set of hot nodes; the rest is uniform. The canonical
@@ -99,25 +107,31 @@ impl TrafficPattern {
         TrafficPattern::PerfectShuffle,
     ];
 
-    /// True when the pattern is usable on the given torus.
+    /// True when the pattern is usable on the given topology.
     ///
-    /// Tornado is defined on every torus (see [`tornado_shift`]) but
-    /// degenerates to pure self-traffic when the x-ring is too short for
-    /// a nonzero shift, so widths below 3 are reported as unsupported —
-    /// a sweep config selecting tornado on such a torus should be
-    /// rejected up front rather than silently measuring local delivery.
-    pub fn supports(&self, torus: &Torus) -> bool {
+    /// The coordinate patterns (transpose, tornado) need a grid shape
+    /// and are unsupported on the full mesh. Tornado is defined on every
+    /// grid (see [`tornado_shift`]) but degenerates to pure self-traffic
+    /// when the x-extent is too short for a nonzero shift, so widths
+    /// below 3 are reported as unsupported — a sweep config selecting
+    /// tornado on such a shape should be rejected up front rather than
+    /// silently measuring local delivery.
+    pub fn supports(&self, topo: &NetTopology) -> bool {
         match self {
             TrafficPattern::Uniform => true,
             TrafficPattern::BitReversal | TrafficPattern::PerfectShuffle => {
-                torus.nodes().is_power_of_two()
+                topo.nodes().is_power_of_two()
             }
-            TrafficPattern::Transpose => torus.width() == torus.height(),
-            TrafficPattern::Tornado => tornado_shift(torus.width()) > 0,
+            TrafficPattern::Transpose => {
+                matches!(topo.grid(), Some((w, h)) if w == h)
+            }
+            TrafficPattern::Tornado => {
+                matches!(topo.grid(), Some((w, _)) if tornado_shift(w) > 0)
+            }
             TrafficPattern::Hotspot { targets, fraction } => {
                 fraction.is_finite()
                     && (0.0..=1.0).contains(fraction)
-                    && targets.as_slice().iter().all(|&t| t < torus.nodes())
+                    && targets.as_slice().iter().all(|&t| t < topo.nodes())
             }
         }
     }
@@ -129,16 +143,14 @@ impl TrafficPattern {
     ///
     /// # Panics
     ///
-    /// Panics if the pattern does not support the torus shape
+    /// Panics if the pattern does not support the topology
     /// (see [`TrafficPattern::supports`]).
-    pub fn dest(&self, torus: &Torus, src: u16, rng: &mut SimRng) -> u16 {
+    pub fn dest(&self, topo: &NetTopology, src: u16, rng: &mut SimRng) -> u16 {
         assert!(
-            self.supports(torus),
-            "{self} is undefined on a {}x{} torus",
-            torus.width(),
-            torus.height()
+            self.supports(topo),
+            "{self} is undefined on a {topo} network"
         );
-        let n = torus.nodes();
+        let n = topo.nodes();
         match self {
             TrafficPattern::Uniform => uniform_other(n, src, rng),
             TrafficPattern::BitReversal => {
@@ -157,13 +169,14 @@ impl TrafficPattern {
                 ((src << 1) & (n - 1)) | msb
             }
             TrafficPattern::Transpose => {
-                let (x, y) = torus.coords(src);
-                torus.node(y, x)
+                let (w, _) = topo.grid().expect("supports() guarantees a grid");
+                let (x, y) = (src % w, src / w);
+                x * w + y
             }
             TrafficPattern::Tornado => {
-                let (x, y) = torus.coords(src);
-                let shift = tornado_shift(torus.width());
-                torus.node((x + shift) % torus.width(), y)
+                let (w, _) = topo.grid().expect("supports() guarantees a grid");
+                let (x, y) = (src % w, src / w);
+                y * w + (x + tornado_shift(w)) % w
             }
             TrafficPattern::Hotspot { targets, fraction } => {
                 // Hot draw first, then (only if cold) the target draw —
@@ -200,7 +213,7 @@ fn uniform_other(n: u16, src: u16, rng: &mut SimRng) -> u16 {
     }
 }
 
-/// The tornado x-shift for a torus of width `w`: `(w - 1) / 2`, the
+/// The tornado x-shift for a grid of width `w`: `(w - 1) / 2`, the
 /// largest shift that keeps the minimal route strictly one-directional
 /// (just under half-way around the ring), with no fudge factor.
 ///
@@ -236,14 +249,23 @@ impl fmt::Display for TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use network::{FullMesh, Mesh, Torus};
 
     fn rng() -> SimRng {
         SimRng::from_seed(11)
     }
 
+    fn t4() -> NetTopology {
+        Torus::net_4x4().into()
+    }
+
+    fn t8() -> NetTopology {
+        Torus::net_8x8().into()
+    }
+
     #[test]
     fn uniform_never_targets_self_and_covers_everyone() {
-        let t = Torus::net_4x4();
+        let t = t4();
         let mut r = rng();
         let mut seen = [false; 16];
         for _ in 0..2000 {
@@ -256,7 +278,7 @@ mod tests {
 
     #[test]
     fn uniform_is_roughly_balanced() {
-        let t = Torus::net_4x4();
+        let t = t4();
         let mut r = rng();
         let mut counts = [0usize; 16];
         for _ in 0..15_000 {
@@ -273,7 +295,7 @@ mod tests {
 
     #[test]
     fn bit_reversal_matches_definition() {
-        let t = Torus::net_4x4(); // 16 nodes, 4 bits
+        let t = t4(); // 16 nodes, 4 bits
         let mut r = rng();
         // 0b0001 -> 0b1000, 0b0110 -> 0b0110 (palindrome), 0b0011 -> 0b1100.
         assert_eq!(TrafficPattern::BitReversal.dest(&t, 0b0001, &mut r), 0b1000);
@@ -283,7 +305,7 @@ mod tests {
 
     #[test]
     fn bit_reversal_is_an_involution() {
-        let t = Torus::net_8x8();
+        let t = t8();
         let mut r = rng();
         for src in 0..64 {
             let once = TrafficPattern::BitReversal.dest(&t, src, &mut r);
@@ -294,7 +316,7 @@ mod tests {
 
     #[test]
     fn perfect_shuffle_matches_definition() {
-        let t = Torus::net_4x4();
+        let t = t4();
         let mut r = rng();
         // (a2,a1,a0,a3): 0b1000 -> 0b0001; 0b0001 -> 0b0010.
         assert_eq!(
@@ -313,7 +335,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_a_permutation() {
-        let t = Torus::net_8x8();
+        let t = t8();
         let mut r = rng();
         let mut hit = [false; 64];
         for src in 0..64 {
@@ -325,29 +347,67 @@ mod tests {
 
     #[test]
     fn bit_patterns_require_power_of_two() {
-        let t12 = Torus::net_12x12();
+        let t12 = NetTopology::from(Torus::net_12x12());
         assert!(!TrafficPattern::BitReversal.supports(&t12));
         assert!(!TrafficPattern::PerfectShuffle.supports(&t12));
         assert!(TrafficPattern::Uniform.supports(&t12));
+        // The check is about node count, not shape: a 4-node full mesh
+        // supports the bit permutations, a 5-node one does not.
+        let fm4 = NetTopology::from(FullMesh::new(4));
+        let fm5 = NetTopology::from(FullMesh::new(5));
+        assert!(TrafficPattern::BitReversal.supports(&fm4));
+        assert!(TrafficPattern::PerfectShuffle.supports(&fm4));
+        assert!(!TrafficPattern::BitReversal.supports(&fm5));
+        assert!(!TrafficPattern::PerfectShuffle.supports(&fm5));
     }
 
     #[test]
     #[should_panic(expected = "undefined on a 12x12")]
     fn unsupported_pattern_panics() {
-        let t12 = Torus::net_12x12();
+        let t12 = NetTopology::from(Torus::net_12x12());
         let _ = TrafficPattern::BitReversal.dest(&t12, 0, &mut rng());
     }
 
     #[test]
     fn transpose_and_tornado() {
-        let t = Torus::net_4x4();
+        let torus = Torus::net_4x4();
+        let t = NetTopology::from(torus);
         let mut r = rng();
         assert_eq!(
-            TrafficPattern::Transpose.dest(&t, t.node(1, 2), &mut r),
-            t.node(2, 1)
+            TrafficPattern::Transpose.dest(&t, torus.node(1, 2), &mut r),
+            torus.node(2, 1)
         );
-        let d = TrafficPattern::Tornado.dest(&t, t.node(0, 0), &mut r);
-        assert_eq!(d, t.node(1, 0));
+        let d = TrafficPattern::Tornado.dest(&t, torus.node(0, 0), &mut r);
+        assert_eq!(d, torus.node(1, 0));
+    }
+
+    #[test]
+    fn coordinate_patterns_work_on_the_mesh_grid_too() {
+        let mesh = Mesh::new(4, 4);
+        let t = NetTopology::from(mesh);
+        let mut r = rng();
+        assert!(TrafficPattern::Transpose.supports(&t));
+        assert!(TrafficPattern::Tornado.supports(&t));
+        assert_eq!(
+            TrafficPattern::Transpose.dest(&t, mesh.node(3, 0), &mut r),
+            mesh.node(0, 3)
+        );
+        // Tornado still wraps the coordinate even though the mesh has no
+        // wrap link — the route is just longer.
+        assert_eq!(
+            TrafficPattern::Tornado.dest(&t, mesh.node(3, 1), &mut r),
+            mesh.node(0, 1)
+        );
+    }
+
+    #[test]
+    fn coordinate_patterns_are_undefined_on_the_full_mesh() {
+        let fm = NetTopology::from(FullMesh::new(4));
+        assert!(!TrafficPattern::Transpose.supports(&fm));
+        assert!(!TrafficPattern::Tornado.supports(&fm));
+        assert!(TrafficPattern::Uniform.supports(&fm));
+        assert!(hotspot(&[3], 0.5).supports(&fm));
+        assert!(!hotspot(&[4], 0.5).supports(&fm), "target off the mesh");
     }
 
     #[test]
@@ -365,12 +425,13 @@ mod tests {
     fn tornado_dest_on_widths_3_to_5() {
         let mut r = rng();
         for (w, shift) in [(3u16, 1u16), (4, 1), (5, 2)] {
-            let t = Torus::new(w, 2);
+            let torus = Torus::new(w, 2);
+            let t = NetTopology::from(torus);
             for y in 0..2 {
                 for x in 0..w {
-                    let d = TrafficPattern::Tornado.dest(&t, t.node(x, y), &mut r);
-                    assert_eq!(d, t.node((x + shift) % w, y), "width {w} src ({x},{y})");
-                    assert_ne!(d, t.node(x, y), "tornado must never self-map here");
+                    let d = TrafficPattern::Tornado.dest(&t, torus.node(x, y), &mut r);
+                    assert_eq!(d, torus.node((x + shift) % w, y), "width {w} src ({x},{y})");
+                    assert_ne!(d, torus.node(x, y), "tornado must never self-map here");
                 }
             }
         }
@@ -378,16 +439,17 @@ mod tests {
 
     #[test]
     fn tornado_supports_only_widths_with_nonzero_shift() {
-        assert!(!TrafficPattern::Tornado.supports(&Torus::new(2, 4)));
-        assert!(TrafficPattern::Tornado.supports(&Torus::new(3, 2)));
-        assert!(TrafficPattern::Tornado.supports(&Torus::net_4x4()));
-        assert!(TrafficPattern::Tornado.supports(&Torus::new(5, 2)));
+        let shape = |w, h| NetTopology::from(Torus::new(w, h));
+        assert!(!TrafficPattern::Tornado.supports(&shape(2, 4)));
+        assert!(TrafficPattern::Tornado.supports(&shape(3, 2)));
+        assert!(TrafficPattern::Tornado.supports(&t4()));
+        assert!(TrafficPattern::Tornado.supports(&shape(5, 2)));
     }
 
     #[test]
     #[should_panic(expected = "undefined on a 2x4")]
     fn tornado_on_degenerate_width_panics() {
-        let t = Torus::new(2, 4);
+        let t = NetTopology::from(Torus::new(2, 4));
         let _ = TrafficPattern::Tornado.dest(&t, 0, &mut rng());
     }
 
@@ -400,7 +462,7 @@ mod tests {
 
     #[test]
     fn hotspot_concentrates_the_configured_fraction() {
-        let t = Torus::net_4x4();
+        let t = t4();
         let mut r = rng();
         let p = hotspot(&[5, 10], 0.4);
         assert!(p.supports(&t));
@@ -436,7 +498,7 @@ mod tests {
 
     #[test]
     fn hotspot_extremes_degenerate_sensibly() {
-        let t = Torus::net_4x4();
+        let t = t4();
         let mut r = rng();
         // fraction 1: every packet hits the single hot node — including
         // from the hot node itself (local delivery, documented).
@@ -455,7 +517,7 @@ mod tests {
 
     #[test]
     fn hotspot_support_validates_targets_and_fraction() {
-        let t = Torus::net_4x4();
+        let t = t4();
         assert!(hotspot(&[0, 15], 0.5).supports(&t));
         assert!(!hotspot(&[16], 0.5).supports(&t), "target off the torus");
         assert!(!hotspot(&[3], -0.1).supports(&t));

@@ -3,7 +3,7 @@
 //! Cases are generated from a deterministic [`SimRng`] stream per test
 //! (no external property-testing dependency).
 
-use network::Torus;
+use network::{FullMesh, Mesh, NetTopology, Torus};
 use simcore::SimRng;
 use workload::txn::TxnTag;
 use workload::TrafficPattern;
@@ -11,17 +11,33 @@ use workload::TrafficPattern;
 /// Power-of-two square tori the bit patterns are defined on.
 const POW2_TORI: [(u16, u16); 5] = [(2, 2), (4, 4), (8, 8), (4, 8), (16, 4)];
 
+/// Power-of-two node counts across all three shapes — the bit patterns
+/// care only about the node count, never the wiring.
+fn pow2_shapes() -> Vec<NetTopology> {
+    let mut shapes: Vec<NetTopology> = POW2_TORI
+        .iter()
+        .map(|&(w, h)| Torus::new(w, h).into())
+        .collect();
+    shapes.extend(
+        POW2_TORI
+            .iter()
+            .map(|&(w, h)| NetTopology::from(Mesh::new(w, h))),
+    );
+    shapes.push(FullMesh::new(2).into());
+    shapes.push(FullMesh::new(4).into());
+    shapes
+}
+
 #[test]
 fn bit_patterns_are_permutations() {
-    for (w, h) in POW2_TORI {
-        let torus = Torus::new(w, h);
+    for topo in pow2_shapes() {
         let mut rng = SimRng::from_seed(1);
         for pattern in [TrafficPattern::BitReversal, TrafficPattern::PerfectShuffle] {
-            let mut seen = vec![false; torus.nodes() as usize];
-            for src in 0..torus.nodes() {
-                let d = pattern.dest(&torus, src, &mut rng);
-                assert!(d < torus.nodes());
-                assert!(!seen[d as usize], "{pattern}: duplicate image {d}");
+            let mut seen = vec![false; topo.nodes() as usize];
+            for src in 0..topo.nodes() {
+                let d = pattern.dest(&topo, src, &mut rng);
+                assert!(d < topo.nodes());
+                assert!(!seen[d as usize], "{topo} {pattern}: duplicate image {d}");
                 seen[d as usize] = true;
             }
         }
@@ -31,11 +47,10 @@ fn bit_patterns_are_permutations() {
 #[test]
 fn bit_reversal_is_involutive() {
     let mut rng = SimRng::from_seed(2);
-    for (w, h) in POW2_TORI {
-        let torus = Torus::new(w, h);
-        for src in 0..torus.nodes() {
-            let once = TrafficPattern::BitReversal.dest(&torus, src, &mut rng);
-            let twice = TrafficPattern::BitReversal.dest(&torus, once, &mut rng);
+    for topo in pow2_shapes() {
+        for src in 0..topo.nodes() {
+            let once = TrafficPattern::BitReversal.dest(&topo, src, &mut rng);
+            let twice = TrafficPattern::BitReversal.dest(&topo, once, &mut rng);
             assert_eq!(twice, src);
         }
     }
@@ -45,13 +60,12 @@ fn bit_reversal_is_involutive() {
 fn shuffle_iterates_back_to_identity() {
     // Rotating n bits left n times is the identity.
     let mut rng = SimRng::from_seed(3);
-    for (w, h) in POW2_TORI {
-        let torus = Torus::new(w, h);
-        let bits = torus.nodes().trailing_zeros();
-        for src in 0..torus.nodes() {
+    for topo in pow2_shapes() {
+        let bits = topo.nodes().trailing_zeros();
+        for src in 0..topo.nodes() {
             let mut x = src;
             for _ in 0..bits {
-                x = TrafficPattern::PerfectShuffle.dest(&torus, x, &mut rng);
+                x = TrafficPattern::PerfectShuffle.dest(&topo, x, &mut rng);
             }
             assert_eq!(x, src);
         }
@@ -61,14 +75,14 @@ fn shuffle_iterates_back_to_identity() {
 #[test]
 fn uniform_excludes_self() {
     let mut gen = SimRng::from_seed(0x756e_6931);
+    let shapes = pow2_shapes();
     for case in 0..256 {
-        let (w, h) = POW2_TORI[gen.below(POW2_TORI.len())];
-        let torus = Torus::new(w, h);
-        let src = gen.below(torus.nodes() as usize) as u16;
+        let topo = shapes[gen.below(shapes.len())];
+        let src = gen.below(topo.nodes() as usize) as u16;
         let mut rng = SimRng::from_seed(gen.next_u64());
         for _ in 0..16 {
-            let d = TrafficPattern::Uniform.dest(&torus, src, &mut rng);
-            assert!(d < torus.nodes(), "case {case}");
+            let d = TrafficPattern::Uniform.dest(&topo, src, &mut rng);
+            assert!(d < topo.nodes(), "case {case}");
             assert_ne!(d, src, "case {case}");
         }
     }
@@ -90,11 +104,15 @@ fn txn_tags_round_trip() {
 
 #[test]
 fn transpose_is_involutive_on_squares() {
-    let torus = Torus::new(8, 8);
     let mut rng = SimRng::from_seed(4);
-    for src in 0..torus.nodes() {
-        let once = TrafficPattern::Transpose.dest(&torus, src, &mut rng);
-        let twice = TrafficPattern::Transpose.dest(&torus, once, &mut rng);
-        assert_eq!(twice, src);
+    for topo in [
+        NetTopology::from(Torus::new(8, 8)),
+        NetTopology::from(Mesh::new(8, 8)),
+    ] {
+        for src in 0..topo.nodes() {
+            let once = TrafficPattern::Transpose.dest(&topo, src, &mut rng);
+            let twice = TrafficPattern::Transpose.dest(&topo, once, &mut rng);
+            assert_eq!(twice, src);
+        }
     }
 }

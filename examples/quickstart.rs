@@ -13,7 +13,7 @@ use alpha21364::prelude::*;
 
 fn main() {
     let net = NetworkConfig {
-        torus: Torus::net_4x4(),
+        topology: Torus::net_4x4().into(),
         router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
         seed: 0x21364,
         warmup_cycles: 2_000,
@@ -22,9 +22,8 @@ fn main() {
     let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
 
     println!(
-        "Simulating a {}x{} torus with {} for {} core cycles at 1.2 GHz...",
-        net.torus.width(),
-        net.torus.height(),
+        "Simulating a {} torus with {} for {} core cycles at 1.2 GHz...",
+        net.topology,
         net.router.algorithm,
         net.total_cycles()
     );

@@ -16,7 +16,7 @@ use alpha21364::prelude::*;
 
 fn run_point(algorithm: ArbAlgorithm, rate: f64) -> (f64, f64, u64) {
     let net = NetworkConfig {
-        torus: Torus::net_8x8(),
+        topology: Torus::net_8x8().into(),
         router: RouterConfig::alpha_21364(algorithm),
         seed: 7,
         warmup_cycles: 3_000,

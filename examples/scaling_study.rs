@@ -27,7 +27,7 @@ fn run(algorithm: ArbAlgorithm, p: &Point, rate: f64) -> (f64, f64) {
         RouterConfig::alpha_21364(algorithm)
     };
     let net = NetworkConfig {
-        torus: p.torus,
+        topology: p.torus.into(),
         router,
         seed: 99,
         warmup_cycles: 2_500,

@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | [`arbitration`] | the matching algorithms over the 16×7 connection matrix |
 //! | [`router`] | the pipelined router: VCs, buffers, credits, LA/RE/GA timing |
-//! | [`network`] | the torus: topology, adaptive+escape routing, the simulator |
+//! | [`network`] | pluggable topologies (torus, mesh, full mesh), routing, the simulator |
 //! | [`workload`] | §4.2 coherence traffic: MSHRs, patterns, transaction mix |
 //! | [`standalone`] | the §5.1 single-router matching experiments |
 //! | [`simcore`] | clocks, deterministic RNG, statistics, sweep plumbing |
@@ -27,7 +27,7 @@
 //! use alpha21364::prelude::*;
 //!
 //! let net = NetworkConfig {
-//!     torus: Torus::net_4x4(),
+//!     topology: Torus::net_4x4().into(),
 //!     router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaBase),
 //!     seed: 42,
 //!     warmup_cycles: 500,
@@ -56,8 +56,8 @@ pub use workload;
 pub mod prelude {
     pub use arbitration::prelude::*;
     pub use network::{
-        Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx, ShardMap,
-        ShardedNetworkSim, Torus,
+        Endpoint, FullMesh, InjectionOutcome, Mesh, NetTopology, NetworkConfig, NetworkReport,
+        NetworkSim, NodeCtx, Routing, ShardMap, ShardedNetworkSim, Topology, Torus,
     };
     pub use router::{
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,
@@ -81,6 +81,8 @@ mod tests {
         use crate::prelude::*;
         let _ = ConnectionMatrix::alpha_21364();
         let _ = Torus::net_8x8();
+        let _ = NetTopology::from(Mesh::new(4, 4));
+        let _ = NetTopology::from(FullMesh::new(5));
         let _ = RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary);
         let _ = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
         let _ = StandaloneConfig::default();

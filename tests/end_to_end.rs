@@ -5,7 +5,7 @@ use alpha21364::prelude::*;
 
 fn net_config(torus: Torus, algo: ArbAlgorithm, cycles: u64, seed: u64) -> NetworkConfig {
     NetworkConfig {
-        torus,
+        topology: torus.into(),
         router: RouterConfig::alpha_21364(algo),
         seed,
         warmup_cycles: cycles / 5,
@@ -61,7 +61,7 @@ fn network_drains_after_generation_stops() {
     // Inject for a while, stop, keep simulating: everything must arrive
     // (deadlock freedom in the common case).
     let cfg = NetworkConfig {
-        torus: Torus::net_4x4(),
+        topology: Torus::net_4x4().into(),
         router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
         seed: 3,
         warmup_cycles: 0,
@@ -96,7 +96,7 @@ fn adversarial_wrap_traffic_does_not_deadlock() {
     let mut router_cfg = RouterConfig::alpha_21364(ArbAlgorithm::SpaaBase);
     router_cfg.buffers = BufferConfig::scaled(2, 1);
     let cfg = NetworkConfig {
-        torus: Torus::net_8x8(),
+        topology: Torus::net_8x8().into(),
         router: router_cfg,
         seed: 4,
         warmup_cycles: 1000,
@@ -235,7 +235,7 @@ fn scaled_2x_pipeline_reduces_wall_clock_latency() {
             RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary)
         };
         let cfg = NetworkConfig {
-            torus: Torus::net_8x8(),
+            topology: Torus::net_8x8().into(),
             router,
             seed: 10,
             warmup_cycles: 1000,

@@ -50,7 +50,7 @@ impl Fnv {
 /// One matrix point: everything needed to reproduce the run.
 struct Case {
     algo: ArbAlgorithm,
-    torus: Torus,
+    topology: NetTopology,
     pattern: TrafficPattern,
     bursty: bool,
     rate: f64,
@@ -81,9 +81,23 @@ fn case_4x4(
 ) -> Case {
     Case {
         algo,
-        torus: Torus::net_4x4(),
+        topology: Torus::net_4x4().into(),
         pattern,
         bursty,
+        rate,
+        seed,
+        warmup_cycles: 400,
+        measure_cycles: 1600,
+    }
+}
+
+/// Short runs on the non-torus shapes, same window as the 4x4 torus.
+fn case_shape(topology: NetTopology, algo: ArbAlgorithm, rate: f64, seed: u64) -> Case {
+    Case {
+        algo,
+        topology,
+        pattern: TrafficPattern::Uniform,
+        bursty: false,
         rate,
         seed,
         warmup_cycles: 400,
@@ -102,7 +116,7 @@ fn case_16x16(
     // enough past warmup for thousands of measured deliveries per case.
     Case {
         algo,
-        torus: Torus::net_16x16(),
+        topology: Torus::net_16x16().into(),
         pattern,
         bursty,
         rate,
@@ -172,12 +186,26 @@ fn cases() -> Vec<Case> {
         0.04,
         1,
     ));
+    // New topologies (appended so the torus digests above keep their
+    // positions): the 4x4 mesh and the 5-node full mesh under the same
+    // three arbiters. These pin the mesh XY escape and the full mesh's
+    // VC-less direct-plus-misroute routing end to end.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        for rate in [0.01, 0.04] {
+            cases.push(case_shape(Mesh::new(4, 4).into(), algo, rate, 1));
+            cases.push(case_shape(FullMesh::new(5).into(), algo, rate, 1));
+        }
+    }
     cases
 }
 
 fn digest_line(c: &Case) -> String {
     let cfg = NetworkConfig {
-        torus: c.torus,
+        topology: c.topology,
         router: RouterConfig::alpha_21364(c.algo),
         seed: c.seed,
         warmup_cycles: c.warmup_cycles,
@@ -209,10 +237,9 @@ fn digest_line(c: &Case) -> String {
     hist.u64(r.latency_hist.overflow());
 
     format!(
-        "{}x{} {} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
+        "{} {} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
          noms={} grants={} coll={} esc={} drains={} lat={:016x} hist={:016x}",
-        c.torus.width(),
-        c.torus.height(),
+        c.topology,
         c.algo,
         pattern_label(c),
         c.rate,

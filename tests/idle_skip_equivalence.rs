@@ -20,7 +20,7 @@ fn run_workload(
     idle_skip: bool,
 ) -> (NetworkReport, u64) {
     let cfg = NetworkConfig {
-        torus: Torus::net_4x4(),
+        topology: Torus::net_4x4().into(),
         router: RouterConfig::alpha_21364(algo),
         seed,
         warmup_cycles: cycles / 5,
@@ -230,12 +230,44 @@ fn idle_skip_equivalence_holds_after_drain_engagement() {
 }
 
 #[test]
+fn idle_skip_equivalence_on_mesh_and_full_mesh() {
+    // Idle-skip's wake bookkeeping must be identical when edge routers
+    // have unwired ports (mesh) and when credits return along entry
+    // ports that are not the geometric opposite (full mesh).
+    let run_shape = |topology: NetTopology, idle_skip: bool| {
+        let cfg = NetworkConfig {
+            topology,
+            router: RouterConfig::alpha_21364(ArbAlgorithm::SpaaRotary),
+            seed: 17,
+            warmup_cycles: 500,
+            measure_cycles: 2_500,
+        };
+        let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
+        let endpoints = workload::build_endpoints(&cfg, &wl);
+        let mut sim = NetworkSim::new(cfg, endpoints);
+        sim.set_idle_skip(idle_skip);
+        sim.run()
+    };
+    for topology in [
+        NetTopology::from(Mesh::new(4, 4)),
+        NetTopology::from(FullMesh::new(5)),
+    ] {
+        let label = format!("{topology} idle-skip");
+        assert_reports_identical(
+            &run_shape(topology, false),
+            &run_shape(topology, true),
+            &label,
+        );
+    }
+}
+
+#[test]
 fn idle_skip_equivalence_on_scaled_pipeline() {
     // The 2× pipeline halves the core period: catch-up arithmetic must
     // not assume the 20-tick base clock.
     let cfg = |idle_skip: bool| {
         let cfg = NetworkConfig {
-            torus: Torus::net_4x4(),
+            topology: Torus::net_4x4().into(),
             router: RouterConfig::scaled_2x(ArbAlgorithm::SpaaRotary),
             seed: 11,
             warmup_cycles: 500,

@@ -17,9 +17,14 @@ use alpha21364::prelude::*;
 /// node count (17, clamped to 16).
 const WORKER_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 8, 16, 17];
 
-fn config(torus: Torus, algo: ArbAlgorithm, seed: u64, cycles: u64) -> NetworkConfig {
+fn config(
+    topology: impl Into<NetTopology>,
+    algo: ArbAlgorithm,
+    seed: u64,
+    cycles: u64,
+) -> NetworkConfig {
     NetworkConfig {
-        torus,
+        topology: topology.into(),
         router: RouterConfig::alpha_21364(algo),
         seed,
         warmup_cycles: cycles / 5,
@@ -205,6 +210,32 @@ fn sharded_engine_is_equivalent_under_saturation_drain() {
     for workers in [2, 4] {
         let label = format!("drain stress workers={workers}");
         let sharded = run_sharded(&cfg, &wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_on_mesh_and_full_mesh() {
+    // The mesh loses its wrap links (edge shards have asymmetric
+    // cross-shard degree) and the full mesh crosses shards on *every*
+    // link with entry ports that are not the geometric opposite of the
+    // exit port — both exercise the topology-trait seam the engines
+    // share.
+    let mesh_cfg = config(Mesh::new(4, 4), ArbAlgorithm::SpaaRotary, 11, 3_000);
+    let mesh_wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
+    let single = run_single(&mesh_cfg, &mesh_wl, true);
+    for workers in [2, 3, 4, 8, 16] {
+        let label = format!("mesh4x4 workers={workers}");
+        let sharded = run_sharded(&mesh_cfg, &mesh_wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+
+    let fm_cfg = config(FullMesh::new(5), ArbAlgorithm::Pim1, 13, 3_000);
+    let fm_wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.05);
+    let single = run_single(&fm_cfg, &fm_wl, true);
+    for workers in [2, 3, 5] {
+        let label = format!("fullmesh5 workers={workers}");
+        let sharded = run_sharded(&fm_cfg, &fm_wl, workers, true);
         assert_reports_identical(&single, &sharded, &label);
     }
 }

@@ -1,0 +1,362 @@
+//! Weighted-arbitration BNF curves with the exact-MWM oracle overlay.
+//!
+//! Sweeps the weighted iterative kernels (iLQF 1–2 on queue depth, iOCF 1
+//! on head-of-line age) against the paper's shipped pick (SPAA-rotary),
+//! its windowed peer (PIM1), and the unweighted extension baseline
+//! (iSLIP2) on the 4×4 and 8×8 tori under uniform, hotspot, and bursty
+//! traffic. Every windowed run additionally solves the Hungarian
+//! maximum-weight matching per arbitration window — as a pure observer
+//! outside the timed path (`RouterConfig::measure_matching_weight`) — so
+//! each load point reports the *optimality gap*: achieved matching
+//! weight / exact-MWM weight, in the algorithm's own weight plane
+//! (depth for iLQF/iSLIP/PIM, age for iOCF). SPAA is pipelined and
+//! windowless, so its gap column is null.
+//!
+//! Expected reading: the weighted kernels only separate from iSLIP where
+//! weights are *skewed* — hotspot and bursty panels — while on smooth
+//! uniform traffic all windowed algorithms sit within noise of each
+//! other, and none reaches SPAA-rotary's pipelined initiation rate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_weighted [-- --quick | --paper] \
+//!     [--out BENCH_weighted.json]
+//! ```
+//!
+//! `--quick` is the CI smoke mode: three load points, short runs. The
+//! full default regenerates the committed `BENCH_weighted.json`.
+
+use bench::{flag_value, summary_table, Scale};
+use network::{NetworkConfig, Torus};
+use router::{ArbAlgorithm, RouterConfig};
+use simcore::bnf::{BnfCurve, BnfPoint};
+use simcore::sweep::parallel_map;
+use simcore::table::Table;
+use workload::{run_coherence_sim, BurstConfig, HotspotTargets, TrafficPattern, WorkloadConfig};
+
+/// The traffic scenarios of each torus: the uniform reference plus the
+/// two skewed-weight cases where iLQF/iOCF have something to exploit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scenario {
+    Uniform,
+    Hotspot,
+    Bursty,
+}
+
+impl Scenario {
+    const ALL: [Scenario; 3] = [Scenario::Uniform, Scenario::Hotspot, Scenario::Bursty];
+
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::Hotspot => "hotspot",
+            Scenario::Bursty => "bursty",
+        }
+    }
+
+    /// Hot set: two interior nodes (center and its diagonal neighbour),
+    /// matching `fig_scenarios` so the panels are cross-comparable.
+    fn hotspot_targets(torus: &Torus) -> HotspotTargets {
+        let (cx, cy) = (torus.width() / 2, torus.height() / 2);
+        HotspotTargets::new(&[torus.node(cx, cy), torus.node(cx - 1, cy - 1)])
+    }
+
+    fn pattern(self, torus: &Torus) -> TrafficPattern {
+        match self {
+            Scenario::Hotspot => TrafficPattern::Hotspot {
+                targets: Self::hotspot_targets(torus),
+                fraction: HOTSPOT_FRACTION,
+            },
+            Scenario::Uniform | Scenario::Bursty => TrafficPattern::Uniform,
+        }
+    }
+
+    fn burst(self) -> Option<BurstConfig> {
+        match self {
+            Scenario::Bursty => Some(BurstConfig::new(BURST_ON_CYCLES, BURST_OFF_CYCLES)),
+            Scenario::Uniform | Scenario::Hotspot => None,
+        }
+    }
+}
+
+const HOTSPOT_FRACTION: f64 = 0.25;
+const BURST_ON_CYCLES: f64 = 60.0;
+const BURST_OFF_CYCLES: f64 = 240.0;
+const SEED: u64 = 0x21364;
+
+/// The curves of each panel: weighted kernels vs their unweighted peers
+/// and the pipelined reference.
+const ALGORITHMS: [ArbAlgorithm; 6] = [
+    ArbAlgorithm::SpaaRotary,
+    ArbAlgorithm::Pim1,
+    ArbAlgorithm::Islip { iterations: 2 },
+    ArbAlgorithm::Ilqf { iterations: 1 },
+    ArbAlgorithm::Ilqf { iterations: 2 },
+    ArbAlgorithm::Iocf { iterations: 1 },
+];
+
+/// One load point with the oracle counters alongside the BNF axes.
+#[derive(Clone, Copy)]
+struct WeightedPoint {
+    offered: f64,
+    delivered: f64,
+    latency_ns: f64,
+    packets: u64,
+    matched_weight: u64,
+    mwm_weight: u64,
+}
+
+impl WeightedPoint {
+    /// Achieved weight / exact-MWM weight, or `None` when no windows ran
+    /// (SPAA) or no requests arrived.
+    fn gap(&self) -> Option<f64> {
+        (self.mwm_weight > 0).then(|| self.matched_weight as f64 / self.mwm_weight as f64)
+    }
+}
+
+/// One curve = one algorithm swept over the load grid.
+struct WeightedCurve {
+    algorithm: ArbAlgorithm,
+    points: Vec<WeightedPoint>,
+}
+
+impl WeightedCurve {
+    /// Run-wide gap: total achieved weight over total oracle weight, so
+    /// heavy (saturated) windows dominate exactly as they do in time.
+    fn overall_gap(&self) -> Option<f64> {
+        let matched: u64 = self.points.iter().map(|p| p.matched_weight).sum();
+        let mwm: u64 = self.points.iter().map(|p| p.mwm_weight).sum();
+        (mwm > 0).then(|| matched as f64 / mwm as f64)
+    }
+
+    fn bnf(&self) -> BnfCurve {
+        let mut c = BnfCurve::new(self.algorithm.to_string());
+        for p in &self.points {
+            c.push(BnfPoint {
+                offered: p.offered,
+                delivered_flits_per_router_ns: p.delivered,
+                avg_latency_ns: p.latency_ns,
+                packets: p.packets,
+            });
+        }
+        c
+    }
+}
+
+struct Panel {
+    torus: Torus,
+    scenario: Scenario,
+    curves: Vec<WeightedCurve>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_args();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_weighted.json".into());
+
+    let (mode, cycles, rates): (&str, u64, Vec<f64>) = if quick {
+        // CI smoke: three load points spanning pre-bend, bend, and
+        // post-saturation, short enough to stay under a minute.
+        ("quick", 4_000, vec![0.004, 0.02, 0.055])
+    } else {
+        let (mode, cycles) = match scale {
+            Scale::Paper => ("paper", scale.cycles()),
+            // Below the smooth-sweep default: the per-window Hungarian
+            // oracle roughly doubles per-cycle cost, and the gap story
+            // needs load coverage more than per-point precision.
+            Scale::Quick => ("default", 12_000),
+        };
+        (mode, cycles, weighted_rates())
+    };
+
+    let panels_spec: Vec<(Torus, Scenario)> = [Torus::net_4x4(), Torus::net_8x8()]
+        .into_iter()
+        .flat_map(|torus| Scenario::ALL.into_iter().map(move |s| (torus, s)))
+        .collect();
+
+    let mut panels = Vec::new();
+    for (torus, scenario) in panels_spec {
+        let pattern = scenario.pattern(&torus);
+        assert!(pattern.supports(&torus.into()), "{pattern} unsupported");
+        println!(
+            "\nweighted kernels: {}x{} torus, {} traffic ({mode} mode, {cycles} cycles/point)",
+            torus.width(),
+            torus.height(),
+            scenario.name(),
+        );
+        // One flat (algorithm, load) batch through the worker pool;
+        // results come back in input order, so chunking by the rate
+        // count reassembles the curves deterministically.
+        let jobs: Vec<(ArbAlgorithm, usize, f64)> = ALGORITHMS
+            .into_iter()
+            .flat_map(|algo| {
+                rates
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(move |(idx, rate)| (algo, idx, rate))
+            })
+            .collect();
+        let points = parallel_map(0, jobs, |(algo, idx, rate)| {
+            weighted_point(algo, torus, pattern, scenario.burst(), cycles, idx, rate)
+        });
+        let curves: Vec<WeightedCurve> = points
+            .chunks(rates.len())
+            .zip(ALGORITHMS)
+            .map(|(chunk, algorithm)| WeightedCurve {
+                algorithm,
+                points: chunk.to_vec(),
+            })
+            .collect();
+        println!("{}", weighted_table(&curves).to_text());
+        let bnf: Vec<BnfCurve> = curves.iter().map(WeightedCurve::bnf).collect();
+        let ref_lat = if torus.nodes() == 16 { 83.0 } else { 122.0 };
+        println!("{}", summary_table(&bnf, ref_lat).to_text());
+        for c in &curves {
+            if let Some(gap) = c.overall_gap() {
+                println!("  {} overall weight / MWM weight: {gap:.3}", c.algorithm);
+            }
+        }
+        panels.push(Panel {
+            torus,
+            scenario,
+            curves,
+        });
+    }
+
+    let json = render_json(mode, cycles, &panels);
+    std::fs::write(&out_path, json).expect("write weighted BNF table");
+    println!("\nwrote {out_path}");
+}
+
+/// One simulated load point with the matching-weight oracle engaged.
+/// Same seed-stream layout as `SweepSpec` (rate index in the high half)
+/// so points here are directly comparable with the other figures.
+fn weighted_point(
+    algo: ArbAlgorithm,
+    torus: Torus,
+    pattern: TrafficPattern,
+    burst: Option<BurstConfig>,
+    cycles: u64,
+    rate_idx: usize,
+    rate: f64,
+) -> WeightedPoint {
+    let mut router = RouterConfig::alpha_21364(algo);
+    router.measure_matching_weight = true;
+    let net = NetworkConfig {
+        topology: torus.into(),
+        router,
+        seed: SEED ^ ((rate_idx as u64) << 32),
+        warmup_cycles: cycles / 5,
+        measure_cycles: cycles - cycles / 5,
+    };
+    let wl = WorkloadConfig {
+        pattern,
+        injection_rate: rate,
+        mshrs: u32::MAX,
+        coherence: Default::default(),
+        burst,
+    };
+    let (report, _stats) = run_coherence_sim(net, wl);
+    WeightedPoint {
+        offered: rate,
+        delivered: report.flits_per_router_ns,
+        latency_ns: report.avg_latency_ns(),
+        packets: report.delivered_packets,
+        matched_weight: report.matched_weight,
+        mwm_weight: report.mwm_weight,
+    }
+}
+
+/// The weighted load grid: the same span as `bench::default_rates` but
+/// coarser — the oracle makes each point dearer, and the gap column is
+/// the story, not curve smoothness.
+fn weighted_rates() -> Vec<f64> {
+    vec![
+        0.002, 0.004, 0.008, 0.012, 0.016, 0.020, 0.028, 0.042, 0.060,
+    ]
+}
+
+/// The per-panel table: BNF axes plus the oracle columns.
+fn weighted_table(curves: &[WeightedCurve]) -> Table {
+    let mut t = Table::with_columns(&[
+        "algorithm",
+        "offered(pkt/node/cy)",
+        "delivered(flits/router/ns)",
+        "latency(ns)",
+        "packets",
+        "gap(w/MWM)",
+    ]);
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                c.algorithm.to_string(),
+                format!("{:.4}", p.offered),
+                format!("{:.4}", p.delivered),
+                format!("{:.1}", p.latency_ns),
+                p.packets.to_string(),
+                p.gap()
+                    .map(|g| format!("{g:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): the committed
+/// `BENCH_islip.json` point format plus the oracle counters and the
+/// per-point optimality gap (`null` for the windowless SPAA reference).
+fn render_json(mode: &str, cycles: u64, panels: &[Panel]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig_weighted\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"cycles_per_point\": {cycles},\n"));
+    s.push_str(&format!("  \"hotspot_fraction\": {HOTSPOT_FRACTION},\n"));
+    s.push_str(&format!(
+        "  \"burst_cycles\": {{\"mean_on\": {BURST_ON_CYCLES}, \"mean_off\": {BURST_OFF_CYCLES}}},\n"
+    ));
+    s.push_str("  \"figures\": [\n");
+    for (i, panel) in panels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"torus\": \"{}x{}\", \"scenario\": \"{}\", \"curves\": [\n",
+            panel.torus.width(),
+            panel.torus.height(),
+            panel.scenario.name()
+        ));
+        for (j, curve) in panel.curves.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"algorithm\": \"{}\", \"points\": [\n",
+                curve.algorithm
+            ));
+            for (k, p) in curve.points.iter().enumerate() {
+                let gap = p
+                    .gap()
+                    .map(|g| format!("{g:.4}"))
+                    .unwrap_or_else(|| "null".into());
+                s.push_str(&format!(
+                    "        {{\"offered\": {:.4}, \"delivered_flits_per_router_ns\": {:.5}, \"latency_ns\": {:.2}, \"packets\": {}, \"matched_weight\": {}, \"mwm_weight\": {}, \"gap\": {}}}{}\n",
+                    p.offered,
+                    p.delivered,
+                    p.latency_ns,
+                    p.packets,
+                    p.matched_weight,
+                    p.mwm_weight,
+                    gap,
+                    if k + 1 < curve.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "      ]}}{}\n",
+                if j + 1 < panel.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < panels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -2,8 +2,9 @@
 //!
 //! The standalone model is fully deterministic (seeded PCG streams, no
 //! threads), so the quick-mode fig08 output — the MCM saturation load,
-//! every matches/cycle cell for all nine algorithms, and the §5.1
-//! headline ratios — is a pure function of the code. Any change to an
+//! every matches/cycle and optimality-gap cell for all thirteen
+//! algorithms, and the §5.1 headline ratios — is a pure function of the
+//! code. Any change to an
 //! arbiter, the RNG, the traffic generator, or the saturation search
 //! shifts at least one cell, and figure drift then fails here instead of
 //! silently changing committed BENCH data at the next regeneration.

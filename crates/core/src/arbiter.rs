@@ -16,16 +16,19 @@
 //! Figures 8 and 9 are produced.
 
 use crate::islip::IslipArbiter;
+use crate::lqf::LqfArbiter;
 use crate::matching::Matching;
-use crate::matrix::RequestMatrix;
+use crate::matrix::{RequestMatrix, WeightMatrix};
 use crate::mcm;
+use crate::ocf::OcfArbiter;
 use crate::opf::OpfArbiter;
 use crate::pim::PimArbiter;
 use crate::spaa::SpaaArbiter;
 use crate::wfa::WfaArbiter;
 use simcore::SimRng;
 
-/// Both views of one arbitration cycle's eligible traffic.
+/// Both views of one arbitration cycle's eligible traffic, optionally
+/// annotated with per-cell weights.
 ///
 /// Invariant (checked by [`ArbitrationInput::validate`]): every single
 /// nomination is also present in the request matrix — the nomination is a
@@ -37,6 +40,12 @@ pub struct ArbitrationInput {
     pub requests: RequestMatrix,
     /// One committed nomination per input arbiter (SPAA/OPF view).
     pub nominations: Vec<Option<u8>>,
+    /// Optional per-(row, column) weights for the weighted algorithms
+    /// (iLQF, iOCF, the MWM oracle). `None` — the default every existing
+    /// call site produces — means "unweighted": the cardinality
+    /// algorithms never look here, and a weighted arbiter handed `None`
+    /// degenerates to unit weights (pure round-robin tie-breaks).
+    pub weights: Option<WeightMatrix>,
 }
 
 impl ArbitrationInput {
@@ -55,7 +64,21 @@ impl ArbitrationInput {
         ArbitrationInput {
             requests,
             nominations,
+            weights: None,
         }
+    }
+
+    /// The same input annotated with a weight plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight plane's shape differs from the request
+    /// matrix's.
+    pub fn with_weights(mut self, weights: WeightMatrix) -> Self {
+        assert_eq!(weights.rows(), self.requests.rows(), "weight rows mismatch");
+        assert_eq!(weights.cols(), self.requests.cols(), "weight cols mismatch");
+        self.weights = Some(weights);
+        self
     }
 
     /// Checks the nomination-subset-of-requests invariant.
@@ -210,6 +233,41 @@ impl Arbiter for IslipArbiter {
 
     fn arbitrate(&mut self, input: &ArbitrationInput, _rng: &mut SimRng) -> Matching {
         IslipArbiter::arbitrate(self, &input.requests)
+    }
+}
+
+impl Arbiter for LqfArbiter {
+    fn name(&self) -> &str {
+        self.label()
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, _rng: &mut SimRng) -> Matching {
+        match &input.weights {
+            Some(w) => LqfArbiter::arbitrate(self, &input.requests, w),
+            // Unweighted input: every cell ties, so the kernel reduces to
+            // its round-robin tie-break (an iSLIP-like matcher). This path
+            // only runs in generic test drivers, so the allocation is fine.
+            None => {
+                let unit = WeightMatrix::unit(input.requests.rows(), input.requests.cols());
+                LqfArbiter::arbitrate(self, &input.requests, &unit)
+            }
+        }
+    }
+}
+
+impl Arbiter for OcfArbiter {
+    fn name(&self) -> &str {
+        self.label()
+    }
+
+    fn arbitrate(&mut self, input: &ArbitrationInput, _rng: &mut SimRng) -> Matching {
+        match &input.weights {
+            Some(w) => OcfArbiter::arbitrate(self, &input.requests, w),
+            None => {
+                let unit = WeightMatrix::unit(input.requests.rows(), input.requests.cols());
+                OcfArbiter::arbitrate(self, &input.requests, &unit)
+            }
+        }
     }
 }
 

@@ -14,9 +14,16 @@
 //! | MCM (Maximal Cardinality Matching upper bound) | [`mcm`] | §3 |
 //! | OPF (naïve oldest-packet-first strawman) | [`opf`] | Figure 2 |
 //! | iSLIP (iterative round-robin with slip, 1..n iterations) & plain round-robin matcher | [`islip`] | extension |
+//! | iLQF (iterative longest-queue-first, weighted) | [`lqf`] | extension |
+//! | iOCF (iterative oldest-cell-first, weighted) | [`ocf`] | extension |
+//! | MWM (exact maximum-weight matching oracle, Hungarian) | [`mwm`] | extension |
 //!
 //! Output-port selection policies (random, round-robin, least-recently
-//! selected, and the Rotary Rule of §3.4) live in [`policy`].
+//! selected, and the Rotary Rule of §3.4) live in [`policy`]. Requests are
+//! boolean bitmasks ([`matrix::RequestMatrix`]); the weighted algorithms
+//! additionally read a [`matrix::WeightMatrix`] plane (queue depth or
+//! head-of-line age) carried alongside the bitmasks, which leaves every
+//! unweighted algorithm's path untouched.
 //!
 //! The crate knows nothing about time: the timing behaviour of each
 //! algorithm (SPAA's 3-cycle pipelined arbitration vs PIM1/WFA's 4-cycle,
@@ -42,9 +49,12 @@
 
 pub mod arbiter;
 pub mod islip;
+pub mod lqf;
 pub mod matching;
 pub mod matrix;
 pub mod mcm;
+pub mod mwm;
+pub mod ocf;
 pub mod opf;
 pub mod pim;
 pub mod policy;
@@ -56,9 +66,12 @@ pub mod wfa;
 pub mod prelude {
     pub use crate::arbiter::{Arbiter, ArbitrationInput};
     pub use crate::islip::{IslipArbiter, PointerUpdate};
+    pub use crate::lqf::{LqfArbiter, WeightedIterKernel};
     pub use crate::matching::Matching;
-    pub use crate::matrix::{ConnectionMatrix, RequestMatrix};
+    pub use crate::matrix::{ConnectionMatrix, RequestMatrix, WeightMatrix};
     pub use crate::mcm;
+    pub use crate::mwm::{self, MwmArbiter};
+    pub use crate::ocf::OcfArbiter;
     pub use crate::opf::OpfArbiter;
     pub use crate::pim::PimArbiter;
     pub use crate::policy::{RotaryMode, SelectionPolicy, Selector};

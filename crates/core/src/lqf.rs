@@ -1,0 +1,353 @@
+//! iLQF — iterative longest-queue-first matching (McKeown's weighted
+//! sibling of iSLIP), plus the shared weighted grant/accept kernel iOCF
+//! reuses.
+//!
+//! Where iSLIP's grant and accept steps consult only rotating pointers,
+//! the weighted iterative algorithms consult a [`WeightMatrix`] carried
+//! alongside the request bitmasks:
+//!
+//! 1. **Request.** Every unmatched input requests every unmatched output
+//!    it has a packet for (the plain [`RequestMatrix`], unchanged).
+//! 2. **Grant.** Each unmatched output grants the *heaviest* requesting
+//!    input — under iLQF the weight is that (input, output) queue's
+//!    depth, so long queues drain first.
+//! 3. **Accept.** Each input that received grants accepts its heaviest
+//!    grant.
+//!
+//! Ties — ubiquitous at low load, where most weights are 1 — fall back to
+//! the same [`round_robin_first`] pointer discipline iSLIP uses, with the
+//! slip rule intact: pointers advance only past a first-iteration
+//! accepted grant, so equal-weight contention desynchronizes exactly like
+//! iSLIP instead of re-fighting the same cell every cycle.
+//!
+//! The kernel is deterministic (no RNG draws) and allocation-free per
+//! pass: the grant scratch lives in fixed `[_; MAX_DIM]` arrays, exactly
+//! like [`crate::islip`]. [`WeightedIterKernel`] is the shared machinery;
+//! [`LqfArbiter`] names the depth-weighted instance, and
+//! [`crate::ocf::OcfArbiter`] wraps the same kernel with head-of-line age
+//! weights.
+
+use crate::matching::Matching;
+use crate::matrix::{RequestMatrix, WeightMatrix, MAX_DIM};
+use crate::policy::round_robin_first;
+
+/// The heaviest member of `pool` by `weight_of`, ties broken round-robin
+/// at or after `ptr` — the pick primitive both weighted phases share.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `pool == 0`.
+#[inline]
+fn heaviest(pool: u32, ptr: u32, weight_of: impl Fn(usize) -> u32) -> usize {
+    debug_assert!(pool != 0, "weighted pick from an empty pool");
+    let mut best = 0u32;
+    let mut ties = 0u32;
+    let mut m = pool;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let w = weight_of(i);
+        if w > best {
+            best = w;
+            ties = 1 << i;
+        } else if w == best {
+            ties |= 1 << i;
+        }
+    }
+    round_robin_first(ties, ptr)
+}
+
+/// The weighted iterative grant/accept kernel: iSLIP's structure with
+/// max-weight picks and round-robin tie-breaks. Instantiated as iLQF
+/// (depth weights) and iOCF (age weights); the kernel itself is agnostic
+/// to what the weights mean.
+#[derive(Clone, Debug)]
+pub struct WeightedIterKernel {
+    rows: usize,
+    cols: usize,
+    iterations: usize,
+    /// Per output column: the input row with current tie-break priority.
+    grant_ptr: Vec<u32>,
+    /// Per input row: the output column with current tie-break priority.
+    accept_ptr: Vec<u32>,
+}
+
+impl WeightedIterKernel {
+    /// A kernel over a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or exceeds 32, or `iterations == 0`.
+    pub fn new(rows: usize, cols: usize, iterations: usize) -> Self {
+        assert!(rows > 0 && rows <= MAX_DIM, "rows out of range: {rows}");
+        assert!(cols > 0 && cols <= MAX_DIM, "cols out of range: {cols}");
+        assert!(
+            iterations > 0,
+            "weighted kernel needs at least one iteration"
+        );
+        WeightedIterKernel {
+            rows,
+            cols,
+            iterations,
+            grant_ptr: vec![0; cols],
+            accept_ptr: vec![0; rows],
+        }
+    }
+
+    /// Iteration count.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Runs one arbitration pass over `req` with weights `w`, updating the
+    /// tie-break pointers.
+    ///
+    /// Iterations after the matching stops growing are skipped (a match is
+    /// never revoked, so an empty grant phase is terminal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request or weight matrix shape differs from the
+    /// kernel's.
+    pub fn arbitrate(&mut self, req: &RequestMatrix, w: &WeightMatrix) -> Matching {
+        assert_eq!(req.rows(), self.rows, "request rows mismatch");
+        assert_eq!(req.cols(), self.cols, "request cols mismatch");
+        assert_eq!(w.rows(), self.rows, "weight rows mismatch");
+        assert_eq!(w.cols(), self.cols, "weight cols mismatch");
+        let mut m = Matching::empty(self.rows, self.cols);
+        let col_masks = req.col_masks();
+        for iter in 0..self.iterations {
+            let matched_rows = m.matched_rows();
+            let matched_cols = m.matched_cols();
+
+            // Grant: each unmatched output grants its heaviest requester.
+            // grants[r] = mask of columns granting row r.
+            let mut grants = [0u32; MAX_DIM];
+            let mut any_grant = false;
+            for (c, &col_mask) in col_masks.iter().enumerate().take(self.cols) {
+                if matched_cols & (1 << c) != 0 {
+                    continue;
+                }
+                let requesters = col_mask & !matched_rows;
+                if requesters == 0 {
+                    continue;
+                }
+                let r = heaviest(requesters, self.grant_ptr[c], |r| w.weight(r, c));
+                grants[r] |= 1 << c;
+                any_grant = true;
+            }
+            if !any_grant {
+                break;
+            }
+
+            // Accept: each granted input accepts its heaviest grant.
+            for (r, &g) in grants.iter().enumerate().take(self.rows) {
+                if g == 0 {
+                    continue;
+                }
+                let c = heaviest(g, self.accept_ptr[r], |c| w.weight(r, c));
+                m.grant(r, c);
+                if iter == 0 {
+                    // The slip, unchanged from iSLIP: tie-break pointers
+                    // advance only past a first-iteration accepted grant.
+                    self.grant_ptr[c] = ((r + 1) % self.rows) as u32;
+                    self.accept_ptr[r] = ((c + 1) % self.cols) as u32;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// iLQF: the weighted iterative kernel with **queue-depth** weights —
+/// longest queue first. The weight plane is supplied by the caller (the
+/// router's window fill counts waiting packets per (input, output); the
+/// standalone model counts queued packets that can use the output).
+#[derive(Clone, Debug)]
+pub struct LqfArbiter {
+    kernel: WeightedIterKernel,
+}
+
+impl LqfArbiter {
+    /// An iLQF instance over a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or exceeds 32, or `iterations == 0`.
+    pub fn new(rows: usize, cols: usize, iterations: usize) -> Self {
+        LqfArbiter {
+            kernel: WeightedIterKernel::new(rows, cols, iterations),
+        }
+    }
+
+    /// Iteration count.
+    pub fn iterations(&self) -> usize {
+        self.kernel.iterations()
+    }
+
+    /// Display name used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self.kernel.iterations() {
+            1 => "iLQF1",
+            2 => "iLQF2",
+            3 => "iLQF3",
+            _ => "iLQF",
+        }
+    }
+
+    /// Runs one arbitration pass (see [`WeightedIterKernel::arbitrate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request or weight matrix shape differs from the
+    /// arbiter's.
+    pub fn arbitrate(&mut self, req: &RequestMatrix, weights: &WeightMatrix) -> Matching {
+        self.kernel.arbitrate(req, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcm;
+    use simcore::SimRng;
+
+    fn random_req(rng: &mut SimRng, rows: usize, cols: usize) -> RequestMatrix {
+        let masks: Vec<u32> = (0..rows)
+            .map(|_| rng.next_u32() & ((1u32 << cols) - 1))
+            .collect();
+        RequestMatrix::from_rows(masks, cols)
+    }
+
+    fn random_weights(rng: &mut SimRng, rows: usize, cols: usize) -> WeightMatrix {
+        let mut w = WeightMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                w.set(r, c, 1 + rng.below(16) as u32);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn matchings_are_valid_and_bounded_by_mcm() {
+        let mut rng = SimRng::from_seed(91);
+        for iters in 1..=3 {
+            let mut lqf = LqfArbiter::new(16, 7, iters);
+            for _ in 0..200 {
+                let req = random_req(&mut rng, 16, 7);
+                let w = random_weights(&mut rng, 16, 7);
+                let upper = mcm::maximum_matching(&req).cardinality();
+                let m = lqf.arbitrate(&req, &w);
+                assert!(m.is_valid_for(&req), "iLQF{iters} invalid on {req:?}");
+                assert!(m.cardinality() <= upper, "iLQF{iters} beat MCM");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_requests_and_weights() {
+        let mut gen = SimRng::from_seed(92);
+        let cases: Vec<(RequestMatrix, WeightMatrix)> = (0..50)
+            .map(|_| (random_req(&mut gen, 16, 7), random_weights(&mut gen, 16, 7)))
+            .collect();
+        let run = |mut a: LqfArbiter| -> Vec<usize> {
+            cases
+                .iter()
+                .map(|(r, w)| a.arbitrate(r, w).cardinality())
+                .collect()
+        };
+        assert_eq!(
+            run(LqfArbiter::new(16, 7, 2)),
+            run(LqfArbiter::new(16, 7, 2))
+        );
+    }
+
+    #[test]
+    fn heaviest_requester_wins_the_grant() {
+        // Two rows request the only column; row 1 carries more weight.
+        let req = RequestMatrix::from_rows(vec![0b1, 0b1], 1);
+        let mut w = WeightMatrix::new(2, 1);
+        w.set(0, 0, 3);
+        w.set(1, 0, 9);
+        let mut lqf = LqfArbiter::new(2, 1, 1);
+        let m = lqf.arbitrate(&req, &w);
+        assert_eq!(m.input_of(0), Some(1), "depth 9 beats depth 3");
+    }
+
+    #[test]
+    fn heaviest_grant_wins_the_accept() {
+        // One row granted by both columns; column 1 is heavier.
+        let req = RequestMatrix::from_rows(vec![0b11], 2);
+        let mut w = WeightMatrix::new(1, 2);
+        w.set(0, 0, 2);
+        w.set(0, 1, 8);
+        let mut lqf = LqfArbiter::new(1, 2, 1);
+        let m = lqf.arbitrate(&req, &w);
+        assert_eq!(m.output_of(0), Some(1), "heavier column accepted");
+    }
+
+    #[test]
+    fn unit_weights_degenerate_to_round_robin_tie_break() {
+        // With every weight equal, the kernel desynchronizes exactly like
+        // iSLIP: persistent all-ones requests reach a full matching.
+        let req = RequestMatrix::from_rows(vec![0b1111; 4], 4);
+        let unit = WeightMatrix::unit(4, 4);
+        let mut lqf = LqfArbiter::new(4, 4, 1);
+        let warmup: Vec<usize> = (0..4)
+            .map(|_| lqf.arbitrate(&req, &unit).cardinality())
+            .collect();
+        assert_eq!(warmup, vec![1, 2, 3, 4], "one new output desyncs per slot");
+        for slot in 0..16 {
+            assert_eq!(
+                lqf.arbitrate(&req, &unit).cardinality(),
+                4,
+                "slot {slot} lost the full matching"
+            );
+        }
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_on_average() {
+        let mut gen = SimRng::from_seed(93);
+        let mut i1 = LqfArbiter::new(16, 7, 1);
+        let mut i3 = LqfArbiter::new(16, 7, 3);
+        let (mut s1, mut s3) = (0usize, 0usize);
+        for _ in 0..300 {
+            let req = random_req(&mut gen, 16, 7);
+            let w = random_weights(&mut gen, 16, 7);
+            s1 += i1.arbitrate(&req, &w).cardinality();
+            s3 += i3.arbitrate(&req, &w).cardinality();
+        }
+        assert!(s3 > s1, "iLQF3 ({s3}) should out-match iLQF1 ({s1})");
+    }
+
+    #[test]
+    fn empty_requests_empty_matching() {
+        let req = RequestMatrix::new(4, 4);
+        let w = WeightMatrix::unit(4, 4);
+        let mut lqf = LqfArbiter::new(4, 4, 2);
+        assert_eq!(lqf.arbitrate(&req, &w).cardinality(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LqfArbiter::new(4, 4, 1).label(), "iLQF1");
+        assert_eq!(LqfArbiter::new(4, 4, 2).label(), "iLQF2");
+        assert_eq!(LqfArbiter::new(4, 4, 5).label(), "iLQF");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = LqfArbiter::new(4, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight rows mismatch")]
+    fn weight_shape_mismatch_rejected() {
+        let req = RequestMatrix::new(4, 4);
+        let w = WeightMatrix::unit(3, 4);
+        let _ = LqfArbiter::new(4, 4, 1).arbitrate(&req, &w);
+    }
+}

@@ -1,8 +1,8 @@
-//! Connection and request matrices (§3, Figure 5).
+//! Connection, request, and weight matrices (§3, Figure 5).
 //!
 //! The paper models arbitration as operations over a two-dimensional
 //! *connection matrix* whose rows are input-port arbiters and whose columns
-//! are output ports. Two matrix types live here:
+//! are output ports. Three matrix types live here:
 //!
 //! * [`ConnectionMatrix`] — static legality: which (row, column) pairs are
 //!   wired at all. Figure 5 shows that the 21364's individual buffer read
@@ -10,9 +10,17 @@
 //!   cells exist.
 //! * [`RequestMatrix`] — dynamic state for one arbitration: which outputs
 //!   each input arbiter currently has an eligible packet for.
+//! * [`WeightMatrix`] — optional per-(row, column) weights (queue depth or
+//!   head-of-line age) carried *alongside* a [`RequestMatrix`]. The
+//!   cardinality-only algorithms never look at it, so the unweighted path
+//!   is untouched; the weighted kernels ([`crate::lqf`], [`crate::ocf`])
+//!   and the exact MWM oracle ([`crate::mwm`]) read it for every cell the
+//!   request bitmask sets.
 //!
-//! Columns are stored as bit masks (`u32`), which keeps every algorithm in
-//! this crate branch-light; both dimensions are capped at 32.
+//! Connection and request columns are stored as bit masks (`u32`), which
+//! keeps every algorithm in this crate branch-light; both dimensions are
+//! capped at 32. Weights are a dense row-major plane over the same
+//! dimensions, meaningful only where the request bitmask is set.
 
 use crate::ports::{InputPort, OutputPort, ReadPort, NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS};
 
@@ -329,6 +337,121 @@ impl RequestMatrix {
             rows: self.rows.iter().map(|r| r & mask).collect(),
             cols: self.cols,
         }
+    }
+}
+
+/// Per-(row, column) weights carried alongside a [`RequestMatrix`].
+///
+/// The weight of a cell is only meaningful where the companion request
+/// bitmask is set; the plane is *not* cleared between arbitrations — the
+/// zero-allocation rebuild contract is that callers rewrite the weight of
+/// every cell they request (exactly how [`RequestMatrix::copy_rows_from`]
+/// rewrites every row). Two weight sources are in use:
+///
+/// * **queue depth** — waiting packets behind the head-of-line packet for
+///   that (input, output); the iLQF objective (longest queue first);
+/// * **head-of-line age** — how long the head-of-line packet has been
+///   eligible; the iOCF objective (oldest cell first).
+///
+/// Both are encoded as plain `u32` magnitudes with "bigger wins"; a
+/// requested cell should carry weight ≥ 1 so the weighted kernels never
+/// confuse "requested but freshly arrived" with "not requested".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightMatrix {
+    weights: Vec<u32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Default for WeightMatrix {
+    /// A dimensionless placeholder (0 × 0) usable only as a scratch slot to
+    /// [`WeightMatrix::reset`] into shape.
+    fn default() -> Self {
+        WeightMatrix {
+            weights: Vec::new(),
+            rows: 0,
+            cols: 0,
+        }
+    }
+}
+
+impl WeightMatrix {
+    /// An all-zero weight plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0 or exceeds [`MAX_DIM`].
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && rows <= MAX_DIM, "rows out of range: {rows}");
+        assert!(cols > 0 && cols <= MAX_DIM, "cols out of range: {cols}");
+        WeightMatrix {
+            weights: vec![0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// An all-one weight plane: every requested cell ties, so a weighted
+    /// kernel running on it degenerates to its round-robin tie-break.
+    pub fn unit(rows: usize, cols: usize) -> Self {
+        let mut w = WeightMatrix::new(rows, cols);
+        w.weights.iter_mut().for_each(|x| *x = 1);
+        w
+    }
+
+    /// Reshapes in place to `rows × cols` and zeroes every cell, reusing
+    /// the allocation — the per-window rebuild path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0 or exceeds [`MAX_DIM`].
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && rows <= MAX_DIM, "rows out of range: {rows}");
+        assert!(cols > 0 && cols <= MAX_DIM, "cols out of range: {cols}");
+        self.weights.clear();
+        self.weights.resize(rows * cols, 0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets one cell's weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `row` or `col` is out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, weight: u32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.weights[row * self.cols + col] = weight;
+    }
+
+    /// One cell's weight.
+    #[inline]
+    pub fn weight(&self, row: usize, col: usize) -> u32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.weights[row * self.cols + col]
+    }
+
+    /// Total weight of a matching under this plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matching's dimensions exceed this plane's.
+    pub fn matching_weight(&self, m: &crate::matching::Matching) -> u64 {
+        assert!(m.rows() <= self.rows && m.cols() <= self.cols);
+        m.pairs().map(|(r, c)| self.weight(r, c) as u64).sum()
     }
 }
 

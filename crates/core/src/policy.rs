@@ -18,8 +18,18 @@
 use simcore::SimRng;
 
 /// The first set bit of `pool` at or after `ptr`, wrapping — the shared
-/// round-robin primitive behind [`SelectionPolicy::RoundRobin`] and the
-/// iSLIP grant/accept pointers ([`crate::islip`]).
+/// round-robin primitive behind [`SelectionPolicy::RoundRobin`], the
+/// iSLIP grant/accept pointers ([`crate::islip`]), and the weighted
+/// kernels' tie-breaks ([`crate::lqf`], [`crate::ocf`]).
+///
+/// Branch-free rotate-and-`trailing_zeros` kernel: rotating the pool right
+/// by `ptr` renames bit `ptr` to bit 0, so the priority-encode is a single
+/// count-trailing-zeros, and the rename is undone by adding `ptr` back
+/// modulo the mask width. This is the mask-based formulation of a
+/// programmable-priority round-robin arbiter (the same rotate/encode/
+/// counter-rotate structure hardware designs use); the exhaustive
+/// `matches_linear_scan_reference` test pins it bit-exact against the
+/// naive linear scan over every 8-bit pool × every pointer position.
 ///
 /// # Panics
 ///
@@ -27,8 +37,9 @@ use simcore::SimRng;
 #[inline]
 pub fn round_robin_first(pool: u32, ptr: u32) -> usize {
     debug_assert!(pool != 0, "round-robin pick from an empty pool");
-    let rotated = pool.rotate_right(ptr % 32);
-    ((rotated.trailing_zeros() + ptr) % 32) as usize
+    let ptr = ptr & 31;
+    let rotated = pool.rotate_right(ptr);
+    ((rotated.trailing_zeros() + ptr) & 31) as usize
 }
 
 /// Which base policy a [`Selector`] uses.
@@ -297,6 +308,40 @@ mod tests {
         assert_eq!(round_robin_first(0b0100_0001, 7), 0, "wraps past the top");
         // Pointers beyond 31 behave modulo the mask width.
         assert_eq!(round_robin_first(0b0100_0001, 33), 6);
+    }
+
+    /// The reference implementation the mask kernel replaced: walk the
+    /// positions one by one starting at `ptr`, wrapping, and return the
+    /// first set bit.
+    fn linear_scan_reference(pool: u32, ptr: u32) -> usize {
+        assert!(pool != 0);
+        let mut pos = (ptr % 32) as usize;
+        loop {
+            if pool & (1 << pos) != 0 {
+                return pos;
+            }
+            pos = (pos + 1) % 32;
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_reference() {
+        // Exhaustive over every non-empty 8-bit pool at every bit offset
+        // within the 32-bit word, for every pointer position including the
+        // wrapped range above 31 — the bit-exact pin for the rotate-and-
+        // trailing_zeros kernel.
+        for bits in 1u32..=255 {
+            for shift in [0u32, 7, 13, 24] {
+                let pool = bits.rotate_left(shift);
+                for ptr in 0..64u32 {
+                    assert_eq!(
+                        round_robin_first(pool, ptr),
+                        linear_scan_reference(pool, ptr),
+                        "pool={pool:#034b} ptr={ptr}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

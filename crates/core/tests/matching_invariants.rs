@@ -1,7 +1,8 @@
 //! Matching invariants for every `Arbiter` implementation.
 //!
-//! Whatever the algorithm — SPAA, PIM, PIM1, WFA, MCM, OPF, iSLIP(1–3)
-//! or the plain round-robin matcher — one arbitration pass over a
+//! Whatever the algorithm — SPAA, PIM, PIM1, WFA, MCM, OPF, iSLIP(1–3),
+//! the plain round-robin matcher, the weighted iterative kernels
+//! (iLQF/iOCF) or the MWM oracle — one arbitration pass over a
 //! request state reachable in the 21364 must return a `Matching` that:
 //!
 //! 1. grants only (row, output) pairs that are **both** requested and
@@ -35,6 +36,10 @@ fn all_arbiters(rows: usize, cols: usize) -> Vec<Box<dyn Arbiter>> {
         Box::new(IslipArbiter::islip(rows, cols, 2)),
         Box::new(IslipArbiter::islip(rows, cols, 3)),
         Box::new(IslipArbiter::round_robin_matcher(rows, cols)),
+        Box::new(LqfArbiter::new(rows, cols, 1)),
+        Box::new(LqfArbiter::new(rows, cols, 2)),
+        Box::new(OcfArbiter::new(rows, cols, 1)),
+        Box::new(MwmArbiter::new()),
     ]
 }
 
@@ -60,7 +65,19 @@ fn random_request_state(rng: &mut SimRng, conn: &ConnectionMatrix) -> Arbitratio
         .iter()
         .map(|&m| (m != 0).then(|| rng.pick_bit(m) as u8))
         .collect();
-    ArbitrationInput::new(RequestMatrix::from_rows(masks, cols), noms)
+    // A random weight plane so the weighted arbiters (iLQF/iOCF/MWM) are
+    // exercised with genuine weights, not the unit fallback. The
+    // unweighted arbiters never look at it.
+    let mut weights = WeightMatrix::new(rows, cols);
+    for (r, &m) in masks.iter().enumerate() {
+        let mut bits = m;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            weights.set(r, c, 1 + rng.below(64) as u32);
+        }
+    }
+    ArbitrationInput::new(RequestMatrix::from_rows(masks, cols), noms).with_weights(weights)
 }
 
 #[test]

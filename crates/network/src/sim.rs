@@ -176,6 +176,13 @@ pub struct NetworkReport {
     pub escape_dispatches: u64,
     /// Routers that engaged anti-starvation drain mode at least once.
     pub drain_engagements: u64,
+    /// Sum of achieved window matching weights (nonzero only when
+    /// `RouterConfig::measure_matching_weight` is set).
+    pub matched_weight: u64,
+    /// Sum of Hungarian maximum-weight-matching oracle weights over the
+    /// same windows; `matched_weight / mwm_weight` is the network-wide
+    /// optimality gap.
+    pub mwm_weight: u64,
 }
 
 impl NetworkReport {
@@ -350,6 +357,8 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
     let mut collisions = 0;
     let mut escapes = 0;
     let mut drains = 0;
+    let mut matched_weight = 0;
+    let mut mwm_weight = 0;
     let mut in_flight = 0u64;
     let mut injected_packets = 0;
     let mut injected_flits = 0;
@@ -363,6 +372,8 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
             collisions += r.stats().collisions.get();
             escapes += r.stats().escape_dispatches.get();
             drains += r.stats().drain_engagements.get();
+            matched_weight += r.stats().matched_weight.get();
+            mwm_weight += r.stats().mwm_weight.get();
             in_flight += r.accounted_packets() as u64;
         }
         in_flight += shard.pending_deliveries() as u64;
@@ -387,6 +398,8 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
         collisions,
         escape_dispatches: escapes,
         drain_engagements: drains,
+        matched_weight,
+        mwm_weight,
     }
 }
 

@@ -120,6 +120,10 @@ pub struct WindowSnapshot {
     cols: usize,
     /// Flat `rows × cols` candidate table.
     candidates: Vec<Option<Candidate>>,
+    /// Flat `rows × cols` weight plane (queue depth or head-of-line age),
+    /// meaningful only where a candidate is set. Unweighted algorithms
+    /// pass weight 0 on every offer, leaving the plane inert.
+    weights: Vec<u32>,
     /// Request mask per row.
     row_masks: Vec<u32>,
 }
@@ -130,6 +134,7 @@ impl WindowSnapshot {
         WindowSnapshot {
             cols,
             candidates: vec![None; rows * cols],
+            weights: vec![0; rows * cols],
             row_masks: vec![0; rows],
         }
     }
@@ -145,19 +150,45 @@ impl WindowSnapshot {
                 let col = m.trailing_zeros() as usize;
                 m &= m - 1;
                 self.candidates[row * self.cols + col] = None;
+                self.weights[row * self.cols + col] = 0;
             }
             *mask = 0;
         }
     }
 
-    /// Records that `row` could dispatch `cand` through `col` (first
-    /// writer wins: rows are scanned oldest-first, so the earliest
-    /// candidate is the one the hardware's entry table would pick).
-    pub fn offer(&mut self, row: usize, col: usize, cand: Candidate) {
+    /// Records that `row` could dispatch `cand` through `col` at the
+    /// given scheduling weight (first writer wins: rows are scanned
+    /// oldest-first, so the earliest candidate — and its weight — is the
+    /// one the hardware's entry table would pick). Callers running an
+    /// unweighted algorithm pass `weight` 0.
+    pub fn offer(&mut self, row: usize, col: usize, cand: Candidate, weight: u32) {
         let cell = &mut self.candidates[row * self.cols + col];
         if cell.is_none() {
             *cell = Some(cand);
+            self.weights[row * self.cols + col] = weight;
             self.row_masks[row] |= 1 << col;
+        }
+    }
+
+    /// The weight recorded for `(row, col)` (0 when no offer landed
+    /// there, or when the window was filled without weights).
+    #[inline]
+    pub fn weight(&self, row: usize, col: usize) -> u32 {
+        self.weights[row * self.cols + col]
+    }
+
+    /// Copies the snapshot's weights into `w` for every requested cell.
+    /// Cells outside the row masks are left untouched — the weighted
+    /// kernels only ever read weights under the request bitmask, so
+    /// stale values elsewhere are unobservable.
+    pub fn fill_weight_matrix(&self, w: &mut arbitration::matrix::WeightMatrix) {
+        for (row, &mask) in self.row_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let col = m.trailing_zeros() as usize;
+                m &= m - 1;
+                w.set(row, col, self.weights[row * self.cols + col]);
+            }
         }
     }
 
@@ -215,14 +246,32 @@ mod tests {
             entry: EntryId::new(9, 0),
             downstream_vc: None,
         };
-        s.offer(0, 1, a);
-        s.offer(0, 1, b);
+        s.offer(0, 1, a, 5);
+        s.offer(0, 1, b, 9);
         assert_eq!(s.candidate(0, 1), Some(a), "oldest candidate retained");
+        assert_eq!(s.weight(0, 1), 5, "winner's weight retained too");
         assert_eq!(s.row_masks()[0], 0b010);
         assert!(!s.is_empty());
         s.reset();
         assert!(s.is_empty());
         assert_eq!(s.candidate(0, 1), None, "reset clears candidates");
+        assert_eq!(s.weight(0, 1), 0, "reset clears weights");
+    }
+
+    #[test]
+    fn snapshot_weights_project_onto_a_weight_matrix() {
+        let mut s = WindowSnapshot::new(2, 3);
+        let cand = Candidate {
+            entry: EntryId::new(1, 0),
+            downstream_vc: None,
+        };
+        s.offer(0, 2, cand, 7);
+        s.offer(1, 0, cand, 3);
+        let mut w = arbitration::matrix::WeightMatrix::new(2, 3);
+        s.fill_weight_matrix(&mut w);
+        assert_eq!(w.weight(0, 2), 7);
+        assert_eq!(w.weight(1, 0), 3);
+        assert_eq!(w.weight(0, 0), 0, "unrequested cells untouched");
     }
 
     #[test]

@@ -43,6 +43,33 @@ pub enum ArbAlgorithm {
         /// Grant/accept iterations per arbitration (≥ 1; 1–3 studied).
         iterations: u8,
     },
+    /// Extension: iLQF (iterative longest-queue-first) in the windowed
+    /// driver. Same grant/accept structure and timing as iSLIP at the
+    /// same iteration count, but outputs grant — and inputs accept — the
+    /// contender with the deepest queue behind it; the window fill stamps
+    /// queue depths into a weight plane alongside the request bitmasks.
+    Ilqf {
+        /// Grant/accept iterations per arbitration (≥ 1).
+        iterations: u8,
+    },
+    /// Extension: iOCF (iterative oldest-cell-first) in the windowed
+    /// driver. Same machinery as iLQF with head-of-line age weights —
+    /// the starvation-resistant member of the weighted family.
+    Iocf {
+        /// Grant/accept iterations per arbitration (≥ 1).
+        iterations: u8,
+    },
+}
+
+/// Which quantity the window fill writes into the weight plane for a
+/// weighted algorithm (or for oracle measurement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightKind {
+    /// Queue depth: waiting packets behind the (input, output) cell.
+    Depth,
+    /// Head-of-line age: cycles the cell's oldest eligible packet has
+    /// been eligible.
+    Age,
 }
 
 impl ArbAlgorithm {
@@ -69,6 +96,13 @@ impl ArbAlgorithm {
         ArbAlgorithm::Islip { iterations: 3 },
     ];
 
+    /// The weighted extension family swept by the `fig_weighted` harness.
+    pub const WEIGHTED_FAMILY: [ArbAlgorithm; 3] = [
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        ArbAlgorithm::Ilqf { iterations: 2 },
+        ArbAlgorithm::Iocf { iterations: 1 },
+    ];
+
     /// Arbitration timing at the base (1×) pipeline scale.
     pub fn timing(self) -> ArbTiming {
         match self {
@@ -80,6 +114,13 @@ impl ArbAlgorithm {
             ArbAlgorithm::SpaaDeep { latency } => ArbTiming::new(latency as u32, 1),
             ArbAlgorithm::Islip { iterations } => {
                 assert!(iterations >= 1, "iSLIP needs at least one iteration");
+                ArbTiming::new(3 + iterations as u32, 3)
+            }
+            ArbAlgorithm::Ilqf { iterations } | ArbAlgorithm::Iocf { iterations } => {
+                assert!(
+                    iterations >= 1,
+                    "weighted kernels need at least one iteration"
+                );
                 ArbTiming::new(3 + iterations as u32, 3)
             }
         }
@@ -99,6 +140,13 @@ impl ArbAlgorithm {
                 assert!(iterations >= 1, "iSLIP needs at least one iteration");
                 ArbTiming::new((3 + iterations as u32) * 2, 6)
             }
+            ArbAlgorithm::Ilqf { iterations } | ArbAlgorithm::Iocf { iterations } => {
+                assert!(
+                    iterations >= 1,
+                    "weighted kernels need at least one iteration"
+                );
+                ArbTiming::new((3 + iterations as u32) * 2, 6)
+            }
         }
     }
 
@@ -114,6 +162,17 @@ impl ArbAlgorithm {
     pub fn is_rotary(self) -> bool {
         matches!(self, ArbAlgorithm::WfaRotary | ArbAlgorithm::SpaaRotary)
     }
+
+    /// The weight plane this algorithm schedules on, or `None` for the
+    /// unweighted algorithms (whose window fill skips weight stamping
+    /// entirely unless oracle measurement asks for it).
+    pub fn weight_kind(self) -> Option<WeightKind> {
+        match self {
+            ArbAlgorithm::Ilqf { .. } => Some(WeightKind::Depth),
+            ArbAlgorithm::Iocf { .. } => Some(WeightKind::Age),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ArbAlgorithm {
@@ -127,6 +186,8 @@ impl fmt::Display for ArbAlgorithm {
             ArbAlgorithm::WfaBase3Cycle => f.write_str("WFA-base-3cy"),
             ArbAlgorithm::SpaaDeep { latency } => write!(f, "SPAA-deep{latency}"),
             ArbAlgorithm::Islip { iterations } => write!(f, "iSLIP{iterations}"),
+            ArbAlgorithm::Ilqf { iterations } => write!(f, "iLQF{iterations}"),
+            ArbAlgorithm::Iocf { iterations } => write!(f, "iOCF{iterations}"),
         }
     }
 }
@@ -166,6 +227,14 @@ pub struct RouterConfig {
     pub adaptive_choice: AdaptiveChoice,
     /// Anti-starvation coloring (backs the Rotary Rule, §3.4).
     pub antistarvation: AntiStarvationConfig,
+    /// When true, every window additionally solves the exact
+    /// maximum-weight matching (Hungarian oracle) on the snapshot's
+    /// depth-weight plane and accumulates both the achieved and the
+    /// optimal matching weight into the router stats — pure observation,
+    /// never a scheduling input. Off by default (the oracle is not part
+    /// of any timed configuration); the `fig_weighted` harness turns it
+    /// on to report optimality-gap columns.
+    pub measure_matching_weight: bool,
 }
 
 impl RouterConfig {
@@ -179,6 +248,7 @@ impl RouterConfig {
             scan_window: 8,
             adaptive_choice: AdaptiveChoice::MostCredits,
             antistarvation: AntiStarvationConfig::default(),
+            measure_matching_weight: false,
         }
     }
 
@@ -273,6 +343,49 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn islip_zero_iterations_rejected() {
         let _ = ArbAlgorithm::Islip { iterations: 0 }.timing();
+    }
+
+    #[test]
+    fn weighted_timings_mirror_islip() {
+        // iLQF/iOCF run in the same windowed driver with the same
+        // per-iteration latency tax as iSLIP.
+        assert_eq!(
+            ArbAlgorithm::Ilqf { iterations: 1 }.timing(),
+            ArbTiming::new(4, 3)
+        );
+        assert_eq!(
+            ArbAlgorithm::Iocf { iterations: 2 }.timing(),
+            ArbTiming::new(5, 3)
+        );
+        assert_eq!(
+            ArbAlgorithm::Ilqf { iterations: 2 }.timing_2x(),
+            ArbTiming::new(10, 6)
+        );
+        assert!(!ArbAlgorithm::Ilqf { iterations: 1 }.is_spaa());
+        assert!(!ArbAlgorithm::Iocf { iterations: 1 }.is_rotary());
+        assert_eq!(ArbAlgorithm::Ilqf { iterations: 2 }.to_string(), "iLQF2");
+        assert_eq!(ArbAlgorithm::Iocf { iterations: 1 }.to_string(), "iOCF1");
+    }
+
+    #[test]
+    fn weight_kinds() {
+        assert_eq!(
+            ArbAlgorithm::Ilqf { iterations: 1 }.weight_kind(),
+            Some(WeightKind::Depth)
+        );
+        assert_eq!(
+            ArbAlgorithm::Iocf { iterations: 1 }.weight_kind(),
+            Some(WeightKind::Age)
+        );
+        assert_eq!(ArbAlgorithm::SpaaRotary.weight_kind(), None);
+        assert_eq!(ArbAlgorithm::Islip { iterations: 2 }.weight_kind(), None);
+        assert_eq!(ArbAlgorithm::Pim1.weight_kind(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn weighted_zero_iterations_rejected() {
+        let _ = ArbAlgorithm::Ilqf { iterations: 0 }.timing();
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::antistarve::AntiStarvation;
 use crate::arb::{Candidate, Nomination, ReadPortState, WindowSnapshot};
-use crate::config::{AdaptiveChoice, ArbAlgorithm, RouterConfig};
+use crate::config::{AdaptiveChoice, ArbAlgorithm, RouterConfig, WeightKind};
 use crate::entry::{Entry, EntryId, EntryState, InputBuffer};
 use crate::output::{CreditBank, OutputState};
 use crate::packet::Packet;
@@ -23,7 +23,9 @@ use crate::route::RouteInfo;
 use crate::stats::RouterStats;
 use crate::vc::{VcId, NUM_VCS};
 use arbitration::islip::IslipArbiter;
-use arbitration::matrix::{ConnectionMatrix, RequestMatrix};
+use arbitration::lqf::LqfArbiter;
+use arbitration::matrix::{ConnectionMatrix, RequestMatrix, WeightMatrix};
+use arbitration::ocf::OcfArbiter;
 use arbitration::pim::PimArbiter;
 use arbitration::policy::{RotaryMode, SelectionPolicy, Selector};
 use arbitration::ports::{
@@ -174,6 +176,15 @@ pub struct Router {
     pim: Option<PimArbiter>,
     /// iSLIP kernel (windowed driver).
     islip: Option<IslipArbiter>,
+    /// iLQF kernel (windowed driver, depth weights).
+    lqf: Option<LqfArbiter>,
+    /// iOCF kernel (windowed driver, age weights).
+    ocf: Option<OcfArbiter>,
+    /// The weight plane the window fill stamps: the algorithm's own kind
+    /// for iLQF/iOCF, `Depth` when only oracle measurement asks for
+    /// weights, `None` otherwise (fill passes weight 0 and skips all
+    /// weight work).
+    weight_kind: Option<WeightKind>,
     rng: SimRng,
     read_ports: Vec<ReadPortState>,
     /// Per read port: VC ids in least-recently-selected-first order.
@@ -212,6 +223,12 @@ pub struct Router {
     win_snapshot: WindowSnapshot,
     /// Windowed driver: the request matrix, rebuilt in place each window.
     win_req: RequestMatrix,
+    /// Windowed driver: the weight plane projected from the snapshot.
+    /// Every requested cell is rewritten each window; cells outside the
+    /// current request mask may hold stale values, which no reader (the
+    /// weighted kernels, the oracle, `matching_weight`) ever observes —
+    /// all of them index strictly under the request bitmask.
+    win_weights: WeightMatrix,
 }
 
 impl Router {
@@ -264,6 +281,25 @@ impl Router {
             )),
             _ => None,
         };
+        let lqf = match cfg.algorithm {
+            ArbAlgorithm::Ilqf { iterations } => Some(LqfArbiter::new(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            _ => None,
+        };
+        let ocf = match cfg.algorithm {
+            ArbAlgorithm::Iocf { iterations } => Some(OcfArbiter::new(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            _ => None,
+        };
+        let weight_kind = cfg.algorithm.weight_kind().or_else(|| {
+            (cfg.measure_matching_weight && !cfg.algorithm.is_spaa()).then_some(WeightKind::Depth)
+        });
         let inputs = (0..NUM_INPUT_PORTS)
             .map(|_| InputBuffer::new(cfg.buffers.clone()))
             .collect();
@@ -284,6 +320,9 @@ impl Router {
             wfa,
             pim,
             islip,
+            lqf,
+            ocf,
+            weight_kind,
             rng,
             read_ports: vec![ReadPortState::default(); NUM_ARBITER_ROWS],
             vc_lru: vec![(0..NUM_VCS as u8).collect(); NUM_ARBITER_ROWS],
@@ -303,6 +342,7 @@ impl Router {
             scratch_collect: Vec::new(),
             win_snapshot: WindowSnapshot::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS),
             win_req: RequestMatrix::default(),
+            win_weights: WeightMatrix::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS),
         }
     }
 
@@ -1070,7 +1110,8 @@ impl Router {
     }
 
     // ------------------------------------------------------------------
-    // Windowed driver for PIM1 / WFA (§3.1, §3.2) and iSLIP (extension)
+    // Windowed driver for PIM1 / WFA (§3.1, §3.2) and the extension
+    // kernels: iSLIP and the weighted pair iLQF / iOCF
     // ------------------------------------------------------------------
 
     fn run_window(&mut self, now: Tick, out: &mut Vec<RouterOutput>) {
@@ -1102,15 +1143,36 @@ impl Router {
         req.copy_rows_from(snapshot.row_masks(), NUM_OUTPUT_PORTS);
         let nominations = req.request_count() as u64;
         self.stats.nominations.add(nominations);
+        if self.weight_kind.is_some() {
+            snapshot.fill_weight_matrix(&mut self.win_weights);
+        }
         let matching = if let Some(wfa) = self.wfa.as_mut() {
             wfa.arbitrate(&req)
         } else if let Some(pim) = self.pim.as_mut() {
             pim.arbitrate(&req, &mut self.rng)
         } else if let Some(islip) = self.islip.as_mut() {
             islip.arbitrate(&req)
+        } else if let Some(lqf) = self.lqf.as_mut() {
+            lqf.arbitrate(&req, &self.win_weights)
+        } else if let Some(ocf) = self.ocf.as_mut() {
+            ocf.arbitrate(&req, &self.win_weights)
         } else {
-            unreachable!("windowed driver requires a WFA, PIM, or iSLIP kernel")
+            unreachable!("windowed driver requires a WFA, PIM, iSLIP, iLQF, or iOCF kernel")
         };
+        // Oracle instrumentation (fig_weighted only): score this window's
+        // matching against the exact maximum-weight matching on the same
+        // weight plane. Pure observation — the oracle result never feeds
+        // back into grants and the solve draws no random numbers, so
+        // enabling it cannot perturb the simulation.
+        if self.cfg.measure_matching_weight {
+            self.stats
+                .matched_weight
+                .add(self.win_weights.matching_weight(&matching));
+            let optimal = arbitration::mwm::maximum_weight_matching(&req, &self.win_weights);
+            self.stats
+                .mwm_weight
+                .add(self.win_weights.matching_weight(&optimal));
+        }
         self.win_req = req;
         // Apply grants; a packet reachable from both read ports of a port
         // pair must not dispatch twice ("the input port arbiters in a pair
@@ -1151,6 +1213,14 @@ impl Router {
         only_older_than: Option<Tick>,
     ) {
         let lookahead = self.cfg.timing.core_cycles(self.cfg.la_lookahead());
+        // Weight stamping (iLQF/iOCF, or oracle measurement): depth is the
+        // VC's waiting-entry count behind the candidate (≥ 1, since the
+        // candidate itself waits there); age is the candidate's eligibility
+        // age in core cycles, floored at 1 so a requested cell never
+        // carries weight 0. `None` stamps 0 everywhere — the unweighted
+        // kernels never read the plane.
+        let weight_kind = self.weight_kind;
+        let core_period = self.cfg.timing.core.period().as_ticks().max(1);
         let mut collected = std::mem::take(&mut self.scratch_collect);
         for input in 0..NUM_INPUT_PORTS {
             let rows = [2 * input, 2 * input + 1];
@@ -1236,6 +1306,15 @@ impl Router {
                     for &idx in &collected[start as usize..end as usize] {
                         let m = &metas[idx as usize];
                         let id = EntryId::new(idx, m.gen);
+                        let weight = match weight_kind {
+                            None => 0,
+                            Some(WeightKind::Depth) => buf.waiting_count(vc_idx as usize) as u32,
+                            Some(WeightKind::Age) => {
+                                let age = now.saturating_sub(buf.entry_eligible_at(idx)).as_ticks()
+                                    / core_period;
+                                age.min(u32::MAX as u64 - 1) as u32 + 1
+                            }
+                        };
                         match self.eligibility_meta(m, wired) {
                             Eligibility::None => {}
                             Eligibility::Local { outputs } => {
@@ -1250,6 +1329,7 @@ impl Router {
                                             entry: id,
                                             downstream_vc: None,
                                         },
+                                        weight,
                                     );
                                 }
                             }
@@ -1265,6 +1345,7 @@ impl Router {
                                             entry: id,
                                             downstream_vc: Some(vc),
                                         },
+                                        weight,
                                     );
                                 }
                             }
@@ -1276,6 +1357,7 @@ impl Router {
                                         entry: id,
                                         downstream_vc: Some(vc),
                                     },
+                                    weight,
                                 );
                             }
                         }

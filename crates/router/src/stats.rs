@@ -26,6 +26,14 @@ pub struct RouterStats {
     pub escape_dispatches: Counter,
     /// Times the anti-starvation drain mode engaged.
     pub drain_engagements: Counter,
+    /// Total matching weight (depth plane) achieved across all windows.
+    /// Accumulated only when `measure_matching_weight` is set — zero in
+    /// every ordinary configuration.
+    pub matched_weight: Counter,
+    /// Total maximum-weight-matching (Hungarian oracle) weight across the
+    /// same windows. Accumulated only when `measure_matching_weight` is
+    /// set; `matched_weight / mwm_weight` is the optimality gap.
+    pub mwm_weight: Counter,
 }
 
 impl RouterStats {

@@ -29,7 +29,10 @@
 
 use arbitration::arbiter::{Arbiter, ArbitrationInput, McmArbiter};
 use arbitration::islip::IslipArbiter;
-use arbitration::matrix::{ConnectionMatrix, RequestMatrix};
+use arbitration::lqf::LqfArbiter;
+use arbitration::matrix::{ConnectionMatrix, RequestMatrix, WeightMatrix};
+use arbitration::mwm::{self, MwmArbiter};
+use arbitration::ocf::OcfArbiter;
 use arbitration::opf::OpfArbiter;
 use arbitration::pim::PimArbiter;
 use arbitration::ports::{InputPort, OutputPort, NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS};
@@ -60,6 +63,20 @@ pub enum AlgoKind {
     },
     /// The plain parallel round-robin matcher (iSLIP without the slip).
     RoundRobin,
+    /// iLQF: iterative longest-queue-first on the depth weight plane.
+    Ilqf {
+        /// Grant/accept rounds per arbitration.
+        iterations: u8,
+    },
+    /// iOCF: iterative oldest-cell-first on the age weight plane.
+    Iocf {
+        /// Grant/accept rounds per arbitration.
+        iterations: u8,
+    },
+    /// The exact maximum-weight-matching oracle (Hungarian, depth
+    /// weights) — tabulated beside the real algorithms the same way MCM
+    /// provides the cardinality bound.
+    Mwm,
 }
 
 impl AlgoKind {
@@ -72,10 +89,12 @@ impl AlgoKind {
         AlgoKind::Spaa,
     ];
 
-    /// The Figure 8 set extended with the iSLIP family and its plain
-    /// round-robin baseline (the matching-quality comparison rows the
-    /// extension study reports alongside the paper's algorithms).
-    pub const EXTENDED: [AlgoKind; 9] = [
+    /// The Figure 8 set extended with the iSLIP family, its plain
+    /// round-robin baseline, the weighted iterative kernels, and the MWM
+    /// oracle (the matching-quality comparison rows the extension study
+    /// reports alongside the paper's algorithms). New members are
+    /// appended so existing column positions never move.
+    pub const EXTENDED: [AlgoKind; 13] = [
         AlgoKind::Mcm,
         AlgoKind::Wfa,
         AlgoKind::Pim,
@@ -85,6 +104,10 @@ impl AlgoKind {
         AlgoKind::Islip { iterations: 2 },
         AlgoKind::Islip { iterations: 3 },
         AlgoKind::RoundRobin,
+        AlgoKind::Ilqf { iterations: 1 },
+        AlgoKind::Ilqf { iterations: 2 },
+        AlgoKind::Iocf { iterations: 1 },
+        AlgoKind::Mwm,
     ];
 
     /// Display label.
@@ -101,7 +124,22 @@ impl AlgoKind {
             AlgoKind::Islip { iterations: 3 } => "iSLIP3",
             AlgoKind::Islip { .. } => "iSLIP",
             AlgoKind::RoundRobin => "RR",
+            AlgoKind::Ilqf { iterations: 1 } => "iLQF1",
+            AlgoKind::Ilqf { iterations: 2 } => "iLQF2",
+            AlgoKind::Ilqf { iterations: 3 } => "iLQF3",
+            AlgoKind::Ilqf { .. } => "iLQF",
+            AlgoKind::Iocf { iterations: 1 } => "iOCF1",
+            AlgoKind::Iocf { iterations: 2 } => "iOCF2",
+            AlgoKind::Iocf { iterations: 3 } => "iOCF3",
+            AlgoKind::Iocf { .. } => "iOCF",
+            AlgoKind::Mwm => "MWM",
         }
+    }
+
+    /// True for the algorithms scheduling on the age plane (everyone else
+    /// weighted schedules on — and every gap is reported in — depth).
+    fn uses_age_weights(self) -> bool {
+        matches!(self, AlgoKind::Iocf { .. })
     }
 
     fn build(self) -> Box<dyn Arbiter> {
@@ -121,6 +159,17 @@ impl AlgoKind {
                 NUM_ARBITER_ROWS,
                 NUM_OUTPUT_PORTS,
             )),
+            AlgoKind::Ilqf { iterations } => Box::new(LqfArbiter::new(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            AlgoKind::Iocf { iterations } => Box::new(OcfArbiter::new(
+                NUM_ARBITER_ROWS,
+                NUM_OUTPUT_PORTS,
+                iterations as usize,
+            )),
+            AlgoKind::Mwm => Box::new(MwmArbiter::new()),
         }
     }
 }
@@ -276,6 +325,49 @@ impl RouterState {
         ArbitrationInput::new(req, noms)
     }
 
+    /// Computes the two weight planes of the current queue state over a
+    /// request matrix built by [`RouterState::arbitration_input`]:
+    ///
+    /// * **depth** of a requested `(row, col)` cell — how many packets in
+    ///   the visible window could depart through it (the backlog iLQF
+    ///   drains fastest by serving);
+    /// * **age** — the queue seniority of the *oldest* such packet,
+    ///   `window − position` so the front-of-queue packet scores highest
+    ///   (the standalone model has no timestamps; queue position is its
+    ///   arrival order).
+    ///
+    /// Both are ≥ 1 on every requested cell (a request implies at least
+    /// one usable packet) and draw no random numbers, so computing them
+    /// beside every algorithm leaves existing results byte-identical.
+    fn weight_planes(&self, req: &RequestMatrix) -> (WeightMatrix, WeightMatrix) {
+        let mut depth = WeightMatrix::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS);
+        let mut age = WeightMatrix::new(NUM_ARBITER_ROWS, NUM_OUTPUT_PORTS);
+        for port in 0..8 {
+            let q = &self.queues[port];
+            for rp in 0..2 {
+                let row = port * 2 + rp;
+                let mut mask = req.row_mask(row);
+                while mask != 0 {
+                    let col = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let mut d = 0u32;
+                    let mut a = 0u32;
+                    for (pos, pkt) in q.iter().take(16).enumerate() {
+                        if pkt.outputs & (1 << col) != 0 {
+                            d += 1;
+                            if a == 0 {
+                                a = 16 - pos as u32;
+                            }
+                        }
+                    }
+                    depth.set(row, col, d);
+                    age.set(row, col, a);
+                }
+            }
+        }
+        (depth, age)
+    }
+
     /// Removes matched packets and returns how many packets actually
     /// left. For each granted (row, output) the oldest packet at that
     /// row's input port that can use the output departs. A grant that
@@ -304,6 +396,27 @@ pub struct StandaloneResult {
     pub matches_per_cycle: f64,
     /// Mean packets loaded per port per iteration.
     pub mean_loaded_per_port: f64,
+    /// Mean matching weight per cycle on the **depth** plane (every
+    /// algorithm is scored on the same plane so the columns compare;
+    /// iOCF *schedules* on age but is scored here like everyone else).
+    pub weight_per_cycle: f64,
+    /// Mean exact maximum-weight-matching (Hungarian oracle) weight per
+    /// cycle on the same depth plane. `weight_per_cycle /
+    /// mwm_weight_per_cycle` is the optimality gap reported in fig08's
+    /// extended table.
+    pub mwm_weight_per_cycle: f64,
+}
+
+impl StandaloneResult {
+    /// Achieved weight as a fraction of the exact optimum (1.0 when no
+    /// weight was ever at stake).
+    pub fn optimality_gap(&self) -> f64 {
+        if self.mwm_weight_per_cycle == 0.0 {
+            1.0
+        } else {
+            self.weight_per_cycle / self.mwm_weight_per_cycle
+        }
+    }
 }
 
 /// Runs the standalone model for one algorithm: independent loaded-router
@@ -314,6 +427,8 @@ pub fn run_standalone(kind: AlgoKind, cfg: &StandaloneConfig) -> StandaloneResul
     let mut state = RouterState::new();
     let mut matches = 0u64;
     let mut loaded = 0u64;
+    let mut weight = 0u64;
+    let mut mwm_weight = 0u64;
     for _ in 0..cfg.iterations {
         // Load the router up afresh.
         for port in 0..8 {
@@ -336,14 +451,28 @@ pub fn run_standalone(kind: AlgoKind, cfg: &StandaloneConfig) -> StandaloneResul
             }
         }
         if free != 0 {
-            let input = state.arbitration_input(free, &mut rng);
+            let mut input = state.arbitration_input(free, &mut rng);
+            // Weight instrumentation: planes and oracle solve draw no RNG
+            // and unweighted algorithms never read `input.weights`, so the
+            // existing algorithms' match counts stay byte-identical.
+            let (depth, age) = state.weight_planes(&input.requests);
+            let optimal = mwm::maximum_weight_matching(&input.requests, &depth);
+            mwm_weight += depth.matching_weight(&optimal);
+            input.weights = Some(if kind.uses_age_weights() {
+                age
+            } else {
+                depth.clone()
+            });
             let m = algo.arbitrate(&input, &mut rng);
+            weight += depth.matching_weight(&m);
             matches += state.commit(&m);
         }
     }
     StandaloneResult {
         matches_per_cycle: matches as f64 / cfg.iterations as f64,
         mean_loaded_per_port: loaded as f64 / cfg.iterations as f64 / 8.0,
+        weight_per_cycle: weight as f64 / cfg.iterations as f64,
+        mwm_weight_per_cycle: mwm_weight as f64 / cfg.iterations as f64,
     }
 }
 
@@ -485,6 +614,82 @@ mod tests {
         let labels: Vec<&str> = AlgoKind::EXTENDED.iter().map(|k| k.label()).collect();
         for want in ["iSLIP1", "iSLIP2", "iSLIP3", "RR"] {
             assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+        // The original nine keep their positions; the weighted family is
+        // appended after them.
+        assert_eq!(&labels[9..], ["iLQF1", "iLQF2", "iOCF1", "MWM"]);
+    }
+
+    #[test]
+    fn mwm_weight_dominates_every_algorithm() {
+        // The oracle column must upper-bound every achieved-weight column
+        // at every load — that is the whole point of the gap table.
+        for load in [0.2, 1.0] {
+            let c = cfg(load, 0.0);
+            for kind in AlgoKind::EXTENDED {
+                let r = run_standalone(kind, &c);
+                assert!(
+                    r.weight_per_cycle <= r.mwm_weight_per_cycle + 1e-9,
+                    "{} at load {load}: {:.3} above the oracle {:.3}",
+                    kind.label(),
+                    r.weight_per_cycle,
+                    r.mwm_weight_per_cycle
+                );
+                let gap = r.optimality_gap();
+                assert!((0.0..=1.0 + 1e-9).contains(&gap), "gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn mwm_achieves_its_own_bound() {
+        // Scheduling with the oracle itself closes the gap exactly.
+        let r = run_standalone(AlgoKind::Mwm, &cfg(1.0, 0.0));
+        assert!(
+            (r.optimality_gap() - 1.0).abs() < 1e-12,
+            "MWM gap {:.6}",
+            r.optimality_gap()
+        );
+        assert!(r.mwm_weight_per_cycle > 0.0);
+    }
+
+    #[test]
+    fn ilqf_outweighs_islip_at_saturation() {
+        // iLQF exists to chase weight; at full load it must collect more
+        // depth-weight than the unweighted iterative matcher with the
+        // same iteration count, and sit close to the oracle.
+        let c = cfg(1.0, 0.0);
+        let ilqf = run_standalone(AlgoKind::Ilqf { iterations: 1 }, &c);
+        let islip = run_standalone(AlgoKind::Islip { iterations: 1 }, &c);
+        assert!(
+            ilqf.weight_per_cycle > islip.weight_per_cycle,
+            "iLQF1 {:.2} vs iSLIP1 {:.2}",
+            ilqf.weight_per_cycle,
+            islip.weight_per_cycle
+        );
+        assert!(
+            ilqf.optimality_gap() > 0.8,
+            "iLQF1 gap {:.3}",
+            ilqf.optimality_gap()
+        );
+    }
+
+    #[test]
+    fn weighted_results_are_deterministic() {
+        let c = cfg(0.7, 0.25);
+        for kind in [
+            AlgoKind::Ilqf { iterations: 2 },
+            AlgoKind::Iocf { iterations: 1 },
+            AlgoKind::Mwm,
+        ] {
+            let a = run_standalone(kind, &c);
+            let b = run_standalone(kind, &c);
+            assert_eq!(a.matches_per_cycle.to_bits(), b.matches_per_cycle.to_bits());
+            assert_eq!(a.weight_per_cycle.to_bits(), b.weight_per_cycle.to_bits());
+            assert_eq!(
+                a.mwm_weight_per_cycle.to_bits(),
+                b.mwm_weight_per_cycle.to_bits()
+            );
         }
     }
 

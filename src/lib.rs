@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use router::{
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,
-        Router, RouterConfig, RouterOutput, RouterTiming, VcId,
+        Router, RouterConfig, RouterOutput, RouterTiming, VcId, WeightKind,
     };
     pub use simcore::{BnfCurve, BnfPoint, ReplicatedBnfCurve, ReplicatedBnfPoint, SimRng, Tick};
     pub use standalone::{

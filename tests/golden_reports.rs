@@ -200,6 +200,21 @@ fn cases() -> Vec<Case> {
             cases.push(case_shape(FullMesh::new(5).into(), algo, rate, 1));
         }
     }
+    // Weighted kernels (appended so every digest above keeps its
+    // position): iLQF 1–2 and iOCF 1 across the same load ladder, plus
+    // the hotspot/bursty skew cases where the weight planes actually
+    // differentiate the grants.
+    for algo in [
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        ArbAlgorithm::Ilqf { iterations: 2 },
+        ArbAlgorithm::Iocf { iterations: 1 },
+    ] {
+        for rate in [0.01, 0.04, 0.1] {
+            cases.push(case_4x4(algo, TrafficPattern::Uniform, false, rate, 1));
+        }
+        cases.push(case_4x4(algo, hotspot, false, 0.04, 1));
+        cases.push(case_4x4(algo, TrafficPattern::Uniform, true, 0.04, 1));
+    }
     cases
 }
 
@@ -256,6 +271,36 @@ fn digest_line(c: &Case) -> String {
         lat.0,
         hist.0,
     )
+}
+
+/// The MWM oracle is a pure observer: switching it on must change
+/// nothing the digests measure — it draws no RNG, feeds nothing back
+/// into grants, and only accumulates two extra counters.
+#[test]
+fn oracle_observation_does_not_perturb_reports() {
+    let run = |measure: bool| {
+        let mut router = RouterConfig::alpha_21364(ArbAlgorithm::Islip { iterations: 2 });
+        router.measure_matching_weight = measure;
+        let cfg = NetworkConfig {
+            topology: Torus::net_4x4().into(),
+            router,
+            seed: 3,
+            warmup_cycles: 400,
+            measure_cycles: 1600,
+        };
+        let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.04);
+        let endpoints = build_endpoints(&cfg, &wl);
+        NetworkSim::new(cfg, endpoints).run()
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.delivered_packets, on.delivered_packets);
+    assert_eq!(off.grants, on.grants);
+    assert_eq!(off.collisions, on.collisions);
+    assert_eq!(off.latency.mean().to_bits(), on.latency.mean().to_bits());
+    assert_eq!(off.matched_weight, 0, "oracle off: no weight accumulation");
+    assert!(on.matched_weight > 0, "oracle on: windows were scored");
+    assert!(on.mwm_weight >= on.matched_weight, "oracle bound violated");
 }
 
 #[test]

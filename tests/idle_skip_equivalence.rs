@@ -103,13 +103,19 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         a.drain_engagements, b.drain_engagements,
         "{label}: drain engagements"
     );
+    assert_eq!(
+        a.matched_weight, b.matched_weight,
+        "{label}: matched weight"
+    );
+    assert_eq!(a.mwm_weight, b.mwm_weight, "{label}: MWM oracle weight");
 }
 
 #[test]
 fn idle_skip_is_bit_for_bit_equivalent() {
     // Every arbitration driver (pipelined SPAA, the windowed PIM1/WFA —
-    // base and rotary — and the windowed iSLIP family at every iteration
-    // count) across seeds and load levels from near-idle to saturation.
+    // base and rotary — the windowed iSLIP family at every iteration
+    // count, and the weighted iLQF/iOCF kernels) across seeds and load
+    // levels from near-idle to saturation.
     let algos = [
         ArbAlgorithm::SpaaBase,
         ArbAlgorithm::SpaaRotary,
@@ -119,6 +125,8 @@ fn idle_skip_is_bit_for_bit_equivalent() {
         ArbAlgorithm::Islip { iterations: 1 },
         ArbAlgorithm::Islip { iterations: 2 },
         ArbAlgorithm::Islip { iterations: 3 },
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        ArbAlgorithm::Iocf { iterations: 1 },
     ];
     for algo in algos {
         for (seed, rate) in [(1u64, 0.002), (2, 0.02), (3, 0.1)] {
@@ -257,6 +265,45 @@ fn idle_skip_equivalence_on_mesh_and_full_mesh() {
             &run_shape(topology, false),
             &run_shape(topology, true),
             &label,
+        );
+    }
+}
+
+#[test]
+fn idle_skip_equivalence_holds_with_matching_weight_oracle() {
+    // The per-window Hungarian oracle observes the same snapshots the
+    // kernels arbitrate on, so its counters must replay identically when
+    // idle windows are skipped — including for unweighted kernels, whose
+    // snapshot weights are only populated when the oracle is engaged.
+    for algo in [
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        ArbAlgorithm::Iocf { iterations: 1 },
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        let run_measured = |idle_skip: bool| {
+            let mut router = RouterConfig::alpha_21364(algo);
+            router.measure_matching_weight = true;
+            let cfg = NetworkConfig {
+                topology: Torus::net_4x4().into(),
+                router,
+                seed: 51,
+                warmup_cycles: 600,
+                measure_cycles: 2_400,
+            };
+            let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
+            let endpoints = workload::build_endpoints(&cfg, &wl);
+            let mut sim = NetworkSim::new(cfg, endpoints);
+            sim.set_idle_skip(idle_skip);
+            sim.run()
+        };
+        let label = format!("{algo} oracle");
+        let off = run_measured(false);
+        let on = run_measured(true);
+        assert_reports_identical(&off, &on, &label);
+        assert!(off.matched_weight > 0, "{label}: oracle saw no windows");
+        assert!(
+            off.mwm_weight >= off.matched_weight,
+            "{label}: oracle bound violated"
         );
     }
 }

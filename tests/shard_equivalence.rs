@@ -110,18 +110,26 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         a.drain_engagements, b.drain_engagements,
         "{label}: drain engagements"
     );
+    assert_eq!(
+        a.matched_weight, b.matched_weight,
+        "{label}: matched weight"
+    );
+    assert_eq!(a.mwm_weight, b.mwm_weight, "{label}: MWM oracle weight");
 }
 
 #[test]
 fn sharded_engine_is_bit_for_bit_equivalent_across_worker_counts() {
     // Every arbitration driver family (pipelined SPAA, windowed PIM1 and
-    // WFA, windowed iSLIP) at loads from near-idle to the saturation
-    // knee, against every worker count in WORKER_COUNTS.
+    // WFA, windowed iSLIP, and the weighted iLQF/iOCF kernels) at loads
+    // from near-idle to the saturation knee, against every worker count
+    // in WORKER_COUNTS.
     let algos = [
         ArbAlgorithm::SpaaRotary,
         ArbAlgorithm::WfaRotary,
         ArbAlgorithm::Pim1,
         ArbAlgorithm::Islip { iterations: 2 },
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        ArbAlgorithm::Iocf { iterations: 1 },
     ];
     for algo in algos {
         for (seed, rate) in [(1u64, 0.002), (2, 0.02), (3, 0.1)] {
@@ -236,6 +244,29 @@ fn sharded_engine_is_equivalent_on_mesh_and_full_mesh() {
     for workers in [2, 3, 5] {
         let label = format!("fullmesh5 workers={workers}");
         let sharded = run_sharded(&fm_cfg, &fm_wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_with_matching_weight_oracle() {
+    // The Hungarian oracle's counters are plain per-router sums, but the
+    // windows they observe depend on flit arrival timing — the exact
+    // thing shard scheduling could perturb. Nonzero counters must merge
+    // to the same totals for every worker count.
+    let mut cfg = config(
+        Torus::net_4x4(),
+        ArbAlgorithm::Ilqf { iterations: 1 },
+        29,
+        3_000,
+    );
+    cfg.router.measure_matching_weight = true;
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
+    let single = run_single(&cfg, &wl, true);
+    assert!(single.matched_weight > 0, "oracle saw no windows");
+    for workers in [2, 3, 4, 8] {
+        let label = format!("oracle workers={workers}");
+        let sharded = run_sharded(&cfg, &wl, workers, true);
         assert_reports_identical(&single, &sharded, &label);
     }
 }

@@ -38,6 +38,10 @@ const JOBS: &[(&str, &[&str])] = &[
     ("fig_topology", &["--out", "results/BENCH_topology.json"]),
     ("fig_scenarios", &["--out", "results/BENCH_scenarios.json"]),
     ("fig_weighted", &["--out", "results/BENCH_weighted.json"]),
+    (
+        "fig_closedloop",
+        &["--out", "results/BENCH_closedloop.json"],
+    ),
     ("fig_bigtorus", &["--out", "results/BENCH_bigtorus.json"]),
     // Non-gating engine-speed smoke: prints cycles/sec for the saturated
     // open-loop panel so perf regressions show up in repro logs (compare

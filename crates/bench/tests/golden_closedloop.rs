@@ -1,0 +1,58 @@
+//! Golden regression pin for the quick-mode closed-loop table.
+//!
+//! The closed-loop harness is deterministic end to end (seeded PCG
+//! streams, `parallel_map` returns results in input order, and the
+//! embedded bit-exactness probe asserts the sharded engine agrees with
+//! itself), so the quick-mode stdout — every BNF cell, every transaction
+//! latency, every MSHR stall count — is a pure function of the code.
+//! Any drift in the transaction lifecycle, the MSHR gating, or the
+//! per-transaction measurement path fails here instead of silently
+//! changing committed BENCH data at the next regeneration.
+//!
+//! When a change is *intended* to move the numbers, regenerate the pin
+//! and review the diff like any other figure change:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_closedloop -- --quick \
+//!     --out /tmp/BENCH_closedloop_quick.json \
+//!     | grep -v '^wrote ' > crates/bench/tests/golden/closedloop_quick.txt
+//! ```
+
+use std::process::Command;
+
+#[test]
+fn closedloop_quick_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig_closedloop"))
+        .args([
+            "--quick",
+            "--out",
+            &format!(
+                "{}/BENCH_closedloop_pin.json",
+                std::env::temp_dir().display()
+            ),
+        ])
+        .output()
+        .expect("run fig_closedloop");
+    assert!(
+        out.status.success(),
+        "fig_closedloop failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 table");
+    // The trailing "wrote <path>" line names a temp path; everything
+    // above it is the pinned table.
+    let table: String = stdout
+        .lines()
+        .filter(|l| !l.starts_with("wrote "))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let golden = include_str!("golden/closedloop_quick.txt");
+    assert!(
+        table == golden,
+        "fig_closedloop quick output drifted from the golden pin.\n\
+         If intended, regenerate crates/bench/tests/golden/closedloop_quick.txt \
+         (see this test's module docs).\n\
+         --- golden ---\n{golden}\n--- actual ---\n{table}"
+    );
+}

@@ -37,5 +37,7 @@ pub mod topology;
 
 pub use routing::{route_for, FullMeshRouting, MeshRouting, Routing, TorusRouting};
 pub use sharded::ShardedNetworkSim;
-pub use sim::{Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx};
+pub use sim::{
+    Endpoint, InjectionOutcome, NetworkConfig, NetworkReport, NetworkSim, NodeCtx, TxnCompletion,
+};
 pub use topology::{FullMesh, LinkTarget, Mesh, NetTopology, ShardMap, Topology, Torus};

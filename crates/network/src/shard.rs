@@ -122,6 +122,11 @@ pub(crate) struct MeasureRecord {
     emit_seq: u32,
     pub(crate) transit_ns: f64,
     pub(crate) total_ns: f64,
+    /// Round-trip latency of the closed-loop transaction this delivery
+    /// completed (`None` for deliveries that are not terminal replies).
+    /// Riding the canonical replay keeps the per-transaction Welford
+    /// accumulator bit-exact across engines and worker counts.
+    pub(crate) txn_ns: Option<f64>,
 }
 
 impl MeasureRecord {
@@ -143,12 +148,25 @@ pub(crate) fn replay_records(
     records: &mut Vec<MeasureRecord>,
     latency: &mut simcore::stats::OnlineStats,
     total_latency: &mut simcore::stats::OnlineStats,
+    txn_latency: &mut simcore::stats::OnlineStats,
 ) {
     records.sort_unstable_by_key(MeasureRecord::key);
     for r in records.drain(..) {
         latency.record(r.transit_ns);
         total_latency.record(r.total_ns);
+        if let Some(txn_ns) = r.txn_ns {
+            txn_latency.record(txn_ns);
+        }
     }
+}
+
+/// The transaction-latency histogram every shard partial uses: a closed
+/// -loop round trip is two network transits plus the 73 ns memory (or
+/// L2) lookup plus source queueing, so the clamp sits 4× above the
+/// packet-transit histogram; beyond-clamp round trips land in the
+/// overflow bucket exactly like packet latencies.
+pub(crate) fn txn_histogram() -> Histogram {
+    Histogram::new(0.0, 8000.0, 200)
 }
 
 /// The per-worker slice of a simulation: routers, endpoints, deliveries,
@@ -177,9 +195,14 @@ pub(crate) struct Shard<E> {
     pub(crate) injected_flits: u64,
     pub(crate) measured_packets: u64,
     pub(crate) measured_flits: u64,
+    /// Closed-loop transactions completed in the measurement window.
+    pub(crate) measured_txns: u64,
     /// Transit-latency histogram partial (bin counts are integers, so
     /// shard partials merge exactly; see [`Histogram::merge`]).
     pub(crate) latency_hist: Histogram,
+    /// Transaction round-trip latency histogram partial (merges exactly
+    /// for the same reason).
+    pub(crate) txn_latency_hist: Histogram,
 }
 
 impl<E: Endpoint> Shard<E> {
@@ -207,7 +230,9 @@ impl<E: Endpoint> Shard<E> {
             injected_flits: 0,
             measured_packets: 0,
             measured_flits: 0,
+            measured_txns: 0,
             latency_hist: Histogram::new(0.0, 2000.0, 200),
+            txn_latency_hist: txn_histogram(),
             routers,
             endpoints,
         }
@@ -296,12 +321,17 @@ impl<E: Endpoint> Shard<E> {
         due.clear();
         self.deliveries.drain_due(now, &mut due);
         for &(at, ref d) in &due {
-            self.endpoints[(d.node - self.base) as usize].on_delivered(&d.packet, at);
+            let txn = self.endpoints[(d.node - self.base) as usize].on_delivered(&d.packet, at);
             if at >= env.warmup_end {
                 let transit_ns = (at - d.packet.injected).as_ns();
                 self.latency_hist.record(transit_ns);
                 self.measured_packets += 1;
                 self.measured_flits += d.packet.len() as u64;
+                let txn_ns = txn.map(|t| (at - t.issued).as_ns());
+                if let Some(txn_ns) = txn_ns {
+                    self.measured_txns += 1;
+                    self.txn_latency_hist.record(txn_ns);
+                }
                 records.push(MeasureRecord {
                     at,
                     emit_cycle: d.emit_cycle,
@@ -309,6 +339,7 @@ impl<E: Endpoint> Shard<E> {
                     emit_seq: d.emit_seq,
                     transit_ns,
                     total_ns: (at - d.packet.birth).as_ns(),
+                    txn_ns,
                 });
             }
         }

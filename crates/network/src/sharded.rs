@@ -63,6 +63,7 @@ pub struct ShardedNetworkSim<E: Endpoint> {
     cycle: u64,
     latency: OnlineStats,
     total_latency: OnlineStats,
+    txn_latency: OnlineStats,
 }
 
 impl<E: Endpoint + Send> ShardedNetworkSim<E> {
@@ -104,6 +105,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
             cycle: 0,
             latency: OnlineStats::new(),
             total_latency: OnlineStats::new(),
+            txn_latency: OnlineStats::new(),
             cfg,
         }
     }
@@ -123,6 +125,17 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
         let s = self.map.shard_of(node);
         let base = self.map.range(s).start;
         &self.shards[s]
+            .get_mut()
+            .expect("worker fleet panicked")
+            .endpoints[(node - base) as usize]
+    }
+
+    /// Mutable endpoint access between runs (e.g. to stop generation
+    /// before a drain window).
+    pub fn endpoint_mut(&mut self, node: u16) -> &mut E {
+        let s = self.map.shard_of(node);
+        let base = self.map.range(s).start;
+        &mut self.shards[s]
             .get_mut()
             .expect("worker fleet panicked")
             .endpoints[(node - base) as usize]
@@ -179,7 +192,12 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
             for OutEvent { src, ev } in outbox.drain(..) {
                 shard.apply(&env, src, ev);
             }
-            replay_records(&mut records, &mut self.latency, &mut self.total_latency);
+            replay_records(
+                &mut records,
+                &mut self.latency,
+                &mut self.total_latency,
+                &mut self.txn_latency,
+            );
         }
     }
 
@@ -219,6 +237,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
         let cfg = &self.cfg;
         let latency = &mut self.latency;
         let total_latency = &mut self.total_latency;
+        let txn_latency = &mut self.txn_latency;
 
         std::thread::scope(|scope| {
             for me in 0..w {
@@ -276,7 +295,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
                     for shard_records in &records[parity] {
                         scratch.append(&mut shard_records.lock().expect("worker fleet panicked"));
                     }
-                    replay_records(&mut scratch, latency, total_latency);
+                    replay_records(&mut scratch, latency, total_latency, txn_latency);
                 }
             }
         });
@@ -303,6 +322,7 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
             shards,
             &self.latency,
             &self.total_latency,
+            &self.txn_latency,
         )
     }
 }

@@ -110,13 +110,33 @@ impl NodeCtx<'_> {
     }
 }
 
+/// Reported by an endpoint whose delivery just completed a closed-loop
+/// transaction (the terminal reply of a request→reply flow drained).
+///
+/// The engine turns the completion into a per-transaction latency sample
+/// — `now - issued` nanoseconds, reply-drain minus request-issue — and
+/// accumulates it through the same canonical-order replay as the packet
+/// latencies, so the statistic is bit-exact across idle-skip settings,
+/// engines, and shard worker counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnCompletion {
+    /// Tick at which the requester *issued* the original request (packet
+    /// creation, before source queueing — the closed-loop round trip
+    /// includes the time spent waiting to enter the network).
+    pub issued: Tick,
+}
+
 /// A per-node traffic agent.
 pub trait Endpoint {
     /// Called once per core cycle; may inject packets via `ctx`.
     fn on_cycle(&mut self, ctx: &mut NodeCtx<'_>);
 
     /// Called when a packet addressed to this node completes delivery.
-    fn on_delivered(&mut self, packet: &Packet, now: Tick);
+    ///
+    /// Returns `Some` when this delivery was the terminal reply of a
+    /// closed-loop transaction; open-loop or packet-level endpoints
+    /// return `None` and no transaction latency is recorded.
+    fn on_delivered(&mut self, packet: &Packet, now: Tick) -> Option<TxnCompletion>;
 }
 
 /// Network configuration.
@@ -183,6 +203,17 @@ pub struct NetworkReport {
     /// same windows; `matched_weight / mwm_weight` is the network-wide
     /// optimality gap.
     pub mwm_weight: u64,
+    /// Closed-loop transactions whose terminal reply drained inside the
+    /// measurement window (0 for open-loop endpoints that never report a
+    /// [`TxnCompletion`]).
+    pub completed_txns: u64,
+    /// Per-transaction round-trip latency (ns), request-issue to
+    /// reply-drain — the closed-loop analogue of the BNF y-axis, immune
+    /// to the open-loop backward bend because the requester cannot issue
+    /// past its MSHR file.
+    pub txn_latency: OnlineStats,
+    /// Transaction-latency distribution (ns).
+    pub txn_latency_hist: Histogram,
 }
 
 impl NetworkReport {
@@ -204,6 +235,12 @@ impl NetworkReport {
     /// histogram clamp (routine under saturation, where tails pass 2 µs).
     pub fn latency_overflow(&self) -> u64 {
         self.latency_hist.overflow()
+    }
+
+    /// Mean transaction round-trip latency in nanoseconds (0 when no
+    /// closed-loop transaction completed in the measurement window).
+    pub fn avg_txn_latency_ns(&self) -> f64 {
+        self.txn_latency.mean()
     }
 }
 
@@ -228,6 +265,7 @@ pub struct NetworkSim<E: Endpoint> {
     cycle: u64,
     latency: OnlineStats,
     total_latency: OnlineStats,
+    txn_latency: OnlineStats,
 }
 
 impl<E: Endpoint> NetworkSim<E> {
@@ -250,6 +288,7 @@ impl<E: Endpoint> NetworkSim<E> {
             cycle: 0,
             latency: OnlineStats::new(),
             total_latency: OnlineStats::new(),
+            txn_latency: OnlineStats::new(),
             topology,
             cfg,
         }
@@ -268,6 +307,13 @@ impl<E: Endpoint> NetworkSim<E> {
     /// Endpoint access after a run.
     pub fn endpoint(&self, node: u16) -> &E {
         &self.shard.endpoints[node as usize]
+    }
+
+    /// Mutable endpoint access (drain control in conservation tests:
+    /// e.g. halting a closed-loop generator before stepping the network
+    /// to empty).
+    pub fn endpoint_mut(&mut self, node: u16) -> &mut E {
+        &mut self.shard.endpoints[node as usize]
     }
 
     /// Enables or disables idle-skip (on by default). The two modes
@@ -314,7 +360,12 @@ impl<E: Endpoint> NetworkSim<E> {
         self.outbox = outbox;
 
         // Latency accumulation in canonical delivery order.
-        replay_records(&mut records, &mut self.latency, &mut self.total_latency);
+        replay_records(
+            &mut records,
+            &mut self.latency,
+            &mut self.total_latency,
+            &mut self.txn_latency,
+        );
         self.records = records;
 
         self.cycle += 1;
@@ -335,6 +386,7 @@ impl<E: Endpoint> NetworkSim<E> {
             std::iter::once(&self.shard),
             &self.latency,
             &self.total_latency,
+            &self.txn_latency,
         )
     }
 }
@@ -350,6 +402,7 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
     shards: impl IntoIterator<Item = &'a Shard<E>>,
     latency: &OnlineStats,
     total_latency: &OnlineStats,
+    txn_latency: &OnlineStats,
 ) -> NetworkReport {
     let routers = cfg.topology.nodes() as f64;
     let mut nominations = 0;
@@ -364,7 +417,9 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
     let mut injected_flits = 0;
     let mut measured_packets = 0;
     let mut measured_flits = 0;
+    let mut measured_txns = 0;
     let mut latency_hist = Histogram::new(0.0, 2000.0, 200);
+    let mut txn_latency_hist = crate::shard::txn_histogram();
     for shard in shards {
         for r in &shard.routers {
             nominations += r.stats().nominations.get();
@@ -381,7 +436,9 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
         injected_flits += shard.injected_flits;
         measured_packets += shard.measured_packets;
         measured_flits += shard.measured_flits;
+        measured_txns += shard.measured_txns;
         latency_hist.merge(&shard.latency_hist);
+        txn_latency_hist.merge(&shard.txn_latency_hist);
     }
     NetworkReport {
         delivered_packets: measured_packets,
@@ -400,6 +457,9 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
         drain_engagements: drains,
         matched_weight,
         mwm_weight,
+        completed_txns: measured_txns,
+        txn_latency: txn_latency.clone(),
+        txn_latency_hist,
     }
 }
 
@@ -433,8 +493,9 @@ mod tests {
             }
         }
 
-        fn on_delivered(&mut self, packet: &Packet, now: Tick) {
+        fn on_delivered(&mut self, packet: &Packet, now: Tick) -> Option<TxnCompletion> {
             self.received.push((packet.id.0, now));
+            None
         }
     }
 
@@ -575,8 +636,9 @@ mod tests {
             }
         }
 
-        fn on_delivered(&mut self, _packet: &Packet, _now: Tick) {
+        fn on_delivered(&mut self, _packet: &Packet, _now: Tick) -> Option<TxnCompletion> {
             self.received += 1;
+            None
         }
     }
 

@@ -21,12 +21,12 @@ use crate::mshr::MshrTable;
 use crate::pattern::TrafficPattern;
 use crate::txn::{CoherenceParams, TxnTag};
 use arbitration::ports::InputPort;
-use network::{Endpoint, InjectionOutcome, NetTopology, NodeCtx};
+use network::{Endpoint, InjectionOutcome, NetTopology, NodeCtx, TxnCompletion};
 use router::packet::PacketId;
 use router::{CoherenceClass, Packet};
 use simcore::{SimRng, Tick};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Fork label of the per-node burst phase-machine stream (see
 /// `CoherenceEndpoint::burst_rng`). Forking is a function of the node
@@ -149,9 +149,40 @@ impl WorkloadConfig {
         }
     }
 
+    /// A closed-loop workload with an explicit MSHR capacity: each node
+    /// self-throttles at `mshrs` outstanding transactions, the regime
+    /// the 21364 actually ran in (its cache controller exposed 16
+    /// MSHRs). Sweeping `mshrs` against [`WorkloadConfig::open_loop`]
+    /// shows how the closed loop caps post-saturation latency — the
+    /// `fig_closedloop` bench's headline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshrs` is zero (a node that can never issue).
+    pub fn closed_loop(pattern: TrafficPattern, injection_rate: f64, mshrs: u32) -> Self {
+        assert!(mshrs > 0, "closed loop needs at least one MSHR");
+        WorkloadConfig {
+            pattern,
+            injection_rate,
+            mshrs,
+            coherence: CoherenceParams::default(),
+            burst: None,
+        }
+    }
+
     /// The same workload with bursty on/off generation.
     pub fn with_burst(mut self, burst: BurstConfig) -> Self {
         self.burst = Some(burst);
+        self
+    }
+
+    /// The same workload with a different three-hop transaction mix.
+    pub fn with_three_hop_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "three-hop fraction must be a probability, got {fraction}"
+        );
+        self.coherence.three_hop_fraction = fraction;
         self
     }
 }
@@ -242,6 +273,18 @@ pub struct CoherenceEndpoint {
     burst_rng: SimRng,
     /// Precomputed ON-phase generation probability.
     burst_peak_rate: f64,
+    /// `false` once [`CoherenceEndpoint::stop_generation`] is called:
+    /// the node stops starting transactions (and stops drawing the
+    /// generation RNG) but keeps serving its home/owner roles, so a
+    /// drain window can run the network dry.
+    generating: bool,
+    /// Requester-side book of in-flight transactions: `txn_seq` → the
+    /// cycle the request entered the cache source queue. The matching
+    /// block response removes the entry and reports the issue tick as a
+    /// [`TxnCompletion`], from which the engine measures request-issue →
+    /// reply-drain latency. Keyed lookups only (never iterated), so the
+    /// map's order cannot leak into any simulation output.
+    inflight: HashMap<u32, Tick>,
     send_seq: u64,
     packet_seq: u64,
     txn_seq: u32,
@@ -270,6 +313,8 @@ impl CoherenceEndpoint {
             bursting: true,
             burst_rng,
             burst_peak_rate,
+            generating: true,
+            inflight: HashMap::new(),
             send_seq: 0,
             packet_seq: 0,
             txn_seq: 0,
@@ -285,6 +330,33 @@ impl CoherenceEndpoint {
     /// Outstanding misses right now.
     pub fn outstanding_misses(&self) -> u32 {
         self.mshrs.outstanding()
+    }
+
+    /// Transactions this node has issued whose block response has not
+    /// yet arrived.
+    pub fn inflight_transactions(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Stops the requester role: no further transactions start (and the
+    /// generation RNG stops drawing), while home/owner service
+    /// continues. Used by drain windows that run the network dry to
+    /// check transaction conservation.
+    pub fn stop_generation(&mut self) {
+        self.generating = false;
+    }
+
+    /// `true` when this node holds no transaction state at all: no
+    /// in-flight requests it issued, no memory/L2 lookups pending, and
+    /// empty source queues. After generation stops, every node going
+    /// idle (plus zero packets in flight in the network) means every
+    /// transaction fully drained.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+            && self.pending.is_empty()
+            && self.cache_queue.is_empty()
+            && self.mc_queues[0].is_empty()
+            && self.mc_queues[1].is_empty()
     }
 
     fn next_packet_id(&mut self) -> PacketId {
@@ -307,7 +379,17 @@ impl CoherenceEndpoint {
         } else {
             0
         };
-        self.txn_seq += 1;
+        // Sequence numbers live in the tag's 31-bit field; wrap early
+        // enough that `TxnTag::pack` never sees an out-of-range value.
+        // (A node would need 2^31 transactions to get there; at that
+        // point any same-seq collision with a still-open entry would be
+        // caught by the in-flight book's insert assertion.)
+        self.txn_seq = (self.txn_seq + 1) & 0x7fff_ffff;
+        if self.txn_seq == 0 {
+            self.txn_seq = 1;
+        }
+        let prev = self.inflight.insert(self.txn_seq, now);
+        debug_assert!(prev.is_none(), "transaction seq reused while in flight");
         let tag = TxnTag {
             requester: self.node,
             owner,
@@ -377,7 +459,7 @@ impl Endpoint for CoherenceEndpoint {
         }
 
         // 3. Possibly start a new transaction (closed-loop MSHR limit).
-        let rate = if self.bursting {
+        let rate = if self.bursting && self.generating {
             self.burst_peak_rate
         } else {
             0.0
@@ -406,7 +488,7 @@ impl Endpoint for CoherenceEndpoint {
         self.track_queue_depth();
     }
 
-    fn on_delivered(&mut self, packet: &Packet, now: Tick) {
+    fn on_delivered(&mut self, packet: &Packet, now: Tick) -> Option<TxnCompletion> {
         self.stats.packets_received += 1;
         let tag = TxnTag::unpack(packet.txn);
         match packet.class {
@@ -426,6 +508,7 @@ impl Endpoint for CoherenceEndpoint {
                     dest,
                     tag: packet.txn,
                 }));
+                None
             }
             CoherenceClass::Forward => {
                 // Owner role: L2 lookup, then the data response.
@@ -439,16 +522,23 @@ impl Endpoint for CoherenceEndpoint {
                     dest: tag.requester,
                     tag: packet.txn,
                 }));
+                None
             }
             CoherenceClass::BlockResponse => {
                 // Requester role: the miss completes.
                 debug_assert_eq!(tag.requester, self.node);
+                let issued = self
+                    .inflight
+                    .remove(&tag.seq)
+                    .expect("block response for a transaction this node never issued");
                 self.mshrs.release();
                 self.stats.transactions_completed += 1;
+                Some(TxnCompletion { issued })
             }
             other => {
                 // The coherence workload does not generate these.
                 debug_assert!(false, "unexpected {other} packet in coherence workload");
+                None
             }
         }
     }

@@ -4,6 +4,13 @@
 //! remote memory or caches. This limits the load the 21364 network can
 //! observe." The Figure 11b scaling study raises the limit to 64 to model
 //! future processors.
+//!
+//! [`crate::endpoint::CoherenceEndpoint`] holds one table per node and
+//! gates every generation attempt on [`MshrTable::try_allocate`]; the
+//! terminal block response [`MshrTable::release`]s the entry, closing
+//! the loop. [`crate::WorkloadConfig::closed_loop`] sweeps the capacity
+//! knob and the `fig_closedloop` bench shows it capping post-saturation
+//! latency; DESIGN.md "Closed-loop traffic" states the gating contract.
 
 /// A fixed-capacity outstanding-miss table.
 #[derive(Clone, Debug)]

@@ -9,7 +9,11 @@
 //!   (block response after the 25-cycle L2 lookup).
 //!
 //! The routers treat packets as opaque; the participants recover the
-//! transaction roles from a [`TxnTag`] packed into `Packet::txn`.
+//! transaction roles from a [`TxnTag`] packed into `Packet::txn` —
+//! [`crate::endpoint::CoherenceEndpoint`] drives both flows end to end,
+//! and the requester matches the terminal block response back to its
+//! in-flight book by `(requester, seq)` to release the MSHR and report
+//! the transaction's issue→drain latency to the engine.
 
 use simcore::time::Cycles;
 
@@ -52,8 +56,13 @@ pub struct TxnTag {
 
 impl TxnTag {
     /// Packs into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` does not fit the 31-bit field — a tag that could
+    /// not round-trip must never reach the network.
     pub fn pack(self) -> u64 {
-        debug_assert!(self.seq < (1 << 31));
+        assert!(self.seq < (1 << 31), "TxnTag seq exceeds the 31-bit field");
         (self.requester as u64)
             | ((self.owner as u64) << 16)
             | ((self.three_hop as u64) << 32)

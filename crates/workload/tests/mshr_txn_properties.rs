@@ -1,0 +1,194 @@
+//! Property coverage for the closed-loop primitives: the MSHR table's
+//! capacity invariant and counter accounting under randomized
+//! allocate/release schedules, and `TxnTag`'s pack/unpack bijection over
+//! every field boundary.
+
+use simcore::SimRng;
+use workload::{MshrTable, TxnTag};
+
+/// Seeded random allocate/release driver: at every step, flip a biased
+/// coin between an allocation attempt and (when legal) a release, and
+/// check the invariants a closed-loop endpoint relies on after each
+/// operation.
+fn drive_random_schedule(capacity: u32, seed: u64, steps: u32, release_bias: f64) {
+    let mut rng = SimRng::from_seed(seed);
+    let mut table = MshrTable::new(capacity);
+    // Shadow model: the table is fully described by three counters.
+    let mut outstanding = 0u32;
+    let mut allocated = 0u64;
+    let mut rejected = 0u64;
+    for step in 0..steps {
+        let label = format!("cap={capacity} seed={seed} step={step}");
+        if outstanding > 0 && rng.chance(release_bias) {
+            table.release();
+            outstanding -= 1;
+        } else {
+            let accepted = table.try_allocate();
+            assert_eq!(
+                accepted,
+                outstanding < capacity,
+                "{label}: allocation must succeed iff a register is free"
+            );
+            if accepted {
+                outstanding += 1;
+                allocated += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(
+            table.outstanding() <= table.capacity(),
+            "{label}: outstanding {} exceeded capacity {}",
+            table.outstanding(),
+            table.capacity()
+        );
+        assert_eq!(table.outstanding(), outstanding, "{label}: outstanding");
+        assert_eq!(table.allocated(), allocated, "{label}: allocated");
+        assert_eq!(table.rejected(), rejected, "{label}: rejected");
+        assert_eq!(
+            table.available(),
+            outstanding < capacity,
+            "{label}: availability"
+        );
+    }
+    // Drain to empty: every allocation is releasable exactly once.
+    for _ in 0..outstanding {
+        table.release();
+    }
+    assert_eq!(table.outstanding(), 0);
+    assert_eq!(table.allocated(), allocated, "drain must not re-allocate");
+}
+
+#[test]
+fn outstanding_never_exceeds_capacity_under_random_schedules() {
+    for capacity in [1, 2, 16, 64] {
+        for seed in 0..8u64 {
+            // Biases from release-starved (table mostly full, rejections
+            // dominate) to release-happy (table mostly empty).
+            for bias in [0.1, 0.5, 0.9] {
+                drive_random_schedule(capacity, seed, 2_000, bias);
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_account_for_every_attempt() {
+    let mut rng = SimRng::from_seed(7);
+    let mut table = MshrTable::new(4);
+    let mut attempts = 0u64;
+    for _ in 0..1_000 {
+        if table.outstanding() > 0 && rng.chance(0.4) {
+            table.release();
+        } else {
+            attempts += 1;
+            let _ = table.try_allocate();
+        }
+    }
+    assert_eq!(
+        table.allocated() + table.rejected(),
+        attempts,
+        "every attempt is exactly one of allocated/rejected"
+    );
+}
+
+#[test]
+#[should_panic(expected = "MSHR release without allocation")]
+fn release_underflow_panics() {
+    let mut table = MshrTable::new(8);
+    assert!(table.try_allocate());
+    table.release();
+    table.release(); // one more than was ever allocated
+}
+
+#[test]
+#[should_panic(expected = "MSHR release without allocation")]
+fn release_on_fresh_table_panics() {
+    MshrTable::alpha_21364().release();
+}
+
+/// The seq field's 31-bit boundary: the last representable value
+/// round-trips, the first unrepresentable one is rejected.
+const SEQ_MAX: u32 = (1 << 31) - 1;
+
+#[test]
+fn txn_tag_roundtrip_is_exhaustive_over_field_boundaries() {
+    // Every combination of the per-field boundary values (plus interior
+    // points) must survive pack → unpack unchanged; 5*5*2*6 = 300 tags.
+    let node_values = [0u16, 1, 0x00ff, 0x8000, u16::MAX];
+    let seq_values = [0u32, 1, 0xffff, 0x7fff_0000, SEQ_MAX - 1, SEQ_MAX];
+    for requester in node_values {
+        for owner in node_values {
+            for three_hop in [false, true] {
+                for seq in seq_values {
+                    let tag = TxnTag {
+                        requester,
+                        owner,
+                        three_hop,
+                        seq,
+                    };
+                    assert_eq!(
+                        TxnTag::unpack(tag.pack()),
+                        tag,
+                        "roundtrip req={requester:#06x} owner={owner:#06x} \
+                         three_hop={three_hop} seq={seq:#010x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn txn_tag_boundary_packs_use_distinct_bit_patterns() {
+    // All-ones fields must not bleed into each other: the packed words
+    // for "max requester", "max owner" and "max seq" share no set bits
+    // outside their own lanes.
+    let req = TxnTag {
+        requester: u16::MAX,
+        owner: 0,
+        three_hop: false,
+        seq: 0,
+    }
+    .pack();
+    let owner = TxnTag {
+        requester: 0,
+        owner: u16::MAX,
+        three_hop: false,
+        seq: 0,
+    }
+    .pack();
+    let hop = TxnTag {
+        requester: 0,
+        owner: 0,
+        three_hop: true,
+        seq: 0,
+    }
+    .pack();
+    let seq = TxnTag {
+        requester: 0,
+        owner: 0,
+        three_hop: false,
+        seq: SEQ_MAX,
+    }
+    .pack();
+    assert_eq!(req & owner, 0);
+    assert_eq!(req & hop, 0);
+    assert_eq!(req & seq, 0);
+    assert_eq!(owner & hop, 0);
+    assert_eq!(owner & seq, 0);
+    assert_eq!(hop & seq, 0);
+    assert_eq!(req | owner | hop | seq, u64::MAX, "lanes cover the word");
+}
+
+#[test]
+#[should_panic(expected = "seq exceeds the 31-bit field")]
+fn txn_tag_rejects_seq_past_the_field_width() {
+    let _ = TxnTag {
+        requester: 0,
+        owner: 0,
+        three_hop: false,
+        seq: SEQ_MAX + 1,
+    }
+    .pack();
+}

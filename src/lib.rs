@@ -57,7 +57,7 @@ pub mod prelude {
     pub use arbitration::prelude::*;
     pub use network::{
         Endpoint, FullMesh, InjectionOutcome, Mesh, NetTopology, NetworkConfig, NetworkReport,
-        NetworkSim, NodeCtx, Routing, ShardMap, ShardedNetworkSim, Topology, Torus,
+        NetworkSim, NodeCtx, Routing, ShardMap, ShardedNetworkSim, Topology, Torus, TxnCompletion,
     };
     pub use router::{
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,
@@ -69,8 +69,8 @@ pub mod prelude {
     };
     pub use workload::{
         build_endpoints, run_coherence_sim, run_coherence_sim_sharded, BurstConfig,
-        CoherenceEndpoint, CoherenceParams, HotspotTargets, MshrTable, TrafficPattern,
-        WorkloadConfig,
+        CoherenceEndpoint, CoherenceParams, EndpointStats, HotspotTargets, MshrTable,
+        TrafficPattern, TxnTag, WorkloadConfig,
     };
 }
 

@@ -70,8 +70,9 @@ impl Endpoint for Firehose {
         }
     }
 
-    fn on_delivered(&mut self, _packet: &Packet, _now: Tick) {
+    fn on_delivered(&mut self, _packet: &Packet, _now: Tick) -> Option<TxnCompletion> {
         self.delivered += 1;
+        None
     }
 }
 

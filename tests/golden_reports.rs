@@ -57,6 +57,14 @@ struct Case {
     seed: u64,
     warmup_cycles: u64,
     measure_cycles: u64,
+    /// `Some(n)` runs `WorkloadConfig::closed_loop` with `n` MSHRs;
+    /// `None` keeps the paper workload the historical digests used.
+    mshrs: Option<u32>,
+    /// Three-hop mix override (`None` = the paper's 0.3).
+    three_hop: Option<f64>,
+    /// Appends the per-transaction digest suffix. Only new closed-loop
+    /// cases set this, so the 75 pre-existing lines stay byte-identical.
+    txn_digest: bool,
 }
 
 fn pattern_label(c: &Case) -> String {
@@ -88,6 +96,27 @@ fn case_4x4(
         seed,
         warmup_cycles: 400,
         measure_cycles: 1600,
+        mshrs: None,
+        three_hop: None,
+        txn_digest: false,
+    }
+}
+
+/// Closed-loop case on the 4x4 torus with explicit MSHR capacity and
+/// three-hop mix, digesting the per-transaction statistics too.
+fn case_closed(algo: ArbAlgorithm, rate: f64, mshrs: u32, three_hop: f64, seed: u64) -> Case {
+    Case {
+        algo,
+        topology: Torus::net_4x4().into(),
+        pattern: TrafficPattern::Uniform,
+        bursty: false,
+        rate,
+        seed,
+        warmup_cycles: 400,
+        measure_cycles: 1600,
+        mshrs: Some(mshrs),
+        three_hop: Some(three_hop),
+        txn_digest: true,
     }
 }
 
@@ -102,6 +131,9 @@ fn case_shape(topology: NetTopology, algo: ArbAlgorithm, rate: f64, seed: u64) -
         seed,
         warmup_cycles: 400,
         measure_cycles: 1600,
+        mshrs: None,
+        three_hop: None,
+        txn_digest: false,
     }
 }
 
@@ -123,6 +155,9 @@ fn case_16x16(
         seed,
         warmup_cycles: 200,
         measure_cycles: 800,
+        mshrs: None,
+        three_hop: None,
+        txn_digest: false,
     }
 }
 
@@ -215,6 +250,23 @@ fn cases() -> Vec<Case> {
         cases.push(case_4x4(algo, hotspot, false, 0.04, 1));
         cases.push(case_4x4(algo, TrafficPattern::Uniform, true, 0.04, 1));
     }
+    // Closed-loop transaction engine (appended so every digest above
+    // keeps its position): MSHR-capacity ladder across the four headline
+    // arbiters, plus the pure 2-hop / pure 3-hop flow extremes. These
+    // lines carry the extra ` ... txn=` suffix pinning the per-
+    // transaction latency statistics bit-for-bit.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+        ArbAlgorithm::Ilqf { iterations: 2 },
+    ] {
+        for mshrs in [1, 4, 16] {
+            cases.push(case_closed(algo, 0.05, mshrs, 0.3, 1));
+        }
+    }
+    cases.push(case_closed(ArbAlgorithm::SpaaRotary, 0.05, 8, 0.0, 1));
+    cases.push(case_closed(ArbAlgorithm::SpaaRotary, 0.05, 8, 1.0, 1));
     cases
 }
 
@@ -226,7 +278,13 @@ fn digest_line(c: &Case) -> String {
         warmup_cycles: c.warmup_cycles,
         measure_cycles: c.measure_cycles,
     };
-    let mut wl = WorkloadConfig::paper(c.pattern, c.rate);
+    let mut wl = match c.mshrs {
+        Some(mshrs) => WorkloadConfig::closed_loop(c.pattern, c.rate, mshrs),
+        None => WorkloadConfig::paper(c.pattern, c.rate),
+    };
+    if let Some(three_hop) = c.three_hop {
+        wl = wl.with_three_hop_fraction(three_hop);
+    }
     if c.bursty {
         wl = wl.with_burst(BurstConfig::new(60.0, 240.0));
     }
@@ -251,7 +309,7 @@ fn digest_line(c: &Case) -> String {
     }
     hist.u64(r.latency_hist.overflow());
 
-    format!(
+    let mut line = format!(
         "{} {} {} rate={} seed={} | pkts={} flits={} inj={} inflight={} \
          noms={} grants={} coll={} esc={} drains={} lat={:016x} hist={:016x}",
         c.topology,
@@ -270,7 +328,29 @@ fn digest_line(c: &Case) -> String {
         r.drain_engagements,
         lat.0,
         hist.0,
-    )
+    );
+    if c.txn_digest {
+        let mut txn = Fnv::new();
+        txn.u64(r.completed_txns);
+        txn.u64(r.txn_latency.count());
+        txn.f64(r.txn_latency.mean());
+        txn.f64(r.txn_latency.variance());
+        txn.f64(r.txn_latency.min().unwrap_or(f64::NAN));
+        txn.f64(r.txn_latency.max().unwrap_or(f64::NAN));
+        txn.u64(r.txn_latency_hist.underflow());
+        for &b in r.txn_latency_hist.bins() {
+            txn.u64(b);
+        }
+        txn.u64(r.txn_latency_hist.overflow());
+        line.push_str(&format!(
+            " mshrs={} threehop={} txns={} txn={:016x}",
+            c.mshrs.unwrap_or(16),
+            c.three_hop.unwrap_or(0.3),
+            r.completed_txns,
+            txn.0,
+        ));
+    }
+    line
 }
 
 /// The MWM oracle is a pure observer: switching it on must change

@@ -108,6 +108,38 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         "{label}: matched weight"
     );
     assert_eq!(a.mwm_weight, b.mwm_weight, "{label}: MWM oracle weight");
+    // Per-transaction (request-issue → reply-drain) statistics ride the
+    // same canonical replay as packet latency; compare them on raw bits
+    // too so a closed-loop reordering cannot hide.
+    assert_eq!(
+        a.completed_txns, b.completed_txns,
+        "{label}: completed txns"
+    );
+    assert_eq!(
+        a.txn_latency.count(),
+        b.txn_latency.count(),
+        "{label}: txn lat count"
+    );
+    assert_eq!(
+        a.txn_latency.mean().to_bits(),
+        b.txn_latency.mean().to_bits(),
+        "{label}: txn lat mean bits"
+    );
+    assert_eq!(
+        a.txn_latency.variance().to_bits(),
+        b.txn_latency.variance().to_bits(),
+        "{label}: txn lat variance bits"
+    );
+    assert_eq!(
+        a.txn_latency_hist.bins(),
+        b.txn_latency_hist.bins(),
+        "{label}: txn latency histogram"
+    );
+    assert_eq!(
+        a.txn_latency_hist.overflow(),
+        b.txn_latency_hist.overflow(),
+        "{label}: txn histogram overflow"
+    );
 }
 
 #[test]
@@ -305,6 +337,49 @@ fn idle_skip_equivalence_holds_with_matching_weight_oracle() {
             off.mwm_weight >= off.matched_weight,
             "{label}: oracle bound violated"
         );
+    }
+}
+
+#[test]
+fn idle_skip_equivalence_for_closed_loop_drivers() {
+    // The closed-loop driver: a tight MSHR cap makes generation depend
+    // on reply arrival times, so any idle-skip divergence in delivery
+    // timing would immediately desynchronize the RNG draw stream — and
+    // the per-transaction latency stats compare on raw f64 bits.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+        ArbAlgorithm::Ilqf { iterations: 2 },
+    ] {
+        for (seed, rate, mshrs) in [(61u64, 0.005, 1), (62, 0.05, 4), (63, 0.2, 16)] {
+            let label = format!("closed loop {algo} seed={seed} rate={rate} mshrs={mshrs}");
+            let wl = WorkloadConfig::closed_loop(TrafficPattern::Uniform, rate, mshrs);
+            let (off, skipped_off) = run_workload(seed, &wl, algo, 3_000, false);
+            let (on, _) = run_workload(seed, &wl, algo, 3_000, true);
+            assert_eq!(skipped_off, 0, "{label}: disabled mode must not skip");
+            assert_reports_identical(&off, &on, &label);
+            assert!(off.completed_txns > 0, "{label}: no transactions measured");
+            assert!(
+                off.avg_txn_latency_ns() > off.avg_latency_ns(),
+                "{label}: a whole transaction cannot be faster than one packet hop"
+            );
+        }
+    }
+}
+
+#[test]
+fn idle_skip_equivalence_for_closed_loop_three_hop_extremes() {
+    // All-two-hop and all-three-hop mixes drive different reply paths
+    // (home-direct vs owner-forwarded) through the wake bookkeeping.
+    for three_hop in [0.0, 1.0] {
+        let wl = WorkloadConfig::closed_loop(TrafficPattern::Uniform, 0.02, 8)
+            .with_three_hop_fraction(three_hop);
+        let label = format!("closed loop three_hop={three_hop}");
+        let (off, _) = run_workload(71, &wl, ArbAlgorithm::SpaaRotary, 3_000, false);
+        let (on, _) = run_workload(71, &wl, ArbAlgorithm::SpaaRotary, 3_000, true);
+        assert_reports_identical(&off, &on, &label);
+        assert!(off.completed_txns > 0, "{label}: no transactions measured");
     }
 }
 

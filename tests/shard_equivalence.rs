@@ -115,6 +115,39 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         "{label}: matched weight"
     );
     assert_eq!(a.mwm_weight, b.mwm_weight, "{label}: MWM oracle weight");
+    // Per-transaction (request-issue → reply-drain) statistics are the
+    // newest order-sensitive accumulator: they ride the same canonical
+    // MeasureRecord replay, so raw-bit equality must hold for every
+    // worker count.
+    assert_eq!(
+        a.completed_txns, b.completed_txns,
+        "{label}: completed txns"
+    );
+    assert_eq!(
+        a.txn_latency.count(),
+        b.txn_latency.count(),
+        "{label}: txn lat count"
+    );
+    assert_eq!(
+        a.txn_latency.mean().to_bits(),
+        b.txn_latency.mean().to_bits(),
+        "{label}: txn lat mean bits"
+    );
+    assert_eq!(
+        a.txn_latency.variance().to_bits(),
+        b.txn_latency.variance().to_bits(),
+        "{label}: txn lat variance bits"
+    );
+    assert_eq!(
+        a.txn_latency_hist.bins(),
+        b.txn_latency_hist.bins(),
+        "{label}: txn latency histogram"
+    );
+    assert_eq!(
+        a.txn_latency_hist.overflow(),
+        b.txn_latency_hist.overflow(),
+        "{label}: txn histogram overflow"
+    );
 }
 
 #[test]
@@ -266,6 +299,55 @@ fn sharded_engine_is_equivalent_with_matching_weight_oracle() {
     assert!(single.matched_weight > 0, "oracle saw no windows");
     for workers in [2, 3, 4, 8] {
         let label = format!("oracle workers={workers}");
+        let sharded = run_sharded(&cfg, &wl, workers, true);
+        assert_reports_identical(&single, &sharded, &label);
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_for_closed_loop_drivers() {
+    // The closed-loop driver couples a node's future RNG draws to its
+    // reply arrival cycles, so shard scheduling that perturbed a single
+    // delivery would cascade into a different transaction trace. Worker
+    // counts {1,2,4,8}, idle-skip both ways, per-transaction latency
+    // compared on raw bits (inside assert_reports_identical).
+    for (seed, rate, mshrs) in [(81u64, 0.01, 1), (82, 0.05, 4), (83, 0.2, 16)] {
+        let cfg = config(Torus::net_4x4(), ArbAlgorithm::SpaaRotary, seed, 3_000);
+        let wl = WorkloadConfig::closed_loop(TrafficPattern::Uniform, rate, mshrs);
+        for idle_skip in [false, true] {
+            let single = run_single(&cfg, &wl, idle_skip);
+            assert!(
+                single.completed_txns > 0,
+                "mshrs={mshrs}: no transactions measured"
+            );
+            for workers in [1, 2, 4, 8] {
+                let label = format!(
+                    "closed loop mshrs={mshrs} rate={rate} idle_skip={idle_skip} workers={workers}"
+                );
+                let sharded = run_sharded(&cfg, &wl, workers, idle_skip);
+                assert_reports_identical(&single, &sharded, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_equivalent_for_closed_loop_three_hop_on_8x8() {
+    // An all-three-hop mix on the 8x8 maximizes cross-shard reply
+    // forwarding (requester → home → owner → requester usually crosses
+    // three shard boundaries); iSLIP2 keeps the windowed family covered.
+    let cfg = config(
+        Torus::net_8x8(),
+        ArbAlgorithm::Islip { iterations: 2 },
+        91,
+        1_500,
+    );
+    let wl =
+        WorkloadConfig::closed_loop(TrafficPattern::Uniform, 0.05, 8).with_three_hop_fraction(1.0);
+    let single = run_single(&cfg, &wl, true);
+    assert!(single.completed_txns > 0, "no transactions measured");
+    for workers in [2, 4, 8] {
+        let label = format!("closed loop 8x8 three-hop workers={workers}");
         let sharded = run_sharded(&cfg, &wl, workers, true);
         assert_reports_identical(&single, &sharded, &label);
     }

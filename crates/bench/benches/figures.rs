@@ -19,6 +19,8 @@ fn timing_point(torus: Torus, algo: ArbAlgorithm, rate: f64, cycles: u64) -> f64
         seed: 0x21364,
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
     run_coherence_sim(net, wl).0.flits_per_router_ns
@@ -70,6 +72,8 @@ fn main() {
             seed: 0x21364,
             warmup_cycles: 300,
             measure_cycles: 1_200,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.005);
         run_coherence_sim(net, wl).0.flits_per_router_ns

@@ -33,6 +33,8 @@ fn main() {
             seed: 0x21364,
             warmup_cycles: scale.cycles() / 5,
             measure_cycles: scale.cycles() - scale.cycles() / 5,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, rate);
         let (report, _) = run_coherence_sim(net, wl);

@@ -194,6 +194,8 @@ fn measure_speedup(cycles: u64, rate: f64) -> Speedup {
         seed: 0x21364 ^ seed_salt,
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
 

@@ -238,6 +238,8 @@ fn closedloop_point(
         seed: SEED ^ ((rate_idx as u64) << 32),
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+
+        fault: network::FaultConfig::default(),
     };
     let (report, stats) = run_coherence_sim(net, lm.workload(rate));
     ClosedLoopPoint {
@@ -264,6 +266,8 @@ fn prove_bit_exactness(cycles: u64) -> bool {
             seed: SEED,
             warmup_cycles: cycles / 5,
             measure_cycles: cycles - cycles / 5,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::closed_loop(TrafficPattern::Uniform, 0.05, 4);
         let endpoints = build_endpoints(&net, &wl);

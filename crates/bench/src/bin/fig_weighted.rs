@@ -249,6 +249,8 @@ fn weighted_point(
         seed: SEED ^ ((rate_idx as u64) << 32),
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig {
         pattern,

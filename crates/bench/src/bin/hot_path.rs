@@ -62,6 +62,7 @@ fn net(algo: ArbAlgorithm, torus: Torus, total_cycles: u64) -> NetworkConfig {
         seed: 0x21364,
         warmup_cycles: total_cycles / 11,
         measure_cycles: total_cycles - total_cycles / 11,
+        fault: network::FaultConfig::default(),
     }
 }
 
@@ -152,6 +153,50 @@ fn wl_rate(wl: &WorkloadConfig) -> f64 {
     wl.injection_rate
 }
 
+/// Zero-fault-tax guard: with faults disabled (the default config every
+/// point in this benchmark runs under) the fault plane must not perturb
+/// the simulation at all. A watchdog-only config arms the forward-
+/// progress watchdog but enables no fault injection, so its report must
+/// be bit-identical to the default's — any divergence means the fault
+/// plane is taxing the fault-free hot path with RNG draws or schedule
+/// changes, which would silently skew every committed cycles/sec number.
+fn assert_zero_fault_tax() {
+    let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, 0.04);
+    let run = |fault: network::FaultConfig| {
+        let mut cfg = net(ArbAlgorithm::SpaaRotary, Torus::net_4x4(), 5_000);
+        cfg.fault = fault;
+        let endpoints = workload::build_endpoints(&cfg, &wl);
+        network::NetworkSim::new(cfg, endpoints).run()
+    };
+    let plain = run(network::FaultConfig::default());
+    let armed = run(network::FaultConfig {
+        watchdog_cycles: Some(2_000),
+        ..network::FaultConfig::default()
+    });
+    assert_eq!(plain.flits_corrupted, 0, "fault-free run corrupted flits");
+    assert_eq!(plain.retransmissions, 0, "fault-free run retransmitted");
+    assert_eq!(plain.links_dead, 0, "fault-free run killed links");
+    assert_eq!(
+        plain.delivered_packets, armed.delivered_packets,
+        "watchdog-only run changed deliveries"
+    );
+    assert_eq!(
+        plain.injected_packets, armed.injected_packets,
+        "watchdog-only run changed injections"
+    );
+    assert_eq!(
+        plain.latency.mean().to_bits(),
+        armed.latency.mean().to_bits(),
+        "watchdog-only run changed latency bits"
+    );
+    assert_eq!(
+        plain.latency.variance().to_bits(),
+        armed.latency.variance().to_bits(),
+        "watchdog-only run changed latency variance bits"
+    );
+    eprintln!("zero-fault-tax guard: fault-off and watchdog-only reports bit-identical");
+}
+
 fn pre_pr_reference(algo: ArbAlgorithm, torus_label: &str, rate: f64) -> Option<f64> {
     let label = algo.to_string();
     PRE_PR_SATURATED_CPS
@@ -200,6 +245,7 @@ fn main() {
     let save = args.iter().any(|a| a == "--save");
 
     eprintln!("benchmark group: hot_path (simulated cycles/sec, baseline = idle-skip off)");
+    assert_zero_fault_tax();
     let mut points = Vec::new();
 
     if !saturated_only {

@@ -43,6 +43,7 @@ const JOBS: &[(&str, &[&str])] = &[
         &["--out", "results/BENCH_closedloop.json"],
     ),
     ("fig_bigtorus", &["--out", "results/BENCH_bigtorus.json"]),
+    ("fig_faults", &["--out", "results/BENCH_faults.json"]),
     // Non-gating engine-speed smoke: prints cycles/sec for the saturated
     // open-loop panel so perf regressions show up in repro logs (compare
     // against the committed BENCH_hot_path.json).
@@ -54,13 +55,19 @@ const JOBS: &[(&str, &[&str])] = &[
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
+    // --list resolves every job's binary and prints the plan without
+    // running anything — CI uses it to guard the job table against
+    // renamed or deleted harnesses at full-repro cost zero.
+    let list_only = std::env::args().any(|a| a == "--list");
     let bin_dir: PathBuf = std::env::current_exe()
         .expect("current exe")
         .parent()
         .expect("bin dir")
         .to_path_buf();
     let out_dir = PathBuf::from("results");
-    fs::create_dir_all(&out_dir).expect("create results/");
+    if !list_only {
+        fs::create_dir_all(&out_dir).expect("create results/");
+    }
 
     for (name, extra) in JOBS {
         // Job names are either a bare binary name ("fig_islip",
@@ -71,6 +78,12 @@ fn main() {
         } else {
             name
         };
+        if list_only {
+            let path = bin_dir.join(bin);
+            assert!(path.is_file(), "{name}: no such harness binary {bin}");
+            eprintln!("{name}: {} {}", path.display(), extra.join(" "));
+            continue;
+        }
         let mut cmd = Command::new(bin_dir.join(bin));
         cmd.args(*extra);
         if paper {
@@ -87,5 +100,9 @@ fn main() {
         fs::write(&path, &output.stdout).expect("write result");
         eprintln!("    -> {}", path.display());
     }
-    eprintln!("\nAll figures regenerated under results/.");
+    if list_only {
+        eprintln!("\nAll harness binaries resolve.");
+    } else {
+        eprintln!("\nAll figures regenerated under results/.");
+    }
 }

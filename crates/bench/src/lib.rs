@@ -11,7 +11,7 @@
 
 pub mod harness;
 
-use network::{NetTopology, NetworkConfig};
+use network::{FaultConfig, NetTopology, NetworkConfig};
 use router::{ArbAlgorithm, RouterConfig};
 use simcore::bnf::{BnfCurve, BnfPoint, ReplicatedBnfCurve};
 use simcore::sweep::parallel_map;
@@ -80,6 +80,9 @@ pub struct SweepSpec {
     /// knob; big-torus harnesses set it, small-torus sweeps stay at 1 and
     /// parallelize across points instead.
     pub sim_workers: usize,
+    /// Fault plane applied to every point of the sweep (default:
+    /// disabled — no state allocated, no RNG drawn).
+    pub fault: FaultConfig,
 }
 
 impl SweepSpec {
@@ -103,6 +106,7 @@ impl SweepSpec {
             seed: 0x21364,
             burst: None,
             sim_workers: 1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -116,6 +120,14 @@ impl SweepSpec {
     /// The same sweep with bursty on/off arrivals.
     pub fn with_burst(mut self, burst: BurstConfig) -> Self {
         self.burst = Some(burst);
+        self
+    }
+
+    /// The same sweep with the deterministic fault plane active (link
+    /// corruption, flaps, scheduled kills, boot-time dead links — see
+    /// `network::FaultConfig`).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -144,6 +156,7 @@ impl SweepSpec {
             seed: seed ^ ((rate_idx as u64) << 32),
             warmup_cycles: self.cycles / 5,
             measure_cycles: self.cycles - self.cycles / 5,
+            fault: self.fault.clone(),
         }
     }
 
@@ -391,6 +404,29 @@ mod tests {
         assert!(pts[0].throughput.sample_std_dev() > 0.0);
         let table = replicated_curves_table(&[r]);
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn with_fault_threads_into_every_point_config() {
+        let spec = SweepSpec::new(
+            ArbAlgorithm::SpaaRotary,
+            Torus::net_4x4(),
+            TrafficPattern::Uniform,
+            Scale::Quick,
+        )
+        .with_fault(FaultConfig {
+            ber: 0.25,
+            ..FaultConfig::default()
+        });
+        let cfg = spec.network_config(1, 0);
+        assert_eq!(cfg.fault.ber, 0.25, "fault plane must reach the config");
+        let plain = SweepSpec::new(
+            ArbAlgorithm::SpaaRotary,
+            Torus::net_4x4(),
+            TrafficPattern::Uniform,
+            Scale::Quick,
+        );
+        assert!(!plain.network_config(1, 0).fault.injection_enabled());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Golden regression pin for the quick-mode fault-degradation tables.
+//!
+//! The fault harness is deterministic end to end: per-link RNG streams
+//! are forked from the config seed, `parallel_map` returns results in
+//! input order, and the embedded storm probe asserts the sharded engine
+//! reproduces every fault counter bit-exactly across worker counts and
+//! idle-skip modes before a single number is printed. The quick-mode
+//! stdout — every corruption count, retransmission total, link death and
+//! accounted drop — is therefore a pure function of the code. Any drift
+//! in CRC draw ordering, retransmit timing, link-death broadcast, or
+//! fault-aware routing fails here instead of silently changing committed
+//! BENCH data at the next regeneration.
+//!
+//! When a change is *intended* to move the numbers, regenerate the pin
+//! and review the diff like any other figure change:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig_faults -- --quick \
+//!     --out /tmp/BENCH_faults_quick.json \
+//!     | grep -v '^wrote ' > crates/bench/tests/golden/faults_quick.txt
+//! ```
+
+use std::process::Command;
+
+#[test]
+fn faults_quick_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig_faults"))
+        .args([
+            "--quick",
+            "--out",
+            &format!("{}/BENCH_faults_pin.json", std::env::temp_dir().display()),
+        ])
+        .output()
+        .expect("run fig_faults");
+    assert!(
+        out.status.success(),
+        "fig_faults failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 table");
+    // The trailing "wrote <path>" line names a temp path; everything
+    // above it is the pinned table.
+    let table: String = stdout
+        .lines()
+        .filter(|l| !l.starts_with("wrote "))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let golden = include_str!("golden/faults_quick.txt");
+    assert!(
+        table == golden,
+        "fig_faults quick output drifted from the golden pin.\n\
+         If intended, regenerate crates/bench/tests/golden/faults_quick.txt \
+         (see this test's module docs).\n\
+         --- golden ---\n{golden}\n--- actual ---\n{table}"
+    );
+}

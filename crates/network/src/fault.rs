@@ -1,0 +1,998 @@
+//! The deterministic fault plane: link fault injection and the
+//! link-level recovery protocol.
+//!
+//! The real 21364 interconnect assumed a hostile physical layer — links
+//! carry CRC with hardware retry — while the rest of this reproduction
+//! models perfect wires. This module adds the fault axis as pure,
+//! seeded configuration ([`FaultConfig`]):
+//!
+//! * **Transient corruption** — every flit crossing a link fails CRC
+//!   independently with probability [`FaultConfig::ber`], drawn from a
+//!   dedicated per-link PCG stream forked from the run seed (label =
+//!   directed link id), so adding faults to one link never perturbs the
+//!   draws of another.
+//! * **Intermittent flaps** — each link runs a geometric ON/OFF machine
+//!   ([`LinkFlap`], the same per-cycle exit-draw machinery as the
+//!   workload crate's `BurstConfig`): while OFF every transmission fails
+//!   as if corrupted.
+//! * **Permanent death** — scheduled [`LinkKill`]s, a seeded
+//!   [`FaultConfig::dead_link_fraction`] killed at cycle 0, or
+//!   *retry exhaustion* (below) mark a directed link dead in the
+//!   replicated [`DeadLinks`] mask consulted by every routing scheme.
+//!
+//! **Recovery protocol.** A CRC-failed (or flapped-off) transmission
+//! parks the packet in the receiving link's FIFO retransmit buffer and
+//! arms a timer on a `TimingWheel`: the retry fires one round trip plus
+//! an exponentially backed-off delay later (NACK travels upstream, the
+//! sender replays from its retransmit buffer — modelled at the receiver,
+//! where the per-link state lives). After
+//! [`FaultConfig::max_retries`] failed retries the link is declared
+//! dead; the declaring shard broadcasts the death so every shard's
+//! [`DeadLinks`] replica updates in the same canonical event order, and
+//! fault-aware routing masks the link from the adaptive candidate set
+//! from the next cycle on. Packets that can no longer reach their
+//! destination are dropped *with accounting* (`unreachable_drops`,
+//! plus a synthetic credit refund upstream so the sender's credit
+//! counters stay sound) — never silently.
+//!
+//! **Determinism.** All fault state for the directed link into router
+//! *r* is owned by the shard that owns *r* and touched only at two
+//! deterministic points: the start of *r*'s phase-A slot (flap steps,
+//! due retries, pending refunds) and the application of *r*'s inbound
+//! events in phase B (arrival CRC draws). Both engines execute those
+//! points in the identical per-shard order for every worker count, so a
+//! faulted run is bit-exact across `{1,2,4,8,…}` workers and idle-skip
+//! on/off — the same argument that makes the fault-free engines agree
+//! (see DESIGN.md "Fault plane").
+//!
+//! When the plane is disabled (the [`FaultConfig::default`]), no
+//! per-link state is allocated, no RNG stream is forked, and no draw is
+//! ever taken: the only cost is one `Option` test per cycle phase. The
+//! `hot_path` harness pins the zero-fault tax; the golden digests pin
+//! byte-identical fault-off reports.
+
+use crate::topology::{NetTopology, Topology};
+use arbitration::ports::{InputPort, OutputPort};
+use router::{Packet, VcId};
+use simcore::stats::Histogram;
+use simcore::wheel::TimingWheel;
+use simcore::{SimRng, Tick};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-link CRC corruption draws fork from `seed ^ CRC_STREAM`.
+const CRC_STREAM: u64 = 0xfa07_c5c5_0bad_c0de;
+/// Per-link flap machines fork from `seed ^ FLAP_STREAM`.
+const FLAP_STREAM: u64 = 0xfa07_f1a9_0bad_c0de;
+/// The global dead-fraction selection draws from `seed ^ KILL_STREAM`.
+const KILL_STREAM: u64 = 0xfa07_de1d_0bad_c0de;
+
+/// Geometric ON/OFF link flapping: while ON, each cycle exits to OFF
+/// with probability `1 / mean_up_cycles` (and symmetrically back), the
+/// same per-cycle exit-draw machinery as the workload burst modulator.
+/// While OFF every transmission on the link fails as if CRC-corrupted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFlap {
+    /// Mean cycles a link stays up between flaps (≥ 1).
+    pub mean_up_cycles: f64,
+    /// Mean cycles a flap lasts (≥ 1).
+    pub mean_down_cycles: f64,
+}
+
+impl LinkFlap {
+    /// Creates a flap configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both means are at least one cycle.
+    pub fn new(mean_up_cycles: f64, mean_down_cycles: f64) -> Self {
+        assert!(
+            mean_up_cycles >= 1.0 && mean_down_cycles >= 1.0,
+            "flap phase means must be at least one cycle"
+        );
+        LinkFlap {
+            mean_up_cycles,
+            mean_down_cycles,
+        }
+    }
+}
+
+/// A scheduled permanent death of one *directed* link: the wire leaving
+/// `node` through `port` stops carrying flits at the start of
+/// `at_cycle`. (The reverse direction is a separate link; kill both to
+/// model a severed cable.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkKill {
+    /// Sender-side router of the directed link.
+    pub node: u16,
+    /// Sender-side network output port.
+    pub port: OutputPort,
+    /// Core cycle at which the link dies.
+    pub at_cycle: u64,
+}
+
+/// Fault-plane configuration, carried by `NetworkConfig`. The default is
+/// fully disabled: no state allocated, no RNG forked, no draw taken.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Per-flit CRC failure probability on every link traversal
+    /// (0 disables corruption).
+    pub ber: f64,
+    /// Intermittent ON/OFF flapping applied to every link
+    /// (`None` disables).
+    pub flap: Option<LinkFlap>,
+    /// Scheduled permanent link deaths.
+    pub kill_links: Vec<LinkKill>,
+    /// Fraction of directed links killed at cycle 0, selected by a
+    /// seeded partial shuffle over the canonical link enumeration
+    /// (0 disables).
+    pub dead_link_fraction: f64,
+    /// Failed retries after which a link is declared dead.
+    pub max_retries: u32,
+    /// Base retry backoff in core cycles; retry *k* waits one link round
+    /// trip plus `backoff_base_cycles << (k-1)` cycles.
+    pub backoff_base_cycles: u64,
+    /// Forward-progress watchdog: if no packet is delivered for this
+    /// many cycles while the network holds packets, the engine panics
+    /// with a structured per-router occupancy/credit dump instead of
+    /// wedging silently. Independent of fault injection (`None`
+    /// disables).
+    pub watchdog_cycles: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            ber: 0.0,
+            flap: None,
+            kill_links: Vec::new(),
+            dead_link_fraction: 0.0,
+            max_retries: 8,
+            backoff_base_cycles: 16,
+            watchdog_cycles: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any fault *injection* is configured (the watchdog alone
+    /// does not allocate a fault plane — it is a pure observer).
+    pub fn injection_enabled(&self) -> bool {
+        self.ber > 0.0
+            || self.flap.is_some()
+            || !self.kill_links.is_empty()
+            || self.dead_link_fraction > 0.0
+    }
+}
+
+/// The replicated dead-link mask consulted by every routing scheme: one
+/// bit per directed network link, indexed `(node, output port)`.
+///
+/// Every shard holds an identical replica, updated in canonical event
+/// order (scheduled kills at the cycle boundary; exhaustion deaths via
+/// broadcast events), so route recomputations agree across engines and
+/// worker counts.
+#[derive(Clone, Debug, Default)]
+pub struct DeadLinks {
+    words: Vec<u64>,
+    dead: u32,
+}
+
+/// The shared all-alive mask used whenever the fault plane is disabled.
+static NO_DEAD_LINKS: DeadLinks = DeadLinks {
+    words: Vec::new(),
+    dead: 0,
+};
+
+impl DeadLinks {
+    /// A mask with every link alive, sized for `nodes` routers.
+    pub fn new(nodes: u16) -> Self {
+        DeadLinks {
+            words: vec![0u64; (nodes as usize * 4).div_ceil(64)],
+            dead: 0,
+        }
+    }
+
+    /// The canonical empty mask (no dead links, usable for any shape).
+    pub fn empty() -> &'static DeadLinks {
+        &NO_DEAD_LINKS
+    }
+
+    #[inline]
+    fn bit(node: u16, port: OutputPort) -> usize {
+        debug_assert!(port.is_network(), "only network links can die");
+        node as usize * 4 + port.index()
+    }
+
+    /// True when any link has died (fast path: routing skips masking
+    /// entirely while this is false).
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.dead > 0
+    }
+
+    /// Number of dead directed links.
+    pub fn count(&self) -> u32 {
+        self.dead
+    }
+
+    /// True when the directed link leaving `node` through `port` is dead.
+    #[inline]
+    pub fn is_dead(&self, node: u16, port: OutputPort) -> bool {
+        let idx = Self::bit(node, port);
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| (w >> (idx % 64)) & 1 == 1)
+    }
+
+    /// Mask over output-port indices 0..4 of `node`'s *alive* network
+    /// directions (a node's four link bits never straddle a word).
+    #[inline]
+    pub fn alive_mask(&self, node: u16) -> u8 {
+        if self.dead == 0 {
+            return 0b1111;
+        }
+        let idx = node as usize * 4;
+        let dead_bits = self
+            .words
+            .get(idx / 64)
+            .map_or(0, |w| (w >> (idx % 64)) & 0b1111);
+        !(dead_bits as u8) & 0b1111
+    }
+
+    /// Marks a link dead. Returns `true` when the bit was newly set.
+    pub(crate) fn kill(&mut self, node: u16, port: OutputPort) -> bool {
+        let idx = Self::bit(node, port);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.dead += 1;
+        true
+    }
+}
+
+/// Retransmit-latency histogram shape shared by the shard partials and
+/// the report assembly: queue wait plus one-or-more backed-off retries
+/// reaches a few microseconds under heavy corruption; later retries land
+/// in the overflow bucket like every other histogram in the report.
+pub(crate) fn retransmit_histogram() -> Histogram {
+    Histogram::new(0.0, 4000.0, 200)
+}
+
+/// Key of a directed link in receiver coordinates: `(receiving router,
+/// entry input-port index)`. Keying by receiver makes ascending map
+/// order equal ascending receiver id — the order phase A visits routers.
+type LinkKey = (u16, u8);
+
+/// One packet parked in a link's retransmit buffer.
+#[derive(Debug)]
+pub(crate) struct PendingTx {
+    pub(crate) packet: Packet,
+    pub(crate) vc: VcId,
+    pub(crate) flit_period: Tick,
+    /// The original (first-attempt) arrival pin time; final acceptance
+    /// minus this is the retransmit-latency sample.
+    pub(crate) first_pin: Tick,
+    /// Failed transmission attempts so far.
+    attempts: u32,
+}
+
+/// Receiver-side state of one directed link.
+#[derive(Debug)]
+struct LinkState {
+    /// Sender-side router of the link.
+    src: u16,
+    /// Sender-side output port.
+    output: OutputPort,
+    /// Per-link CRC stream (forked lazily never — eagerly at build, a
+    /// pure function of seed and link id).
+    rng: SimRng,
+    /// Per-link flap machine stream (present only when flapping is
+    /// configured, so a BER-only plane draws nothing extra).
+    flap_rng: Option<SimRng>,
+    /// Flap machine state: transmitting while true.
+    up: bool,
+    /// FIFO retransmit buffer; head is the packet whose retry timer is
+    /// armed. FIFO order preserves per-link in-order delivery.
+    queue: VecDeque<PendingTx>,
+    /// One-way wire latency of this link (for the NACK round trip).
+    wire: Tick,
+}
+
+/// A synthetic credit refund owed upstream for a packet dropped at a
+/// link (dead link, unreachable destination, or retry exhaustion): the
+/// sender consumed a downstream credit at dispatch, so the dropped
+/// packet's buffer slot must be returned or the sender's credit counters
+/// would leak. Refunds are emitted as ordinary `Credit` events in the
+/// owning router's next phase-A slot.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Refund {
+    pub(crate) node: u16,
+    pub(crate) input: InputPort,
+    pub(crate) vc: VcId,
+}
+
+/// What the link layer decided about an arriving transmission.
+pub(crate) enum Admission {
+    /// CRC passed and the link is up: deliver into the router now.
+    Deliver(Packet),
+    /// Parked in the retransmit buffer; a retry timer is armed.
+    Held,
+    /// The link is permanently dead: dropped with accounting.
+    Dropped,
+}
+
+/// What a fired retry timer decided.
+pub(crate) enum RetryOutcome {
+    /// The head packet finally crossed: deliver into the router.
+    Deliver(PendingTx),
+    /// The retry failed again; the next timer is armed.
+    Backoff,
+    /// Retries exhausted: the caller must broadcast a link-death event
+    /// for `(src, output)`; the queue has been dropped with accounting.
+    Exhausted { src: u16, output: OutputPort },
+}
+
+/// Per-shard fault-plane state: the replicated [`DeadLinks`] mask plus
+/// receiver-owned per-link machinery (CRC/flap streams, retransmit
+/// buffers, retry timers) for the links entering this shard's routers.
+pub(crate) struct FaultPlane {
+    ber: f64,
+    flap: Option<LinkFlap>,
+    max_retries: u32,
+    backoff_base_cycles: u64,
+    /// Replicated dead mask (identical on every shard).
+    pub(crate) dead: DeadLinks,
+    /// Receiver-keyed state for links entering this shard's routers.
+    links: BTreeMap<LinkKey, LinkState>,
+    /// All scheduled kills (config kills plus the seeded dead-fraction
+    /// picks), sorted by cycle; every shard holds the identical list.
+    kills: Vec<LinkKill>,
+    next_kill: usize,
+    /// Retry timers: at most one armed per link, for the queue head.
+    wheel: TimingWheel<LinkKey>,
+    wheel_scratch: Vec<(Tick, LinkKey)>,
+    /// This cycle's due retries, sorted by key so they process inside
+    /// their receiving router's phase-A slot.
+    due: Vec<LinkKey>,
+    due_cursor: usize,
+    /// Refunds drained this cycle (sorted by router) / accumulating for
+    /// the next cycle.
+    refunds_now: Vec<Refund>,
+    refund_cursor: usize,
+    refunds_next: Vec<Refund>,
+    /// This shard's node range (for ownership tests).
+    base: u16,
+    len: u16,
+    // Counters (whole-run, like the injection counters).
+    pub(crate) flits_corrupted: u64,
+    pub(crate) retransmissions: u64,
+    pub(crate) retry_exhaustions: u64,
+    pub(crate) links_dead: u64,
+    pub(crate) unreachable_drops: u64,
+    /// Packets currently parked in retransmit buffers (in-flight).
+    pub(crate) queued_packets: u64,
+    pub(crate) retransmit_hist: Histogram,
+}
+
+/// Canonical enumeration of every directed network link of `topo`:
+/// ascending `(sender node, output-port index)` over wired ports. The
+/// dead-fraction selection shuffles this list, so every shard computes
+/// the identical pick set from the shared seed.
+fn directed_links(topo: &NetTopology) -> Vec<(u16, OutputPort)> {
+    let mut links = Vec::new();
+    for node in 0..topo.nodes() {
+        for port in [
+            OutputPort::North,
+            OutputPort::South,
+            OutputPort::East,
+            OutputPort::West,
+        ] {
+            if topo.link(node, port).is_some() {
+                links.push((node, port));
+            }
+        }
+    }
+    links
+}
+
+impl FaultPlane {
+    /// Builds the plane for the shard owning nodes `base..base+len`.
+    /// Every RNG stream is a pure function of the run seed and a link
+    /// id, so the partition cannot perturb a single draw.
+    pub(crate) fn new(
+        cfg: &FaultConfig,
+        topo: &NetTopology,
+        seed: u64,
+        core_period: Tick,
+        wire_base: Tick,
+        base: u16,
+        len: u16,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.ber),
+            "BER must be a probability, got {}",
+            cfg.ber
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.dead_link_fraction),
+            "dead_link_fraction must be a probability, got {}",
+            cfg.dead_link_fraction
+        );
+        let crc_root = SimRng::from_seed(seed ^ CRC_STREAM);
+        let flap_root = SimRng::from_seed(seed ^ FLAP_STREAM);
+        let mut links = BTreeMap::new();
+        for node in base..base + len {
+            for input in [
+                InputPort::North,
+                InputPort::South,
+                InputPort::East,
+                InputPort::West,
+            ] {
+                let Some((src, output)) = topo.feeder(node, input) else {
+                    continue;
+                };
+                let link_id = (src as u64) << 3 | output.index() as u64;
+                links.insert(
+                    (node, input.index() as u8),
+                    LinkState {
+                        src,
+                        output,
+                        rng: crc_root.fork(link_id),
+                        flap_rng: cfg.flap.map(|_| flap_root.fork(link_id)),
+                        up: true,
+                        queue: VecDeque::new(),
+                        wire: topo.link_latency(src, output, wire_base),
+                    },
+                );
+            }
+        }
+
+        // Scheduled kills: explicit config kills plus the seeded
+        // dead-fraction picks (killed at cycle 0). Every shard runs the
+        // identical selection from the shared stream.
+        let mut kills = cfg.kill_links.clone();
+        for k in &kills {
+            assert!(k.port.is_network(), "only network links can be killed");
+            assert!(
+                topo.link(k.node, k.port).is_some(),
+                "kill_links names an unwired link ({}, {})",
+                k.node,
+                k.port
+            );
+        }
+        if cfg.dead_link_fraction > 0.0 {
+            let mut pool = directed_links(topo);
+            let picks = ((pool.len() as f64) * cfg.dead_link_fraction).round() as usize;
+            let picks = picks.min(pool.len());
+            let mut rng = SimRng::from_seed(seed ^ KILL_STREAM);
+            for i in 0..picks {
+                let j = i + rng.below(pool.len() - i);
+                pool.swap(i, j);
+                let (node, port) = pool[i];
+                kills.push(LinkKill {
+                    node,
+                    port,
+                    at_cycle: 0,
+                });
+            }
+        }
+        kills.sort_by_key(|k| (k.at_cycle, k.node, k.port.index()));
+
+        FaultPlane {
+            ber: cfg.ber,
+            flap: cfg.flap,
+            max_retries: cfg.max_retries,
+            backoff_base_cycles: cfg.backoff_base_cycles,
+            dead: DeadLinks::new(topo.nodes()),
+            links,
+            kills,
+            next_kill: 0,
+            wheel: TimingWheel::new(core_period, 256),
+            wheel_scratch: Vec::new(),
+            due: Vec::new(),
+            due_cursor: 0,
+            refunds_now: Vec::new(),
+            refund_cursor: 0,
+            refunds_next: Vec::new(),
+            base,
+            len,
+            flits_corrupted: 0,
+            retransmissions: 0,
+            retry_exhaustions: 0,
+            links_dead: 0,
+            unreachable_drops: 0,
+            queued_packets: 0,
+            retransmit_hist: retransmit_histogram(),
+        }
+    }
+
+    #[inline]
+    fn owns(&self, node: u16) -> bool {
+        (self.base..self.base + self.len).contains(&node)
+    }
+
+    /// Marks a link dead (idempotent), counting it and dropping its
+    /// retransmit queue iff this shard owns the receiver. Used by both
+    /// the scheduled-kill path and the broadcast exhaustion-death path,
+    /// so the dead count is attributed exactly once fleet-wide.
+    pub(crate) fn kill_link(&mut self, topo: &NetTopology, node: u16, port: OutputPort) {
+        if !self.dead.kill(node, port) {
+            return;
+        }
+        let target = topo.link(node, port).expect("killing an unwired link");
+        let (peer, entry) = (target.peer, target.entry);
+        if !self.owns(peer) {
+            return;
+        }
+        self.links_dead += 1;
+        if let Some(st) = self.links.get_mut(&(peer, entry.index() as u8)) {
+            for tx in st.queue.drain(..) {
+                self.refunds_next.push(Refund {
+                    node: peer,
+                    input: entry,
+                    vc: tx.vc,
+                });
+                self.unreachable_drops += 1;
+                self.queued_packets -= 1;
+            }
+        }
+    }
+
+    /// Start-of-cycle bookkeeping, run at the top of every phase A in
+    /// both engines: apply scheduled kills due this cycle, step the flap
+    /// machines of locally received links (one draw per flapped live
+    /// link, in ascending link order), drain due retry timers, and stage
+    /// the refunds accumulated since the last cycle.
+    pub(crate) fn begin_cycle(&mut self, topo: &NetTopology, cycle: u64, now: Tick) {
+        while self.next_kill < self.kills.len() && self.kills[self.next_kill].at_cycle <= cycle {
+            let k = self.kills[self.next_kill];
+            self.next_kill += 1;
+            self.kill_link(topo, k.node, k.port);
+        }
+
+        if let Some(flap) = self.flap {
+            for st in self.links.values_mut() {
+                if self.dead.is_dead(st.src, st.output) {
+                    continue;
+                }
+                if let Some(rng) = st.flap_rng.as_mut() {
+                    let mean = if st.up {
+                        flap.mean_up_cycles
+                    } else {
+                        flap.mean_down_cycles
+                    };
+                    if rng.chance(1.0 / mean) {
+                        st.up = !st.up;
+                    }
+                }
+            }
+        }
+
+        self.wheel_scratch.clear();
+        self.wheel.drain_due(now, &mut self.wheel_scratch);
+        self.due.clear();
+        self.due.extend(self.wheel_scratch.iter().map(|&(_, k)| k));
+        self.due.sort_unstable();
+        self.due_cursor = 0;
+
+        self.refunds_now.clear();
+        self.refunds_now.append(&mut self.refunds_next);
+        // Stable by construction order within a router: group per router
+        // for the per-slot emission walk.
+        self.refunds_now.sort_by_key(|r| r.node);
+        self.refund_cursor = 0;
+    }
+
+    /// The refunds to emit in `node`'s phase-A slot (call with ascending
+    /// node, exactly once per local router per cycle).
+    pub(crate) fn refunds_for(&mut self, node: u16) -> &[Refund] {
+        let start = self.refund_cursor;
+        while self.refund_cursor < self.refunds_now.len()
+            && self.refunds_now[self.refund_cursor].node == node
+        {
+            self.refund_cursor += 1;
+        }
+        &self.refunds_now[start..self.refund_cursor]
+    }
+
+    /// Pops the next due retry for `node`'s slot, if any (call with
+    /// ascending node within a cycle).
+    pub(crate) fn next_due(&mut self, node: u16) -> Option<LinkKey> {
+        if self.due_cursor < self.due.len() && self.due[self.due_cursor].0 == node {
+            let key = self.due[self.due_cursor];
+            self.due_cursor += 1;
+            Some(key)
+        } else {
+            None
+        }
+    }
+
+    /// Records a drop with accounting: bumps `unreachable_drops` and
+    /// owes the upstream sender a credit refund for the consumed slot.
+    pub(crate) fn drop_with_refund(&mut self, node: u16, input: InputPort, vc: VcId) {
+        self.unreachable_drops += 1;
+        self.refunds_next.push(Refund { node, input, vc });
+    }
+
+    /// Retry delay for failed attempt number `attempts` (1-based): one
+    /// NACK round trip plus exponential backoff.
+    fn retry_at(
+        backoff_base_cycles: u64,
+        fail_time: Tick,
+        wire: Tick,
+        core_period: Tick,
+        attempts: u32,
+    ) -> Tick {
+        let shift = (attempts.saturating_sub(1)).min(16);
+        let cycles = backoff_base_cycles.saturating_mul(1u64 << shift);
+        fail_time + wire + wire + Tick::new(core_period.as_ticks().saturating_mul(cycles))
+    }
+
+    /// One transmission attempt over `st`'s wire: draws per-flit CRC
+    /// failures (counting corrupted flits) and consults the flap state.
+    /// Returns true when the packet crossed intact.
+    fn transmit(ber: f64, flits_corrupted: &mut u64, st: &mut LinkState, len_flits: u32) -> bool {
+        let mut corrupted = false;
+        if ber > 0.0 {
+            for _ in 0..len_flits {
+                if st.rng.chance(ber) {
+                    *flits_corrupted += 1;
+                    corrupted = true;
+                }
+            }
+        }
+        st.up && !corrupted
+    }
+
+    /// Link-layer admission of a `Forward` arriving at local router
+    /// `dest` through `entry` (phase B). Exactly one of the variants:
+    /// deliver (CRC passed, link up, no queue ahead), hold (parked in
+    /// the retransmit buffer with a timer armed), or drop (link dead).
+    // One parameter per field of the arrival event; bundling them into a
+    // struct would just rename the call site.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit(
+        &mut self,
+        dest: u16,
+        entry: InputPort,
+        packet: Packet,
+        vc: VcId,
+        flit_period: Tick,
+        pin_time: Tick,
+        core_period: Tick,
+    ) -> Admission {
+        let key = (dest, entry.index() as u8);
+        let st = self
+            .links
+            .get_mut(&key)
+            .expect("network arrival on an untracked link");
+        if self.dead.is_dead(st.src, st.output) {
+            self.unreachable_drops += 1;
+            self.refunds_next.push(Refund {
+                node: dest,
+                input: entry,
+                vc,
+            });
+            return Admission::Dropped;
+        }
+        let tx = PendingTx {
+            packet,
+            vc,
+            flit_period,
+            first_pin: pin_time,
+            attempts: 0,
+        };
+        if !st.queue.is_empty() {
+            // FIFO behind an earlier failure: preserves per-link order.
+            st.queue.push_back(tx);
+            self.queued_packets += 1;
+            return Admission::Held;
+        }
+        if Self::transmit(self.ber, &mut self.flits_corrupted, st, tx.packet.len()) {
+            return Admission::Deliver(tx.packet);
+        }
+        let mut tx = tx;
+        tx.attempts = 1;
+        let at = Self::retry_at(self.backoff_base_cycles, pin_time, st.wire, core_period, 1);
+        st.queue.push_back(tx);
+        self.queued_packets += 1;
+        self.wheel.schedule(at, key);
+        Admission::Held
+    }
+
+    /// Fires a due retry timer (phase A, inside the receiving router's
+    /// slot). `None` means the timer went stale (the link died or its
+    /// queue was dropped) and nothing happened — deterministically, with
+    /// no draws.
+    pub(crate) fn fire(
+        &mut self,
+        key: LinkKey,
+        now: Tick,
+        core_period: Tick,
+    ) -> Option<RetryOutcome> {
+        let st = self.links.get_mut(&key)?;
+        if st.queue.is_empty() || self.dead.is_dead(st.src, st.output) {
+            return None;
+        }
+        self.retransmissions += 1;
+        let len = st.queue.front().expect("nonempty queue").packet.len();
+        if Self::transmit(self.ber, &mut self.flits_corrupted, st, len) {
+            let tx = st.queue.pop_front().expect("nonempty queue");
+            self.queued_packets -= 1;
+            if let Some(next) = st.queue.front() {
+                // The next packet waited behind this one; attempt it no
+                // earlier than its own arrival and no earlier than now.
+                let at = next.first_pin.max(now + core_period);
+                self.wheel.schedule(at, key);
+            }
+            return Some(RetryOutcome::Deliver(tx));
+        }
+        let head = st.queue.front_mut().expect("nonempty queue");
+        head.attempts += 1;
+        if head.attempts <= self.max_retries {
+            let at = Self::retry_at(
+                self.backoff_base_cycles,
+                now,
+                st.wire,
+                core_period,
+                head.attempts,
+            );
+            self.wheel.schedule(at, key);
+            return Some(RetryOutcome::Backoff);
+        }
+        // Exhausted: the link is declared dead. Drop the whole queue
+        // with accounting; the caller broadcasts the death event so
+        // every shard's mask replica updates in canonical order (this
+        // shard counts `links_dead` when it applies its own broadcast).
+        self.retry_exhaustions += 1;
+        let (src, output, node) = (st.src, st.output, key.0);
+        let entry = InputPort::from_index(key.1 as usize);
+        for tx in st.queue.drain(..) {
+            self.refunds_next.push(Refund {
+                node,
+                input: entry,
+                vc: tx.vc,
+            });
+            self.unreachable_drops += 1;
+            self.queued_packets -= 1;
+        }
+        Some(RetryOutcome::Exhausted { src, output })
+    }
+
+    /// Records the retransmit-latency sample of a finally accepted
+    /// packet.
+    pub(crate) fn record_retransmit_latency(&mut self, accepted_at: Tick, first_pin: Tick) {
+        self.retransmit_hist
+            .record((accepted_at.saturating_sub(first_pin)).as_ns());
+    }
+
+    /// One diagnostic line per link with interesting state (dead, down,
+    /// or holding packets), for the watchdog dump.
+    pub(crate) fn diagnostics(&self, out: &mut String) {
+        use std::fmt::Write;
+        for ((node, entry), st) in &self.links {
+            let dead = self.dead.is_dead(st.src, st.output);
+            if !dead && st.up && st.queue.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  link {}->{} (entry {}): {} queue={} head_attempts={}",
+                st.src,
+                node,
+                entry,
+                if dead {
+                    "DEAD"
+                } else if st.up {
+                    "up"
+                } else {
+                    "down"
+                },
+                st.queue.len(),
+                st.queue.front().map_or(0, |t| t.attempts),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Torus;
+
+    #[test]
+    fn default_config_is_fully_disabled() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.injection_enabled());
+        assert_eq!(cfg.watchdog_cycles, None);
+    }
+
+    #[test]
+    fn dead_links_mask_lifecycle() {
+        let mut d = DeadLinks::new(16);
+        assert!(!d.any());
+        assert_eq!(d.alive_mask(3), 0b1111);
+        assert!(d.kill(3, OutputPort::East));
+        assert!(!d.kill(3, OutputPort::East), "second kill is idempotent");
+        assert!(d.any());
+        assert_eq!(d.count(), 1);
+        assert!(d.is_dead(3, OutputPort::East));
+        assert!(!d.is_dead(3, OutputPort::West));
+        assert_eq!(
+            d.alive_mask(3),
+            0b1111 & !(OutputPort::East.mask() as u8),
+            "alive mask drops the dead direction"
+        );
+        assert_eq!(d.alive_mask(4), 0b1111, "other nodes unaffected");
+    }
+
+    #[test]
+    fn empty_mask_reports_everything_alive() {
+        let d = DeadLinks::empty();
+        assert!(!d.any());
+        assert!(!d.is_dead(1000, OutputPort::North));
+        assert_eq!(d.alive_mask(1000), 0b1111);
+    }
+
+    #[test]
+    fn dead_fraction_selection_is_seed_deterministic_and_partition_free() {
+        let topo = NetTopology::from(Torus::net_4x4());
+        let cfg = FaultConfig {
+            dead_link_fraction: 0.25,
+            ..FaultConfig::default()
+        };
+        let full = FaultPlane::new(&cfg, &topo, 42, Tick::new(20), Tick::new(90), 0, 16);
+        let half_a = FaultPlane::new(&cfg, &topo, 42, Tick::new(20), Tick::new(90), 0, 8);
+        let half_b = FaultPlane::new(&cfg, &topo, 42, Tick::new(20), Tick::new(90), 8, 8);
+        assert_eq!(full.kills, half_a.kills, "kill schedule is partition-free");
+        assert_eq!(full.kills, half_b.kills);
+        // 4x4 torus: 64 directed links, 25% => 16 picks.
+        assert_eq!(full.kills.len(), 16);
+        let other_seed = FaultPlane::new(&cfg, &topo, 43, Tick::new(20), Tick::new(90), 0, 16);
+        assert_ne!(full.kills, other_seed.kills, "selection is seeded");
+    }
+
+    #[test]
+    fn scheduled_kill_applies_at_its_cycle_and_counts_once() {
+        let topo = NetTopology::from(Torus::net_4x4());
+        let cfg = FaultConfig {
+            kill_links: vec![LinkKill {
+                node: 0,
+                port: OutputPort::East,
+                at_cycle: 5,
+            }],
+            ..FaultConfig::default()
+        };
+        let mut plane = FaultPlane::new(&cfg, &topo, 1, Tick::new(20), Tick::new(90), 0, 16);
+        plane.begin_cycle(&topo, 4, Tick::new(80));
+        assert!(!plane.dead.is_dead(0, OutputPort::East));
+        plane.begin_cycle(&topo, 5, Tick::new(100));
+        assert!(plane.dead.is_dead(0, OutputPort::East));
+        assert_eq!(plane.links_dead, 1, "owner shard counts the death");
+        plane.begin_cycle(&topo, 6, Tick::new(120));
+        assert_eq!(plane.links_dead, 1, "kill is applied once");
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired link")]
+    fn killing_an_unwired_link_is_rejected() {
+        let topo = NetTopology::from(crate::topology::Mesh::new(4, 4));
+        let cfg = FaultConfig {
+            // Node 0 is the mesh corner: no North link.
+            kill_links: vec![LinkKill {
+                node: 0,
+                port: OutputPort::North,
+                at_cycle: 0,
+            }],
+            ..FaultConfig::default()
+        };
+        let _ = FaultPlane::new(&cfg, &topo, 1, Tick::new(20), Tick::new(90), 0, 16);
+    }
+
+    #[test]
+    fn ber_one_always_corrupts_and_exhausts_into_link_death() {
+        let topo = NetTopology::from(Torus::net_4x4());
+        let cfg = FaultConfig {
+            ber: 1.0,
+            max_retries: 2,
+            backoff_base_cycles: 1,
+            ..FaultConfig::default()
+        };
+        let mut plane = FaultPlane::new(&cfg, &topo, 7, Tick::new(20), Tick::new(90), 0, 16);
+        let period = Tick::new(20);
+        let packet = Packet::new(
+            router::PacketId(1),
+            router::CoherenceClass::Request,
+            0,
+            1,
+            Tick::ZERO,
+            0,
+        );
+        // Node 1's West feeder is node 0's East output.
+        let admission = plane.admit(
+            1,
+            InputPort::West,
+            packet,
+            VcId::adaptive(router::CoherenceClass::Request),
+            Tick::new(30),
+            Tick::new(100),
+            period,
+        );
+        assert!(matches!(admission, Admission::Held));
+        assert_eq!(plane.queued_packets, 1);
+        assert!(plane.flits_corrupted >= 1);
+        // Fire retries until exhaustion (attempts 2, 3 fail => dead).
+        let key = (1u16, InputPort::West.index() as u8);
+        let mut died = false;
+        for n in 0..cfg.max_retries + 1 {
+            match plane.fire(key, Tick::new(1000 * (n as u64 + 1)), period) {
+                Some(RetryOutcome::Backoff) => {}
+                Some(RetryOutcome::Exhausted { src, output }) => {
+                    assert_eq!((src, output), (0, OutputPort::East));
+                    died = true;
+                    break;
+                }
+                other => panic!("unexpected outcome {:?}", other.is_some()),
+            }
+        }
+        assert!(died, "bounded retries must exhaust");
+        assert_eq!(plane.retry_exhaustions, 1);
+        assert_eq!(plane.unreachable_drops, 1, "queued packet dropped");
+        assert_eq!(plane.queued_packets, 0);
+        assert_eq!(plane.retransmissions as u32, cfg.max_retries);
+        // The death is applied via the broadcast path:
+        plane.kill_link(&topo, 0, OutputPort::East);
+        assert_eq!(plane.links_dead, 1);
+        assert!(plane.dead.is_dead(0, OutputPort::East));
+        // A stale timer for the dead link is a deterministic no-op.
+        assert!(plane.fire(key, Tick::new(99_000), period).is_none());
+    }
+
+    #[test]
+    fn ber_zero_draws_nothing() {
+        // With corruption disabled the CRC stream must never advance, so
+        // a flap-only (or kill-only) plane cannot perturb draws.
+        let topo = NetTopology::from(Torus::net_4x4());
+        let cfg = FaultConfig {
+            kill_links: vec![LinkKill {
+                node: 2,
+                port: OutputPort::West,
+                at_cycle: 100,
+            }],
+            ..FaultConfig::default()
+        };
+        let mut plane = FaultPlane::new(&cfg, &topo, 9, Tick::new(20), Tick::new(90), 0, 16);
+        let packet = Packet::new(
+            router::PacketId(1),
+            router::CoherenceClass::Request,
+            0,
+            1,
+            Tick::ZERO,
+            0,
+        );
+        let admission = plane.admit(
+            1,
+            InputPort::West,
+            packet,
+            VcId::adaptive(router::CoherenceClass::Request),
+            Tick::new(30),
+            Tick::new(100),
+            Tick::new(20),
+        );
+        assert!(matches!(admission, Admission::Deliver(_)));
+        assert_eq!(plane.flits_corrupted, 0);
+        let st = plane
+            .links
+            .get(&(1, InputPort::West.index() as u8))
+            .unwrap();
+        let mut untouched = SimRng::from_seed(9 ^ CRC_STREAM).fork(OutputPort::East.index() as u64);
+        assert_eq!(
+            st.rng.clone().next_u64(),
+            untouched.next_u64(),
+            "no CRC draw was taken"
+        );
+    }
+}

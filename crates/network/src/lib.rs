@@ -23,18 +23,25 @@
 //! * [`sharded`] — the same simulation on N worker threads: contiguous
 //!   node-range shards stepped in lockstep one core cycle at a time,
 //!   exchanging cross-shard events at a barrier — bit-for-bit identical
-//!   to [`sim`].
+//!   to [`sim`];
+//! * [`fault`] — the deterministic fault plane: per-link BER corruption,
+//!   link flaps, and scheduled or exhaustion-triggered link death, with
+//!   CRC/retransmission recovery, fault-aware route masking, and a
+//!   forward-progress watchdog — bit-exact across both engines and every
+//!   worker count, with strictly zero cost when disabled.
 //!
 //! The traffic side (coherence transactions, MSHRs, §4.2 patterns) lives
 //! in the `workload` crate; anything implementing [`sim::Endpoint`] can
 //! drive the network.
 
+pub mod fault;
 pub mod routing;
 pub(crate) mod shard;
 pub mod sharded;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{DeadLinks, FaultConfig, LinkFlap, LinkKill};
 pub use routing::{route_for, FullMeshRouting, MeshRouting, Routing, TorusRouting};
 pub use sharded::ShardedNetworkSim;
 pub use sim::{

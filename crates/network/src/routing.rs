@@ -33,30 +33,57 @@
 //!   intermediate nodes, restricted to the source hop and to
 //!   intermediates below the destination id, which bounds every path to
 //!   two hops and keeps the channel-dependency graph acyclic.
+//!
+//! **Fault awareness.** Every scheme takes the network's
+//! [`DeadLinks`] mask and removes dead links from the adaptive
+//! candidate set. The escape path is *never rerouted* on the grids: a
+//! torus or mesh packet whose dimension-order escape hop is dead has no
+//! deadlock-free path in this scheme, so `route` returns `None` and the
+//! engine drops the packet with accounting (`unreachable_drops`) rather
+//! than risking the escape argument. Masking adaptive candidates cannot
+//! introduce deadlock — it only removes edges from the channel
+//! dependency graph — so the surviving escape network keeps its original
+//! proof. The full mesh *can* reroute: a dead direct link at the source
+//! hop falls back to a two-hop path through the lowest alive
+//! intermediate below the destination id, which preserves the `m < dest`
+//! acyclicity argument verbatim (see DESIGN.md "Fault plane").
 
+use crate::fault::DeadLinks;
 use crate::topology::{FullMesh, Mesh, NetTopology, Torus};
 use arbitration::ports::OutputPort;
 use router::{EscapeVc, Packet, RouteInfo};
 
 /// A routing function: produces the per-hop [`RouteInfo`] the router
-/// consumes. Implementations are deterministic and stateless — the same
-/// `(here, packet)` always yields the same route, which is what lets the
-/// sharded engine recompute routes at the receiving shard.
+/// consumes, or `None` when every deadlock-free path to the destination
+/// is dead. Implementations are deterministic and stateless — the same
+/// `(dead, here, packet)` always yields the same route, which is what
+/// lets the sharded engine recompute routes at the receiving shard (the
+/// [`DeadLinks`] replica is updated in canonical event order on every
+/// shard).
 pub trait Routing {
-    /// The routing choices for `packet` sitting at router `here`.
-    fn route(&self, here: u16, packet: &Packet) -> RouteInfo;
+    /// The routing choices for `packet` sitting at router `here`, with
+    /// the links in `dead` masked out. Local delivery is always `Some`.
+    fn route(&self, dead: &DeadLinks, here: u16, packet: &Packet) -> Option<RouteInfo>;
 }
 
 /// Computes the routing choices for `packet` sitting at router `here`,
-/// using the deadlock-free scheme native to `topo`.
+/// using the deadlock-free scheme native to `topo`, masking `dead`
+/// links. `None` means the destination is unreachable without breaking
+/// the deadlock-freedom argument; the engine drops such packets with
+/// accounting. Pass [`DeadLinks::empty`] when the fault plane is off.
 ///
 /// Delivery routes target the two local sink ports for coherence classes
 /// and the I/O port for I/O classes.
-pub fn route_for(topo: &NetTopology, here: u16, packet: &Packet) -> RouteInfo {
+pub fn route_for(
+    topo: &NetTopology,
+    dead: &DeadLinks,
+    here: u16,
+    packet: &Packet,
+) -> Option<RouteInfo> {
     match *topo {
-        NetTopology::Torus(t) => TorusRouting(t).route(here, packet),
-        NetTopology::Mesh(m) => MeshRouting(m).route(here, packet),
-        NetTopology::FullMesh(f) => FullMeshRouting(f).route(here, packet),
+        NetTopology::Torus(t) => TorusRouting(t).route(dead, here, packet),
+        NetTopology::Mesh(m) => MeshRouting(m).route(dead, here, packet),
+        NetTopology::FullMesh(f) => FullMeshRouting(f).route(dead, here, packet),
     }
 }
 
@@ -78,9 +105,9 @@ fn local_route(packet: &Packet) -> RouteInfo {
 pub struct TorusRouting(pub Torus);
 
 impl Routing for TorusRouting {
-    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+    fn route(&self, dead: &DeadLinks, here: u16, packet: &Packet) -> Option<RouteInfo> {
         if here == packet.dest {
-            return local_route(packet);
+            return Some(local_route(packet));
         }
         let torus = &self.0;
         let (hx, hy) = torus.coords(here);
@@ -103,7 +130,16 @@ impl Routing for TorusRouting {
             let d = y_dir.expect("transit packet must be unaligned in some dimension");
             (d, dateline_vc(hy, dy, d == OutputPort::South))
         };
-        RouteInfo::transit(adaptive, escape, escape_vc)
+        if dead.any() {
+            // Dropping adaptive candidates only removes edges from the
+            // channel dependency graph; the dateline argument is about
+            // the escape chain, which we refuse to reroute.
+            adaptive &= dead.alive_mask(here);
+            if dead.is_dead(here, escape) {
+                return None;
+            }
+        }
+        Some(RouteInfo::transit(adaptive, escape, escape_vc))
     }
 }
 
@@ -114,9 +150,9 @@ impl Routing for TorusRouting {
 pub struct MeshRouting(pub Mesh);
 
 impl Routing for MeshRouting {
-    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+    fn route(&self, dead: &DeadLinks, here: u16, packet: &Packet) -> Option<RouteInfo> {
         if here == packet.dest {
-            return local_route(packet);
+            return Some(local_route(packet));
         }
         let mesh = &self.0;
         let (hx, hy) = mesh.coords(here);
@@ -144,7 +180,15 @@ impl Routing for MeshRouting {
         let escape = x_dir
             .or(y_dir)
             .expect("transit packet must be unaligned in some dimension");
-        RouteInfo::transit(adaptive, escape, EscapeVc::Vc1)
+        if dead.any() {
+            // Same argument as the torus: adaptive masking is always
+            // safe, the XY escape chain is never rerouted.
+            adaptive &= dead.alive_mask(here);
+            if dead.is_dead(here, escape) {
+                return None;
+            }
+        }
+        Some(RouteInfo::transit(adaptive, escape, EscapeVc::Vc1))
     }
 }
 
@@ -165,21 +209,55 @@ impl Routing for MeshRouting {
 pub struct FullMeshRouting(pub FullMesh);
 
 impl Routing for FullMeshRouting {
-    fn route(&self, here: u16, packet: &Packet) -> RouteInfo {
+    fn route(&self, dead: &DeadLinks, here: u16, packet: &Packet) -> Option<RouteInfo> {
         if here == packet.dest {
-            return local_route(packet);
+            return Some(local_route(packet));
         }
         let mesh = &self.0;
         let direct = mesh.port_toward(here, packet.dest);
-        let mut adaptive = direct.mask() as u8;
+        if !dead.any() {
+            let mut adaptive = direct.mask() as u8;
+            if here == packet.src {
+                for m in 0..packet.dest.min(mesh.nodes()) {
+                    if m != here {
+                        adaptive |= mesh.port_toward(here, m).mask() as u8;
+                    }
+                }
+            }
+            return Some(RouteInfo::transit(adaptive, direct, EscapeVc::Vc0));
+        }
+
+        // Fault-aware full mesh. Unlike the grids, the escape *can* be
+        // rerouted: a two-hop path s -> m -> d with m < d only adds the
+        // dependency c(s,m) -> c(m,d), stepping to a channel ending at a
+        // strictly larger node — the original acyclicity argument — so
+        // escaping through the lowest alive intermediate stays
+        // deadlock-free. In transit (here != src) the direct link is the
+        // only legal hop: rerouting there would break the two-hop bound.
+        let direct_dead = dead.is_dead(here, direct);
+        let mut adaptive = if direct_dead {
+            0u8
+        } else {
+            direct.mask() as u8
+        };
+        let mut escape_via = None;
         if here == packet.src {
             for m in 0..packet.dest.min(mesh.nodes()) {
-                if m != here {
-                    adaptive |= mesh.port_toward(here, m).mask() as u8;
+                if m == here {
+                    continue;
+                }
+                let hop1 = mesh.port_toward(here, m);
+                if dead.is_dead(here, hop1) || dead.is_dead(m, mesh.port_toward(m, packet.dest)) {
+                    continue;
+                }
+                adaptive |= hop1.mask() as u8;
+                if escape_via.is_none() {
+                    escape_via = Some(hop1);
                 }
             }
         }
-        RouteInfo::transit(adaptive, direct, EscapeVc::Vc0)
+        let escape = if !direct_dead { direct } else { escape_via? };
+        Some(RouteInfo::transit(adaptive, escape, EscapeVc::Vc0))
     }
 }
 
@@ -244,7 +322,21 @@ mod tests {
     }
 
     fn torus_route(t: &Torus, here: u16, p: &Packet) -> RouteInfo {
-        TorusRouting(*t).route(here, p)
+        TorusRouting(*t)
+            .route(DeadLinks::empty(), here, p)
+            .expect("fault-free routes always exist")
+    }
+
+    fn mesh_route(m: Mesh, here: u16, p: &Packet) -> RouteInfo {
+        MeshRouting(m)
+            .route(DeadLinks::empty(), here, p)
+            .expect("fault-free routes always exist")
+    }
+
+    fn fm_route(f: FullMesh, here: u16, p: &Packet) -> RouteInfo {
+        FullMeshRouting(f)
+            .route(DeadLinks::empty(), here, p)
+            .expect("fault-free routes always exist")
     }
 
     #[test]
@@ -263,20 +355,21 @@ mod tests {
     fn dispatch_matches_concrete_schemes() {
         let p = pkt(0, 5, CoherenceClass::Request);
         let t = Torus::net_4x4();
+        let none = DeadLinks::empty();
         assert_eq!(
-            route_for(&NetTopology::from(t), 0, &p),
-            TorusRouting(t).route(0, &p)
+            route_for(&NetTopology::from(t), none, 0, &p),
+            TorusRouting(t).route(none, 0, &p)
         );
         let m = Mesh::new(4, 4);
         assert_eq!(
-            route_for(&NetTopology::from(m), 0, &p),
-            MeshRouting(m).route(0, &p)
+            route_for(&NetTopology::from(m), none, 0, &p),
+            MeshRouting(m).route(none, 0, &p)
         );
         let f = FullMesh::new(5);
         let p5 = pkt(0, 3, CoherenceClass::Request);
         assert_eq!(
-            route_for(&NetTopology::from(f), 0, &p5),
-            FullMeshRouting(f).route(0, &p5)
+            route_for(&NetTopology::from(f), none, 0, &p5),
+            FullMeshRouting(f).route(none, 0, &p5)
         );
     }
 
@@ -455,7 +548,7 @@ mod tests {
                     continue;
                 }
                 let p = pkt(0, dest, CoherenceClass::Request);
-                let (adaptive, escape, vc) = transit_parts(MeshRouting(m).route(here, &p));
+                let (adaptive, escape, vc) = transit_parts(mesh_route(m, here, &p));
                 assert_eq!(vc, EscapeVc::Vc1, "mesh escape never switches VCs");
                 assert!(
                     adaptive & escape.mask() as u8 != 0,
@@ -485,7 +578,7 @@ mod tests {
         let mut dirs = Vec::new();
         while here != dest {
             let (_, escape, _) =
-                transit_parts(MeshRouting(m).route(here, &pkt(0, dest, CoherenceClass::Request)));
+                transit_parts(mesh_route(m, here, &pkt(0, dest, CoherenceClass::Request)));
             dirs.push(escape);
             here = m.neighbor(here, escape).unwrap();
         }
@@ -505,7 +598,7 @@ mod tests {
         // The corner-to-corner route has no wrap shortcut to offer.
         let m = Mesh::new(4, 4);
         let (adaptive, escape, _) =
-            transit_parts(MeshRouting(m).route(0, &pkt(0, 15, CoherenceClass::Request)));
+            transit_parts(mesh_route(m, 0, &pkt(0, 15, CoherenceClass::Request)));
         assert_eq!(
             adaptive,
             (OutputPort::East.mask() | OutputPort::South.mask()) as u8
@@ -513,7 +606,7 @@ mod tests {
         assert_eq!(escape, OutputPort::East);
         // From (3,3) back: only North/West.
         let (adaptive, _, _) =
-            transit_parts(MeshRouting(m).route(15, &pkt(15, 0, CoherenceClass::Request)));
+            transit_parts(mesh_route(m, 15, &pkt(15, 0, CoherenceClass::Request)));
         assert_eq!(
             adaptive,
             (OutputPort::West.mask() | OutputPort::North.mask()) as u8
@@ -528,9 +621,8 @@ mod tests {
                 if here == dest {
                     continue;
                 }
-                let (adaptive, escape, vc) = transit_parts(
-                    FullMeshRouting(f).route(here, &pkt(here, dest, CoherenceClass::Request)),
-                );
+                let (adaptive, escape, vc) =
+                    transit_parts(fm_route(f, here, &pkt(here, dest, CoherenceClass::Request)));
                 assert_eq!(escape, f.port_toward(here, dest));
                 assert_eq!(vc, EscapeVc::Vc0, "VC-less: one escape channel");
                 assert!(adaptive & escape.mask() as u8 != 0, "direct is a candidate");
@@ -542,8 +634,7 @@ mod tests {
     fn full_mesh_misroutes_only_at_the_source_and_below_dest() {
         let f = FullMesh::new(5);
         // At the source 4 -> 3: direct plus intermediates {0,1,2}.
-        let (adaptive, _, _) =
-            transit_parts(FullMeshRouting(f).route(4, &pkt(4, 3, CoherenceClass::Request)));
+        let (adaptive, _, _) = transit_parts(fm_route(f, 4, &pkt(4, 3, CoherenceClass::Request)));
         let mut expect = f.port_toward(4, 3).mask() as u8;
         for m in [0u16, 1, 2] {
             expect |= f.port_toward(4, m).mask() as u8;
@@ -551,12 +642,10 @@ mod tests {
         assert_eq!(adaptive, expect);
         assert_eq!(adaptive.count_ones(), 4, "beyond the fixed two candidates");
         // 4 -> 0: no intermediate below 0, direct only.
-        let (adaptive, _, _) =
-            transit_parts(FullMeshRouting(f).route(4, &pkt(4, 0, CoherenceClass::Request)));
+        let (adaptive, _, _) = transit_parts(fm_route(f, 4, &pkt(4, 0, CoherenceClass::Request)));
         assert_eq!(adaptive, f.port_toward(4, 0).mask() as u8);
         // In transit (here != src): direct only, so every path is ≤ 2 hops.
-        let (adaptive, _, _) =
-            transit_parts(FullMeshRouting(f).route(1, &pkt(4, 3, CoherenceClass::Request)));
+        let (adaptive, _, _) = transit_parts(fm_route(f, 1, &pkt(4, 3, CoherenceClass::Request)));
         assert_eq!(adaptive, f.port_toward(1, 3).mask() as u8);
     }
 
@@ -570,7 +659,7 @@ mod tests {
                     continue;
                 }
                 let p = pkt(src, dest, CoherenceClass::Request);
-                let (adaptive, _, _) = transit_parts(FullMeshRouting(f).route(src, &p));
+                let (adaptive, _, _) = transit_parts(fm_route(f, src, &p));
                 let mut mask = adaptive;
                 while mask != 0 {
                     let port = OutputPort::from_index(mask.trailing_zeros() as usize);
@@ -580,12 +669,107 @@ mod tests {
                         continue;
                     }
                     assert!(hop1 < dest, "misroute intermediate stays below dest");
-                    let (a2, _, _) = transit_parts(FullMeshRouting(f).route(hop1, &p));
+                    let (a2, _, _) = transit_parts(fm_route(f, hop1, &p));
                     assert_eq!(a2, f.port_toward(hop1, dest).mask() as u8);
                     let hop2 = f.link(hop1, f.port_toward(hop1, dest)).unwrap().peer;
                     assert_eq!(hop2, dest, "second hop lands");
                 }
             }
         }
+    }
+
+    /// Builds a mask with the given links killed (node, output port).
+    fn killed(kills: &[(u16, OutputPort)]) -> DeadLinks {
+        let mut d = DeadLinks::new(64);
+        for &(n, p) in kills {
+            assert!(d.kill(n, p), "duplicate kill in test fixture");
+        }
+        d
+    }
+
+    #[test]
+    fn torus_masks_dead_adaptive_candidates() {
+        let t = Torus::net_4x4();
+        // (0,0) -> (1,1): East and South productive, escape East.
+        let p = pkt(0, 5, CoherenceClass::Request);
+        let d = killed(&[(0, OutputPort::South)]);
+        let (adaptive, escape, _) =
+            transit_parts(TorusRouting(t).route(&d, 0, &p).expect("escape alive"));
+        assert_eq!(adaptive, OutputPort::East.mask() as u8);
+        assert_eq!(escape, OutputPort::East);
+    }
+
+    #[test]
+    fn torus_dead_escape_is_unreachable() {
+        let t = Torus::net_4x4();
+        let p = pkt(0, 5, CoherenceClass::Request);
+        // The x-first escape hop is East; killing it ends the route even
+        // though South is still productive — the dateline chain must not
+        // be rerouted.
+        let d = killed(&[(0, OutputPort::East)]);
+        assert!(TorusRouting(t).route(&d, 0, &p).is_none());
+        // Local delivery and unrelated routers are unaffected.
+        assert!(TorusRouting(t).route(&d, 5, &p).is_some());
+        assert!(TorusRouting(t).route(&d, 1, &p).is_some());
+    }
+
+    #[test]
+    fn mesh_dead_escape_is_unreachable_but_candidates_mask() {
+        let m = Mesh::new(4, 4);
+        let p = pkt(0, 15, CoherenceClass::Request);
+        let d = killed(&[(0, OutputPort::East)]);
+        assert!(MeshRouting(m).route(&d, 0, &p).is_none());
+        let d2 = killed(&[(0, OutputPort::South)]);
+        let (adaptive, escape, _) =
+            transit_parts(MeshRouting(m).route(&d2, 0, &p).expect("escape alive"));
+        assert_eq!(adaptive, OutputPort::East.mask() as u8);
+        assert_eq!(escape, OutputPort::East);
+    }
+
+    #[test]
+    fn full_mesh_reroutes_a_dead_direct_link_through_an_alive_intermediate() {
+        let f = FullMesh::new(5);
+        // 4 -> 3 with the direct link dead: the escape becomes the
+        // two-hop path through the lowest alive intermediate below 3.
+        let p = pkt(4, 3, CoherenceClass::Request);
+        let d = killed(&[(4, f.port_toward(4, 3))]);
+        let (adaptive, escape, vc) =
+            transit_parts(FullMeshRouting(f).route(&d, 4, &p).expect("reroutable"));
+        assert_eq!(escape, f.port_toward(4, 0), "lowest alive intermediate");
+        assert_eq!(vc, EscapeVc::Vc0);
+        assert_eq!(
+            adaptive & f.port_toward(4, 3).mask() as u8,
+            0,
+            "the dead direct link leaves the candidate set"
+        );
+        // Kill 4->0 as well: the escape advances to intermediate 1.
+        let d = killed(&[(4, f.port_toward(4, 3)), (4, f.port_toward(4, 0))]);
+        let (_, escape, _) =
+            transit_parts(FullMeshRouting(f).route(&d, 4, &p).expect("reroutable"));
+        assert_eq!(escape, f.port_toward(4, 1));
+        // An intermediate whose *second* hop is dead is skipped too.
+        let d = killed(&[
+            (4, f.port_toward(4, 3)),
+            (4, f.port_toward(4, 0)),
+            (1, f.port_toward(1, 3)),
+        ]);
+        let (_, escape, _) =
+            transit_parts(FullMeshRouting(f).route(&d, 4, &p).expect("reroutable"));
+        assert_eq!(escape, f.port_toward(4, 2));
+    }
+
+    #[test]
+    fn full_mesh_transit_never_reroutes_and_exhausted_sources_give_up() {
+        let f = FullMesh::new(5);
+        let p = pkt(4, 3, CoherenceClass::Request);
+        // In transit (here != src) the direct link is the only legal
+        // hop: rerouting there would break the two-hop bound.
+        let d = killed(&[(1, f.port_toward(1, 3))]);
+        assert!(FullMeshRouting(f).route(&d, 1, &p).is_none());
+        // 4 -> 0 has no intermediate below the destination id, so a dead
+        // direct link is terminal even at the source.
+        let p0 = pkt(4, 0, CoherenceClass::Request);
+        let d = killed(&[(4, f.port_toward(4, 0))]);
+        assert!(FullMeshRouting(f).route(&d, 4, &p0).is_none());
     }
 }

@@ -35,9 +35,11 @@
 //! through [`replay_records`] in the canonical key order, reproducing the
 //! single-threaded accumulation bit for bit.
 
+use crate::fault::{Admission, DeadLinks, FaultPlane, RetryOutcome};
 use crate::routing::route_for;
 use crate::sim::{Endpoint, NetworkConfig, NodeCtx};
 use crate::topology::{NetTopology, Topology};
+use arbitration::ports::{InputPort, OutputPort};
 use router::{IncomingPacket, Packet, Router, RouterOutput};
 use simcore::stats::Histogram;
 use simcore::wheel::TimingWheel;
@@ -68,14 +70,28 @@ impl CycleEnv {
     }
 }
 
-/// A deferred `Forward`/`Credit` event, tagged with the router that
-/// emitted it. Within one outbox bucket, events keep their emission
-/// order; across buckets the engine establishes ascending-source order by
-/// visiting source shards in index order (shards are contiguous).
-#[derive(Debug)]
+/// A deferred cross-router event: a router's `Forward`/`Credit` output,
+/// or a fault-plane link death that every shard must apply to its
+/// [`DeadLinks`] replica.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ShardEvent {
+    /// A router output (`Forward` or `Credit`), applied at its
+    /// destination router's shard.
+    Router(RouterOutput),
+    /// The directed link leaving `node` through `output` died (retry
+    /// exhaustion). Broadcast to *every* shard so all [`DeadLinks`]
+    /// replicas update in the same canonical event position.
+    LinkDead { node: u16, output: OutputPort },
+}
+
+/// A deferred event, tagged with the router that emitted it. Within one
+/// outbox bucket, events keep their emission order; across buckets the
+/// engine establishes ascending-source order by visiting source shards
+/// in index order (shards are contiguous).
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct OutEvent {
     pub(crate) src: u16,
-    pub(crate) ev: RouterOutput,
+    pub(crate) ev: ShardEvent,
 }
 
 /// The destination router of a deferred event: the link neighbour a
@@ -203,6 +219,13 @@ pub(crate) struct Shard<E> {
     /// Transaction round-trip latency histogram partial (merges exactly
     /// for the same reason).
     pub(crate) txn_latency_hist: Histogram,
+    /// The fault plane, present only when fault injection is configured
+    /// — `None` costs one branch per phase and guarantees zero RNG
+    /// draws (the zero-fault tax pinned by `hot_path`).
+    faults: Option<FaultPlane>,
+    /// Every delivery to a local endpoint, warmup included — the
+    /// forward-progress signal the watchdog monitors.
+    pub(crate) delivered_all: u64,
 }
 
 impl<E: Endpoint> Shard<E> {
@@ -218,6 +241,17 @@ impl<E: Endpoint> Shard<E> {
                 Router::new(id, cfg.router.clone(), root.fork(id as u64))
             })
             .collect();
+        let faults = cfg.fault.injection_enabled().then(|| {
+            FaultPlane::new(
+                &cfg.fault,
+                &cfg.topology,
+                cfg.seed,
+                cfg.router.timing.core.period(),
+                cfg.router.timing.link_latency_ticks(),
+                base,
+                endpoints.len() as u16,
+            )
+        });
         Shard {
             base,
             deliveries: TimingWheel::new(cfg.router.timing.core.period(), 256),
@@ -233,6 +267,8 @@ impl<E: Endpoint> Shard<E> {
             measured_txns: 0,
             latency_hist: Histogram::new(0.0, 2000.0, 200),
             txn_latency_hist: txn_histogram(),
+            faults,
+            delivered_all: 0,
             routers,
             endpoints,
         }
@@ -260,6 +296,40 @@ impl<E: Endpoint> Shard<E> {
         self.deliveries.len()
     }
 
+    /// The shard's fault plane, when fault injection is configured.
+    pub(crate) fn faults(&self) -> Option<&FaultPlane> {
+        self.faults.as_ref()
+    }
+
+    /// Packets this shard is responsible for that have not reached an
+    /// endpoint: buffered in routers, parked on the delivery wheel, or
+    /// held in link retransmit buffers. The watchdog pairs this with
+    /// [`Shard::delivered_all`]: occupancy without delivery is a wedge.
+    pub(crate) fn occupancy(&self) -> u64 {
+        let buffered: u64 = self
+            .routers
+            .iter()
+            .map(|r| r.accounted_packets() as u64)
+            .sum();
+        buffered
+            + self.deliveries.len() as u64
+            + self.faults.as_ref().map_or(0, |p| p.queued_packets)
+    }
+
+    /// Appends this shard's contribution to the watchdog's structured
+    /// diagnostic dump: one line per router with occupancy and credit
+    /// state, plus any interesting link-layer state.
+    pub(crate) fn diagnostics(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (i, r) in self.routers.iter().enumerate() {
+            let node = self.base + i as u16;
+            let _ = writeln!(out, "  router {node}: {}", r.diagnostics());
+        }
+        if let Some(plane) = &self.faults {
+            plane.diagnostics(out);
+        }
+    }
+
     /// Phase A of one core cycle, in the same order the original
     /// single-threaded engine used:
     ///
@@ -279,13 +349,26 @@ impl<E: Endpoint> Shard<E> {
     pub(crate) fn phase_a(
         &mut self,
         env: &CycleEnv,
-        emit: &mut impl FnMut(u16, RouterOutput),
+        emit: &mut impl FnMut(u16, ShardEvent),
         records: &mut Vec<MeasureRecord>,
     ) {
         let now = env.now;
+        // 0. Fault-plane cycle boundary: scheduled kills, flap machine
+        // steps, due retry timers, staged refunds — all before any router
+        // steps, in both engines.
+        if let Some(plane) = self.faults.as_mut() {
+            plane.begin_cycle(&env.topology, env.cycle, now);
+        }
         // 1. Routers.
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.routers.len() {
+            let src = self.base + i as u16;
+            // Fault slot: runs for every local router — including
+            // idle-skipped ones — so refunds, retries, and death events
+            // hold their canonical per-source position.
+            if self.faults.is_some() {
+                self.fault_slot(env, i, emit);
+            }
             if self.idle_skip && now < self.wake_at[i] {
                 self.skipped_steps += 1;
                 continue;
@@ -293,7 +376,6 @@ impl<E: Endpoint> Shard<E> {
             self.wake_at[i] = Tick::ZERO;
             scratch.clear();
             self.routers[i].step(now, &mut scratch);
-            let src = self.base + i as u16;
             for (seq, ev) in scratch.drain(..).enumerate() {
                 match ev {
                     RouterOutput::Delivered { packet, at, .. } => {
@@ -307,7 +389,7 @@ impl<E: Endpoint> Shard<E> {
                             },
                         );
                     }
-                    other => emit(src, other),
+                    other => emit(src, ShardEvent::Router(other)),
                 }
             }
             if self.idle_skip {
@@ -321,6 +403,7 @@ impl<E: Endpoint> Shard<E> {
         due.clear();
         self.deliveries.drain_due(now, &mut due);
         for &(at, ref d) in &due {
+            self.delivered_all += 1;
             let txn = self.endpoints[(d.node - self.base) as usize].on_delivered(&d.packet, at);
             if at >= env.warmup_end {
                 let transit_ns = (at - d.packet.injected).as_ns();
@@ -350,6 +433,10 @@ impl<E: Endpoint> Shard<E> {
             let mut ctx = NodeCtx {
                 router: &mut self.routers[i],
                 topology: &env.topology,
+                dead: match &self.faults {
+                    Some(p) => &p.dead,
+                    None => DeadLinks::empty(),
+                },
                 node: self.base + i as u16,
                 now,
                 core_period: env.core_period,
@@ -369,9 +456,66 @@ impl<E: Endpoint> Shard<E> {
         }
     }
 
+    /// The fault-plane slot of local router `i` in phase A: emit pending
+    /// credit refunds, then fire due retransmit timers. Runs before the
+    /// router's own step (and even when the step is idle-skipped), so
+    /// every event it emits holds a deterministic per-source position.
+    fn fault_slot(&mut self, env: &CycleEnv, i: usize, emit: &mut impl FnMut(u16, ShardEvent)) {
+        let now = env.now;
+        let src = self.base + i as u16;
+        let plane = self.faults.as_mut().expect("fault_slot requires a plane");
+        for r in plane.refunds_for(src) {
+            debug_assert_eq!(r.node, src);
+            emit(
+                src,
+                ShardEvent::Router(RouterOutput::Credit {
+                    input: r.input,
+                    vc: r.vc,
+                    at: now,
+                }),
+            );
+        }
+        while let Some(key) = plane.next_due(src) {
+            match plane.fire(key, now, env.core_period) {
+                None | Some(RetryOutcome::Backoff) => {}
+                Some(RetryOutcome::Deliver(tx)) => {
+                    let entry = InputPort::from_index(key.1 as usize);
+                    match route_for(&env.topology, &plane.dead, src, &tx.packet) {
+                        Some(route) => {
+                            plane.record_retransmit_latency(now, tx.first_pin);
+                            self.routers[i].accept_packet(
+                                entry,
+                                IncomingPacket {
+                                    packet: tx.packet,
+                                    route,
+                                    vc: tx.vc,
+                                    pin_time: now,
+                                    in_flit_period: tx.flit_period,
+                                },
+                            );
+                            // `next_wake` captures whether this arrival
+                            // makes the upcoming step (or a later one)
+                            // meaningful — the same invariant the apply
+                            // path maintains.
+                            self.wake_at[i] = self.wake_at[i].min(self.routers[i].next_wake());
+                        }
+                        None => plane.drop_with_refund(src, entry, tx.vc),
+                    }
+                }
+                Some(RetryOutcome::Exhausted { src: node, output }) => {
+                    // Broadcast so every shard's DeadLinks replica (and
+                    // our own) applies the death at the same canonical
+                    // event position.
+                    emit(src, ShardEvent::LinkDead { node, output });
+                }
+            }
+        }
+    }
+
     /// Phase B: applies one deferred event to its destination, which must
-    /// lie in this shard. The caller supplies events in ascending
-    /// `(source router, emission order)` sequence.
+    /// lie in this shard (link deaths are broadcast and applied by every
+    /// shard). The caller supplies events in ascending `(source router,
+    /// emission order)` sequence.
     ///
     /// The `next_wake` minimum re-arms idle-skip: applying it here rather
     /// than at emission time is exact because the event's earliest effect
@@ -380,7 +524,18 @@ impl<E: Endpoint> Shard<E> {
     /// unchanged, and `min(next_work(before), next_wake(after)) ==
     /// next_work(after)` re-establishes the invariant for the cycles
     /// after.
-    pub(crate) fn apply(&mut self, env: &CycleEnv, src: u16, ev: RouterOutput) {
+    pub(crate) fn apply(&mut self, env: &CycleEnv, src: u16, ev: ShardEvent) {
+        let ev = match ev {
+            ShardEvent::Router(ev) => ev,
+            ShardEvent::LinkDead { node, output } => {
+                let plane = self
+                    .faults
+                    .as_mut()
+                    .expect("link deaths require a fault plane");
+                plane.kill_link(&env.topology, node, output);
+                return;
+            }
+        };
         match ev {
             RouterOutput::Forward(o) => {
                 let target = env
@@ -388,11 +543,36 @@ impl<E: Endpoint> Shard<E> {
                     .link(src, o.output)
                     .expect("forward along an unwired port");
                 let (neighbor, entry) = (target.peer, target.entry);
-                let packet = o.packet;
                 let wire = env.topology.link_latency(src, o.output, env.link_latency);
                 let pin_time = o.first_flit + wire;
-                let route = route_for(&env.topology, neighbor, &packet);
                 let local = (neighbor - self.base) as usize;
+                let packet = if let Some(plane) = self.faults.as_mut() {
+                    match plane.admit(
+                        neighbor,
+                        entry,
+                        o.packet,
+                        o.downstream_vc,
+                        o.flit_period,
+                        pin_time,
+                        env.core_period,
+                    ) {
+                        Admission::Deliver(packet) => packet,
+                        Admission::Held | Admission::Dropped => return,
+                    }
+                } else {
+                    o.packet
+                };
+                let dead = match &self.faults {
+                    Some(p) => &p.dead,
+                    None => DeadLinks::empty(),
+                };
+                let Some(route) = route_for(&env.topology, dead, neighbor, &packet) else {
+                    self.faults
+                        .as_mut()
+                        .expect("routes only fail once links have died")
+                        .drop_with_refund(neighbor, entry, o.downstream_vc);
+                    return;
+                };
                 self.routers[local].accept_packet(
                     entry,
                     IncomingPacket {

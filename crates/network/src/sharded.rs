@@ -44,13 +44,27 @@
 //! (`seed.fork(node)` and `(seed ^ 0x5eed_f00d).fork(node)`), never per
 //! shard, so partitioning cannot perturb a single random draw.
 
-use crate::shard::{event_destination, replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
+use crate::shard::{
+    event_destination, replay_records, CycleEnv, MeasureRecord, OutEvent, Shard, ShardEvent,
+};
 use crate::sim::{report_from_parts, Endpoint, NetworkConfig, NetworkReport};
 use crate::topology::{NetTopology, ShardMap};
 use simcore::stats::OnlineStats;
 use simcore::sweep::effective_workers;
 use simcore::sync::SpinBarrier;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic"
+    }
+}
 
 /// A sharded simulation: the network is partitioned into contiguous
 /// node ranges, one per worker thread, stepped in lockstep one core
@@ -182,6 +196,8 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
         let shard = self.shards[0].get_mut().expect("worker fleet panicked");
         let mut outbox: Vec<OutEvent> = Vec::with_capacity(64);
         let mut records: Vec<MeasureRecord> = Vec::with_capacity(64);
+        let mut wd_delivered = shard.delivered_all;
+        let mut wd_stall = 0u64;
         for k in self.cycle..total {
             let env = CycleEnv::at(&self.cfg, k);
             shard.phase_a(
@@ -198,6 +214,28 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
                 &mut self.total_latency,
                 &mut self.txn_latency,
             );
+            if let Some(budget) = self.cfg.fault.watchdog_cycles {
+                if shard.delivered_all != wd_delivered || shard.occupancy() == 0 {
+                    wd_delivered = shard.delivered_all;
+                    wd_stall = 0;
+                } else {
+                    wd_stall += 1;
+                    if wd_stall >= budget {
+                        use std::fmt::Write as _;
+                        let mut dump = String::new();
+                        let _ = writeln!(
+                            dump,
+                            "shard 0 diagnostic @ cycle {k}: occupancy {} packet(s), {} delivered",
+                            shard.occupancy(),
+                            shard.delivered_all,
+                        );
+                        shard.diagnostics(&mut dump);
+                        panic!(
+                            "watchdog: no delivery for {budget} cycles with packets in flight\n{dump}"
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -213,10 +251,32 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
     /// spends segment *k* replaying cycle *k−1*'s measurement records.
     /// Every mutex in the scheme is uncontended by construction — locks
     /// only order memory, the barrier orders time.
+    ///
+    /// # Panic robustness
+    ///
+    /// A fixed-party barrier turns one dead worker into a fleet-wide
+    /// hang, so each worker runs under `catch_unwind`: on panic it
+    /// [poisons](SpinBarrier::poison) the barrier with the original
+    /// message and exits. Every peer — and the coordinator — observes
+    /// the poison at its next crossing and unwinds with
+    /// `"worker fleet panicked: <original message>"` instead of spinning
+    /// forever.
+    ///
+    /// # Watchdog
+    ///
+    /// With `fault.watchdog_cycles = Some(n)`, workers publish delivery
+    /// deltas to a shared counter each segment; a worker that sees no
+    /// fleet-wide delivery for ~n consecutive cycles while its own shard
+    /// still holds packets panics with a structured occupancy dump —
+    /// which the poisoning path then propagates to the whole fleet. The
+    /// shared counter is read with one-cycle staleness (benign: budgets
+    /// are thousands of cycles).
     fn run_fleet(&mut self, total: u64) {
         let w = self.shards.len();
         let start = self.cycle;
         let barrier = SpinBarrier::new(w + 1);
+        let fleet_delivered = AtomicU64::new(0);
+        let watchdog = self.cfg.fault.watchdog_cycles;
         let buckets = |n: usize| -> Vec<Mutex<Vec<OutEvent>>> {
             (0..n).map(|_| Mutex::new(Vec::new())).collect()
         };
@@ -244,43 +304,104 @@ impl<E: Endpoint + Send> ShardedNetworkSim<E> {
                 let barrier = &barrier;
                 let outboxes = &outboxes;
                 let records = &records;
+                let fleet_delivered = &fleet_delivered;
                 scope.spawn(move || {
-                    let mut shard = shards[me].lock().expect("worker fleet panicked");
-                    for k in start..=total {
-                        barrier.wait();
-                        if k > start {
-                            // Phase B of cycle k-1: events destined to
-                            // this shard, source shards in index order =
-                            // ascending source router (canonical).
-                            let env = CycleEnv::at(cfg, k - 1);
-                            let parity = ((k - 1) % 2) as usize;
-                            for src_row in &outboxes[parity] {
-                                let mut bucket = src_row[me].lock().expect("worker fleet panicked");
-                                for OutEvent { src, ev } in bucket.drain(..) {
-                                    shard.apply(&env, src, ev);
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut shard = shards[me].lock().expect("worker fleet panicked");
+                        // Watchdog bookkeeping: this shard's deliveries
+                        // already published, the fleet total last seen,
+                        // and the no-progress streak.
+                        let mut published = shard.delivered_all;
+                        let mut last_total = u64::MAX;
+                        let mut stall = 0u64;
+                        for k in start..=total {
+                            barrier.wait();
+                            if k > start {
+                                // Phase B of cycle k-1: events destined to
+                                // this shard, source shards in index order =
+                                // ascending source router (canonical).
+                                let env = CycleEnv::at(cfg, k - 1);
+                                let parity = ((k - 1) % 2) as usize;
+                                for src_row in &outboxes[parity] {
+                                    let mut bucket =
+                                        src_row[me].lock().expect("worker fleet panicked");
+                                    for OutEvent { src, ev } in bucket.drain(..) {
+                                        shard.apply(&env, src, ev);
+                                    }
+                                }
+                                if let Some(budget) = watchdog {
+                                    let delivered = shard.delivered_all;
+                                    if delivered != published {
+                                        fleet_delivered.fetch_add(
+                                            delivered - published,
+                                            Ordering::Relaxed,
+                                        );
+                                        published = delivered;
+                                    }
+                                    let total_now = fleet_delivered.load(Ordering::Relaxed);
+                                    if total_now != last_total || shard.occupancy() == 0 {
+                                        last_total = total_now;
+                                        stall = 0;
+                                    } else {
+                                        stall += 1;
+                                        if stall >= budget {
+                                            use std::fmt::Write as _;
+                                            let mut dump = String::new();
+                                            let _ = writeln!(
+                                                dump,
+                                                "shard {me} diagnostic @ cycle {}: occupancy {} packet(s), {} delivered fleet-wide",
+                                                k - 1,
+                                                shard.occupancy(),
+                                                total_now,
+                                            );
+                                            shard.diagnostics(&mut dump);
+                                            panic!(
+                                                "watchdog: no delivery for {budget} cycles with packets in flight\n{dump}"
+                                            );
+                                        }
+                                    }
                                 }
                             }
+                            if k < total {
+                                // Phase A of cycle k into this parity's
+                                // buckets (drained last segment, free now).
+                                let env = CycleEnv::at(cfg, k);
+                                let parity = (k % 2) as usize;
+                                let mut rows: Vec<_> = outboxes[parity][me]
+                                    .iter()
+                                    .map(|m| m.lock().expect("worker fleet panicked"))
+                                    .collect();
+                                let mut recs =
+                                    records[parity][me].lock().expect("worker fleet panicked");
+                                shard.phase_a(
+                                    &env,
+                                    &mut |src, ev| match ev {
+                                        // Routed events go to the shard
+                                        // owning the destination router.
+                                        ShardEvent::Router(ref out) => {
+                                            let dst = map.shard_of(event_destination(
+                                                &topology, src, out,
+                                            ));
+                                            rows[dst].push(OutEvent { src, ev });
+                                        }
+                                        // Link deaths are broadcast: every
+                                        // shard must mask the link out of
+                                        // its routing decisions, and the
+                                        // receiver-owning shard tears down
+                                        // the retransmit state.
+                                        ShardEvent::LinkDead { .. } => {
+                                            for row in rows.iter_mut() {
+                                                row.push(OutEvent { src, ev });
+                                            }
+                                        }
+                                    },
+                                    &mut recs,
+                                );
+                            }
                         }
-                        if k < total {
-                            // Phase A of cycle k into this parity's
-                            // buckets (drained last segment, free now).
-                            let env = CycleEnv::at(cfg, k);
-                            let parity = (k % 2) as usize;
-                            let mut rows: Vec<_> = outboxes[parity][me]
-                                .iter()
-                                .map(|m| m.lock().expect("worker fleet panicked"))
-                                .collect();
-                            let mut recs =
-                                records[parity][me].lock().expect("worker fleet panicked");
-                            shard.phase_a(
-                                &env,
-                                &mut |src, ev| {
-                                    let dst = map.shard_of(event_destination(&topology, src, &ev));
-                                    rows[dst].push(OutEvent { src, ev });
-                                },
-                                &mut recs,
-                            );
-                        }
+                    }));
+                    if let Err(payload) = caught {
+                        barrier.poison(panic_message(payload.as_ref()));
                     }
                 });
             }

@@ -17,6 +17,7 @@
 //! controllers, I/O), bounded by real buffer space. The `workload` crate's
 //! coherence generator is the production endpoint; tests use simpler ones.
 
+use crate::fault::{retransmit_histogram, DeadLinks, FaultConfig};
 use crate::routing::route_for;
 use crate::shard::{replay_records, CycleEnv, MeasureRecord, OutEvent, Shard};
 use crate::topology::NetTopology;
@@ -32,6 +33,12 @@ pub enum InjectionOutcome {
     Accepted,
     /// The target virtual channel has no free buffer slot; try later.
     NoBufferSpace,
+    /// Link deaths have disconnected the destination from this node: no
+    /// route — minimal-adaptive or escape — survives the current
+    /// [`DeadLinks`] mask. The packet never entered the network (it is
+    /// not counted as injected); the endpoint must account for it rather
+    /// than retry forever.
+    Unreachable,
 }
 
 /// Per-node view handed to an [`Endpoint`] every cycle.
@@ -43,6 +50,9 @@ pub struct NodeCtx<'a> {
     pub(crate) core_period: Tick,
     pub(crate) injected_packets: &'a mut u64,
     pub(crate) injected_flits: &'a mut u64,
+    /// Link-death mask from the fault plane (the static empty mask when
+    /// the fault plane is disabled); injection routes against it.
+    pub(crate) dead: &'a DeadLinks,
     /// Set when an injection gave the router new work (idle-skip wake).
     pub(crate) woke: bool,
 }
@@ -91,8 +101,13 @@ impl NodeCtx<'_> {
         if self.router.free_space(input, vc) == 0 {
             return InjectionOutcome::NoBufferSpace;
         }
+        // Route before committing: a destination cut off by link deaths
+        // is refused at the source instead of entering the network only
+        // to be dropped at a dead hop.
+        let Some(route) = route_for(self.topology, self.dead, self.node, &packet) else {
+            return InjectionOutcome::Unreachable;
+        };
         packet.injected = self.now;
-        let route = route_for(self.topology, self.node, &packet);
         self.woke = true;
         *self.injected_packets += 1;
         *self.injected_flits += packet.len() as u64;
@@ -153,6 +168,11 @@ pub struct NetworkConfig {
     pub warmup_cycles: u64,
     /// Core cycles measured after warmup.
     pub measure_cycles: u64,
+    /// Deterministic fault plane: link BER, flaps, scheduled deaths, and
+    /// the CRC/retransmission recovery protocol. The default config
+    /// injects nothing and the engines then skip fault-plane construction
+    /// entirely (zero cost, zero RNG draws).
+    pub fault: FaultConfig,
 }
 
 impl NetworkConfig {
@@ -214,6 +234,24 @@ pub struct NetworkReport {
     pub txn_latency: OnlineStats,
     /// Transaction-latency distribution (ns).
     pub txn_latency_hist: Histogram,
+    /// Flits whose link traversal failed CRC (fault plane; 0 when off).
+    pub flits_corrupted: u64,
+    /// Timer-fired retransmission attempts (the inline first attempt of
+    /// each hop is not counted).
+    pub retransmissions: u64,
+    /// Links declared dead after exhausting the bounded retry budget.
+    pub retry_exhaustions: u64,
+    /// Directed links dead at end of run (scheduled kills, dead-fraction
+    /// selections, and retry exhaustions combined; each counted once).
+    pub links_dead: u64,
+    /// Packets dropped because link deaths severed every route to their
+    /// destination — refused mid-network, never silently lost
+    /// (`injected == delivered + in_flight + unreachable_drops`).
+    pub unreachable_drops: u64,
+    /// Extra latency (ns) imposed by the recovery protocol on packets
+    /// that needed at least one retransmission: delivery-hop acceptance
+    /// time minus the hop's first pin attempt.
+    pub retransmit_latency_hist: Histogram,
 }
 
 impl NetworkReport {
@@ -266,6 +304,10 @@ pub struct NetworkSim<E: Endpoint> {
     latency: OnlineStats,
     total_latency: OnlineStats,
     txn_latency: OnlineStats,
+    /// Forward-progress watchdog: deliveries seen at the last progress
+    /// check and the number of consecutive cycles without one.
+    watchdog_delivered: u64,
+    watchdog_stall: u64,
 }
 
 impl<E: Endpoint> NetworkSim<E> {
@@ -289,6 +331,8 @@ impl<E: Endpoint> NetworkSim<E> {
             latency: OnlineStats::new(),
             total_latency: OnlineStats::new(),
             txn_latency: OnlineStats::new(),
+            watchdog_delivered: 0,
+            watchdog_stall: 0,
             topology,
             cfg,
         }
@@ -369,6 +413,45 @@ impl<E: Endpoint> NetworkSim<E> {
         self.records = records;
 
         self.cycle += 1;
+        if let Some(budget) = self.cfg.fault.watchdog_cycles {
+            self.watchdog_check(budget);
+        }
+    }
+
+    /// Forward-progress watchdog: with packets buffered in the network
+    /// but no delivery for `budget` consecutive cycles, something is
+    /// wedged (lost credit, dead escape path, protocol bug) — panic with
+    /// a structured occupancy/credit dump instead of spinning silently.
+    fn watchdog_check(&mut self, budget: u64) {
+        let delivered = self.shard.delivered_all;
+        if delivered != self.watchdog_delivered || self.shard.occupancy() == 0 {
+            self.watchdog_delivered = delivered;
+            self.watchdog_stall = 0;
+            return;
+        }
+        self.watchdog_stall += 1;
+        if self.watchdog_stall >= budget {
+            panic!(
+                "watchdog: no delivery for {budget} cycles with packets in flight\n{}",
+                self.diagnostic_dump()
+            );
+        }
+    }
+
+    /// Structured per-router occupancy/credit/fault dump — the payload
+    /// the watchdog panics with, also usable by hang-guarded tests.
+    pub fn diagnostic_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "network diagnostic @ cycle {}: occupancy {} packet(s), {} delivered so far",
+            self.cycle,
+            self.shard.occupancy(),
+            self.shard.delivered_all,
+        );
+        self.shard.diagnostics(&mut out);
+        out
     }
 
     /// Builds the report for the window simulated so far.
@@ -420,6 +503,12 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
     let mut measured_txns = 0;
     let mut latency_hist = Histogram::new(0.0, 2000.0, 200);
     let mut txn_latency_hist = crate::shard::txn_histogram();
+    let mut flits_corrupted = 0;
+    let mut retransmissions = 0;
+    let mut retry_exhaustions = 0;
+    let mut links_dead = 0;
+    let mut unreachable_drops = 0;
+    let mut retransmit_latency_hist = retransmit_histogram();
     for shard in shards {
         for r in &shard.routers {
             nominations += r.stats().nominations.get();
@@ -439,6 +528,15 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
         measured_txns += shard.measured_txns;
         latency_hist.merge(&shard.latency_hist);
         txn_latency_hist.merge(&shard.txn_latency_hist);
+        if let Some(plane) = shard.faults() {
+            flits_corrupted += plane.flits_corrupted;
+            retransmissions += plane.retransmissions;
+            retry_exhaustions += plane.retry_exhaustions;
+            links_dead += plane.links_dead;
+            unreachable_drops += plane.unreachable_drops;
+            in_flight += plane.queued_packets;
+            retransmit_latency_hist.merge(&plane.retransmit_hist);
+        }
     }
     NetworkReport {
         delivered_packets: measured_packets,
@@ -460,6 +558,12 @@ pub(crate) fn report_from_parts<'a, E: Endpoint + 'a>(
         completed_txns: measured_txns,
         txn_latency: txn_latency.clone(),
         txn_latency_hist,
+        flits_corrupted,
+        retransmissions,
+        retry_exhaustions,
+        links_dead,
+        unreachable_drops,
+        retransmit_latency_hist,
     }
 }
 
@@ -506,6 +610,7 @@ mod tests {
             seed: 7,
             warmup_cycles: 0,
             measure_cycles: 2000,
+            fault: FaultConfig::default(),
         };
         let endpoints = (0..16)
             .map(|_| OneShot {
@@ -657,6 +762,7 @@ mod tests {
                 seed: 11,
                 warmup_cycles: 0,
                 measure_cycles: 4000,
+                fault: FaultConfig::default(),
             };
             let endpoints = (0..16)
                 .map(|_| SleepyInjector {

@@ -8,13 +8,19 @@
 
 use arbitration::ports::OutputPort;
 use network::{
-    route_for, FullMesh, FullMeshRouting, Mesh, MeshRouting, NetTopology, Routing, Topology, Torus,
+    route_for, DeadLinks, FullMesh, FullMeshRouting, Mesh, MeshRouting, NetTopology, Routing,
+    Topology, Torus,
 };
 use router::packet::PacketId;
 use router::{CoherenceClass, EscapeVc, Packet, RouteInfo};
 use simcore::{SimRng, Tick};
 
 const CASES: usize = 512;
+
+/// Fault-free routing: every well-formed query has a route.
+fn live(route: Option<RouteInfo>) -> RouteInfo {
+    route.expect("fault-free routes always exist")
+}
 
 fn packet(src: u16, dest: u16) -> Packet {
     Packet::new(
@@ -57,7 +63,12 @@ fn adaptive_candidates_always_make_minimal_progress() {
         if here == dest {
             continue;
         }
-        let route = route_for(&NetTopology::from(torus), here, &packet(here, dest));
+        let route = live(route_for(
+            &NetTopology::from(torus),
+            DeadLinks::empty(),
+            here,
+            &packet(here, dest),
+        ));
         let RouteInfo::Transit {
             adaptive, escape, ..
         } = route
@@ -93,7 +104,12 @@ fn escape_path_is_minimal_and_dimension_ordered() {
         let mut hops = 0u16;
         let mut seen_y = false;
         while here != dest {
-            let route = route_for(&NetTopology::from(torus), here, &packet(src, dest));
+            let route = live(route_for(
+                &NetTopology::from(torus),
+                DeadLinks::empty(),
+                here,
+                &packet(src, dest),
+            ));
             let RouteInfo::Transit { escape, .. } = route else {
                 panic!("case {case}: transit expected");
             };
@@ -121,7 +137,12 @@ fn dateline_vc_switches_at_most_once_per_dimension() {
         let mut last_dim_dir: Option<OutputPort> = None;
         let mut seen_vc1_in_dim = false;
         while here != dest {
-            let route = route_for(&NetTopology::from(torus), here, &packet(src, dest));
+            let route = live(route_for(
+                &NetTopology::from(torus),
+                DeadLinks::empty(),
+                here,
+                &packet(src, dest),
+            ));
             let RouteInfo::Transit {
                 escape, escape_vc, ..
             } = route
@@ -159,7 +180,12 @@ fn local_routes_only_at_destination() {
     let mut gen = SimRng::from_seed(0x6c6f_6331);
     for case in 0..CASES {
         let (torus, here, dest) = torus_and_nodes(&mut gen);
-        let route = route_for(&NetTopology::from(torus), here, &packet(here, dest));
+        let route = live(route_for(
+            &NetTopology::from(torus),
+            DeadLinks::empty(),
+            here,
+            &packet(here, dest),
+        ));
         assert_eq!(route.is_local(), here == dest, "case {case}");
     }
 }
@@ -203,7 +229,7 @@ fn mesh_adaptive_candidates_always_make_minimal_progress() {
         if here == dest {
             continue;
         }
-        let route = MeshRouting(mesh).route(here, &packet(here, dest));
+        let route = live(MeshRouting(mesh).route(DeadLinks::empty(), here, &packet(here, dest)));
         let RouteInfo::Transit {
             adaptive,
             escape,
@@ -244,7 +270,7 @@ fn mesh_escape_path_is_minimal_and_dimension_ordered() {
         let mut hops = 0u16;
         let mut seen_y = false;
         while here != dest {
-            let route = MeshRouting(mesh).route(here, &packet(src, dest));
+            let route = live(MeshRouting(mesh).route(DeadLinks::empty(), here, &packet(src, dest)));
             let RouteInfo::Transit { escape, .. } = route else {
                 panic!("case {case}: transit expected");
             };
@@ -274,7 +300,7 @@ fn full_mesh_routes_are_direct_or_bounded_misroutes() {
             continue;
         }
         let p = packet(src, dest);
-        let route = FullMeshRouting(fm).route(src, &p);
+        let route = live(FullMeshRouting(fm).route(DeadLinks::empty(), src, &p));
         let RouteInfo::Transit {
             adaptive,
             escape,
@@ -307,7 +333,8 @@ fn full_mesh_routes_are_direct_or_bounded_misroutes() {
                 hop1 < dest,
                 "case {case}: intermediate {hop1} not below {dest}"
             );
-            let RouteInfo::Transit { adaptive: a2, .. } = FullMeshRouting(fm).route(hop1, &p)
+            let RouteInfo::Transit { adaptive: a2, .. } =
+                live(FullMeshRouting(fm).route(DeadLinks::empty(), hop1, &p))
             else {
                 panic!("case {case}: transit expected at the intermediate");
             };

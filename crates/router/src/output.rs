@@ -242,6 +242,19 @@ impl CreditBank {
         self.credits[port.index()][vc.index()] += 1;
         self.credited[vc.index()] |= 1 << port.index();
     }
+
+    /// Total free downstream slots behind torus output `port`, summed
+    /// over all VCs — the coarse per-direction figure the watchdog's
+    /// diagnostic dump reports (a wedged router typically shows one
+    /// direction pinned at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a torus port.
+    pub fn port_total(&self, port: OutputPort) -> u32 {
+        assert!(port.is_network(), "credits exist only for torus outputs");
+        self.credits[port.index()].iter().map(|&c| c as u32).sum()
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +380,15 @@ mod tests {
             Tick::ZERO,
             &t,
         );
+    }
+
+    #[test]
+    fn port_total_sums_every_vc() {
+        let mut bank = CreditBank::new(&BufferConfig::uniform(2));
+        let before = bank.port_total(OutputPort::North);
+        bank.consume(OutputPort::North, VcId::special());
+        assert_eq!(bank.port_total(OutputPort::North), before - 1);
+        assert_eq!(bank.port_total(OutputPort::East), before);
     }
 
     #[test]

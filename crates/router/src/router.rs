@@ -385,6 +385,31 @@ impl Router {
             + self.pending_arrival_count as usize
     }
 
+    /// One-line occupancy/credit snapshot for watchdog diagnostic dumps:
+    /// how many packets this router owns, how many sit buffered, the GA
+    /// queue depth, when each torus output frees, and the per-direction
+    /// credit totals (a wedged router typically shows a direction pinned
+    /// at zero credits or a port busy far in the future).
+    pub fn diagnostics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "owned {}, buffered {}, ga-queue {}, {};",
+            self.accounted_packets(),
+            self.buffered_packets(),
+            self.ga_queue.len(),
+            self.stats.summary(),
+        );
+        let _ = write!(s, " busy-until");
+        for o in &self.outputs[..4] {
+            let _ = write!(s, " {}:{}", o.port(), o.busy_until().as_ticks());
+        }
+        let _ = write!(s, "; credits");
+        for port in &OutputPort::ALL[..4] {
+            let _ = write!(s, " {}:{}", port, self.credits.port_total(*port));
+        }
+        s
+    }
+
     /// Free buffer slots of `vc` at `input`, accounting for in-flight
     /// arrivals. Local injectors must check this before injecting.
     pub fn free_space(&self, input: InputPort, vc: VcId) -> usize {

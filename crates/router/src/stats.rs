@@ -46,6 +46,16 @@ impl RouterStats {
             self.grants.get() as f64 / self.nominations.get() as f64
         }
     }
+
+    /// Compact traffic summary for diagnostic dumps.
+    pub fn summary(&self) -> String {
+        format!(
+            "in {} out {} delivered {}",
+            self.packets_in.get(),
+            self.packets_out.get(),
+            self.packets_delivered.get(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -60,5 +70,14 @@ mod tests {
         s.grants.add(7);
         s.collisions.add(3);
         assert!((s.grant_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_traffic_counters() {
+        let mut s = RouterStats::default();
+        s.packets_in.add(5);
+        s.packets_out.add(4);
+        s.packets_delivered.add(1);
+        assert_eq!(s.summary(), "in 5 out 4 delivered 1");
     }
 }

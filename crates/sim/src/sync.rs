@@ -8,7 +8,8 @@
 //! to a handful of atomic operations, falling back to `yield_now` when a
 //! straggler keeps the fleet waiting.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A reusable sense-reversing spin barrier.
 ///
@@ -18,6 +19,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// release-sequence on the arrival counter), so the sharded engine can
 /// exchange its outboxes through plain buffers separated by barrier
 /// crossings.
+///
+/// # Poisoning
+///
+/// A barrier synchronizes a *fixed* party count, so a thread that dies
+/// mid-run (a panic in a worker) would leave every peer spinning forever.
+/// [`SpinBarrier::poison`] breaks that wedge: the dying thread records
+/// its panic message and raises a flag; every thread inside (or later
+/// entering) [`SpinBarrier::wait`] observes the flag and panics with the
+/// original message, so the whole fleet unwinds instead of hanging.
 ///
 /// # Example
 ///
@@ -44,6 +54,8 @@ pub struct SpinBarrier {
     parties: usize,
     arrived: AtomicUsize,
     generation: AtomicUsize,
+    poisoned: AtomicBool,
+    poison_msg: Mutex<Option<String>>,
 }
 
 impl SpinBarrier {
@@ -58,6 +70,8 @@ impl SpinBarrier {
             parties,
             arrived: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            poison_msg: Mutex::new(None),
         }
     }
 
@@ -66,11 +80,53 @@ impl SpinBarrier {
         self.parties
     }
 
+    /// Marks the barrier as poisoned, recording `msg` (typically the
+    /// panic message of the thread that died). The first message wins;
+    /// later poisonings keep the original. Every thread currently
+    /// spinning in [`SpinBarrier::wait`] — and every thread that calls it
+    /// afterwards — panics with that message instead of waiting forever
+    /// for a party that will never arrive.
+    pub fn poison(&self, msg: &str) {
+        {
+            let mut slot = self.poison_msg.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(msg.to_string());
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once [`SpinBarrier::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    #[cold]
+    fn poison_panic(&self) -> ! {
+        let msg = self
+            .poison_msg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or_else(|| "unknown panic".to_string());
+        panic!("worker fleet panicked: {msg}");
+    }
+
     /// Blocks until all `parties` threads have called `wait` for this
     /// generation. Spins briefly, then yields the CPU while waiting, so
     /// oversubscribed fleets degrade to scheduler fairness instead of
     /// livelock.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the recorded message when the barrier has been
+    /// [poisoned](SpinBarrier::poison) — on entry or at any point while
+    /// spinning, so a fleet whose peer died mid-generation unwinds
+    /// instead of hanging.
     pub fn wait(&self) {
+        if self.is_poisoned() {
+            self.poison_panic();
+        }
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             // Last arrival: reset the count *before* releasing the fleet,
@@ -84,6 +140,9 @@ impl SpinBarrier {
             // `== gen + 1`: a fast peer may complete whole generations
             // while this thread is descheduled.
             while self.generation.load(Ordering::Acquire) == gen {
+                if self.is_poisoned() {
+                    self.poison_panic();
+                }
                 spins = spins.saturating_add(1);
                 if spins < 1 << 7 {
                     std::hint::spin_loop();
@@ -141,5 +200,49 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_parties_rejected() {
         let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker fleet panicked: shard 3 died")]
+    fn poisoned_barrier_panics_on_entry() {
+        let b = SpinBarrier::new(2);
+        b.poison("shard 3 died");
+        assert!(b.is_poisoned());
+        b.wait();
+    }
+
+    #[test]
+    fn first_poison_message_wins() {
+        let b = SpinBarrier::new(2);
+        b.poison("original failure");
+        b.poison("secondary failure");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()))
+            .expect_err("poisoned wait must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("original failure"), "got: {msg}");
+    }
+
+    #[test]
+    fn poison_releases_a_spinning_fleet() {
+        // One thread parks in wait(); the other never arrives — it
+        // poisons instead. The parked thread must unwind with the
+        // original message rather than spin forever.
+        let b = SpinBarrier::new(2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()));
+                let payload = r.expect_err("wait must panic after poison");
+                payload
+                    .downcast_ref::<String>()
+                    .expect("panic carries a String")
+                    .clone()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            b.poison("endpoint exploded");
+            let msg = waiter.join().expect("waiter thread itself is healthy");
+            assert!(msg.contains("endpoint exploded"), "got: {msg}");
+        });
     }
 }

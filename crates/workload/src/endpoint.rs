@@ -204,6 +204,9 @@ pub struct EndpointStats {
     /// `burst_on_cycles / cycles` across nodes estimates the realized
     /// duty cycle.
     pub burst_on_cycles: u64,
+    /// Packets refused at injection because link deaths severed every
+    /// route to their destination (fault plane; 0 in a healthy network).
+    pub unreachable_drops: u64,
 }
 
 impl EndpointStats {
@@ -215,6 +218,7 @@ impl EndpointStats {
         self.packets_received += other.packets_received;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.burst_on_cycles += other.burst_on_cycles;
+        self.unreachable_drops += other.unreachable_drops;
     }
 }
 
@@ -428,6 +432,25 @@ impl CoherenceEndpoint {
         }
     }
 
+    /// Accounts a packet refused with [`InjectionOutcome::Unreachable`]:
+    /// link deaths severed every route to its destination. A dropped
+    /// `Request` is this node's own transaction — the MSHR and in-flight
+    /// entry unwind so the node keeps issuing toward reachable homes. A
+    /// dropped response-side packet (`Forward`/`BlockResponse`) strands
+    /// the remote requester's MSHR by design: a partitioned requester
+    /// cannot be notified, and the loss stays visible in
+    /// [`EndpointStats::unreachable_drops`] rather than silently leaking.
+    fn drop_unreachable(&mut self, packet: &Packet) {
+        self.stats.unreachable_drops += 1;
+        if packet.class == CoherenceClass::Request {
+            let tag = TxnTag::unpack(packet.txn);
+            debug_assert_eq!(tag.requester, self.node);
+            if self.inflight.remove(&tag.seq).is_some() {
+                self.mshrs.release();
+            }
+        }
+    }
+
     fn track_queue_depth(&mut self) {
         let depth = self.cache_queue.len() + self.mc_queues[0].len() + self.mc_queues[1].len();
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
@@ -473,15 +496,31 @@ impl Endpoint for CoherenceEndpoint {
         }
 
         // 4. Each local port can accept at most one packet per cycle.
+        // A destination severed by link deaths is dropped and accounted
+        // (never retried: the route cannot come back).
         if let Some(p) = self.cache_queue.front().copied() {
-            if ctx.inject(InputPort::Cache, p) == InjectionOutcome::Accepted {
-                self.cache_queue.pop_front();
+            match ctx.inject(InputPort::Cache, p) {
+                InjectionOutcome::Accepted => {
+                    self.cache_queue.pop_front();
+                }
+                InjectionOutcome::Unreachable => {
+                    self.cache_queue.pop_front();
+                    self.drop_unreachable(&p);
+                }
+                InjectionOutcome::NoBufferSpace => {}
             }
         }
         for (i, port) in [InputPort::Mc0, InputPort::Mc1].into_iter().enumerate() {
             if let Some(p) = self.mc_queues[i].front().copied() {
-                if ctx.inject(port, p) == InjectionOutcome::Accepted {
-                    self.mc_queues[i].pop_front();
+                match ctx.inject(port, p) {
+                    InjectionOutcome::Accepted => {
+                        self.mc_queues[i].pop_front();
+                    }
+                    InjectionOutcome::Unreachable => {
+                        self.mc_queues[i].pop_front();
+                        self.drop_unreachable(&p);
+                    }
+                    InjectionOutcome::NoBufferSpace => {}
                 }
             }
         }
@@ -557,6 +596,7 @@ mod tests {
             seed: 42,
             warmup_cycles: cycles / 5,
             measure_cycles: cycles - cycles / 5,
+            fault: network::FaultConfig::default(),
         }
     }
 

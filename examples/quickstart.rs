@@ -18,6 +18,8 @@ fn main() {
         seed: 0x21364,
         warmup_cycles: 2_000,
         measure_cycles: 10_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
 

@@ -21,6 +21,8 @@ fn run_point(algorithm: ArbAlgorithm, rate: f64) -> (f64, f64, u64) {
         seed: 7,
         warmup_cycles: 3_000,
         measure_cycles: 9_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::open_loop(TrafficPattern::Uniform, rate);
     let (report, _) = run_coherence_sim(net, wl);

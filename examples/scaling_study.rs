@@ -32,6 +32,8 @@ fn run(algorithm: ArbAlgorithm, p: &Point, rate: f64) -> (f64, f64) {
         seed: 99,
         warmup_cycles: 2_500,
         measure_cycles: 8_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig {
         pattern: TrafficPattern::Uniform,

@@ -32,6 +32,7 @@
 //!     seed: 42,
 //!     warmup_cycles: 500,
 //!     measure_cycles: 2000,
+//!     fault: FaultConfig::default(),
 //! };
 //! let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.005);
 //! let (report, stats) = run_coherence_sim(net, wl);
@@ -56,8 +57,9 @@ pub use workload;
 pub mod prelude {
     pub use arbitration::prelude::*;
     pub use network::{
-        Endpoint, FullMesh, InjectionOutcome, Mesh, NetTopology, NetworkConfig, NetworkReport,
-        NetworkSim, NodeCtx, Routing, ShardMap, ShardedNetworkSim, Topology, Torus, TxnCompletion,
+        DeadLinks, Endpoint, FaultConfig, FullMesh, InjectionOutcome, LinkFlap, LinkKill, Mesh,
+        NetTopology, NetworkConfig, NetworkReport, NetworkSim, NodeCtx, Routing, ShardMap,
+        ShardedNetworkSim, Topology, Torus, TxnCompletion,
     };
     pub use router::{
         ArbAlgorithm, BufferConfig, CoherenceClass, EscapeVc, IncomingPacket, Packet, RouteInfo,

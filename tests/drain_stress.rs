@@ -88,10 +88,19 @@ fn assert_drains(topology: NetTopology, algo: ArbAlgorithm, workers: usize) {
         seed: 0xd4a1,
         warmup_cycles: 0,
         measure_cycles: HORIZON,
+        // Hang-proofing: if an arbitration or escape-path regression ever
+        // wedges the drain, the forward-progress watchdog fails the test
+        // with a per-router diagnostic dump instead of hanging the suite.
+        // 4 000 cycles of zero delivery with packets in flight is far
+        // beyond anything these saturated-but-live networks exhibit.
+        fault: network::FaultConfig {
+            watchdog_cycles: Some(4_000),
+            ..Default::default()
+        },
     };
     let label = format!("{topology} {algo} workers={workers}");
     let endpoints = Firehose::fleet(topology, INJECT, 0xf1e5);
-    let (report, injected, delivered) = if workers == 1 {
+    let (report, injected, delivered, dump) = if workers == 1 {
         let mut sim = NetworkSim::new(cfg, endpoints);
         let report = sim.run();
         let (mut inj, mut del) = (0u64, 0u64);
@@ -99,7 +108,12 @@ fn assert_drains(topology: NetTopology, algo: ArbAlgorithm, workers: usize) {
             inj += sim.endpoint(node).seq;
             del += sim.endpoint(node).delivered;
         }
-        (report, inj, del)
+        let dump = if report.in_flight_packets > 0 {
+            sim.diagnostic_dump()
+        } else {
+            String::new()
+        };
+        (report, inj, del, dump)
     } else {
         let mut sim = ShardedNetworkSim::new(cfg, endpoints, workers);
         let report = sim.run();
@@ -108,7 +122,7 @@ fn assert_drains(topology: NetTopology, algo: ArbAlgorithm, workers: usize) {
             inj += sim.endpoint(node).seq;
             del += sim.endpoint(node).delivered;
         }
-        (report, inj, del)
+        (report, inj, del, String::new())
     };
     assert!(
         injected > 100,
@@ -121,7 +135,7 @@ fn assert_drains(topology: NetTopology, algo: ArbAlgorithm, workers: usize) {
     assert_eq!(
         report.in_flight_packets,
         0,
-        "{label}: network must drain fully within {} post-injection cycles",
+        "{label}: network must drain fully within {} post-injection cycles\n{dump}",
         HORIZON - INJECT
     );
 }

@@ -10,6 +10,7 @@ fn net_config(torus: Torus, algo: ArbAlgorithm, cycles: u64, seed: u64) -> Netwo
         seed,
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+        fault: network::FaultConfig::default(),
     }
 }
 
@@ -66,6 +67,8 @@ fn network_drains_after_generation_stops() {
         seed: 3,
         warmup_cycles: 0,
         measure_cycles: 30_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.02);
     let endpoints = build_endpoints(&cfg, &wl);
@@ -101,6 +104,8 @@ fn adversarial_wrap_traffic_does_not_deadlock() {
         seed: 4,
         warmup_cycles: 1000,
         measure_cycles: 9_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig {
         pattern: TrafficPattern::Tornado,
@@ -240,6 +245,8 @@ fn scaled_2x_pipeline_reduces_wall_clock_latency() {
             seed: 10,
             warmup_cycles: 1000,
             measure_cycles: 5000,
+
+            fault: network::FaultConfig::default(),
         };
         run_coherence_sim(cfg, WorkloadConfig::paper(TrafficPattern::Uniform, 0.001))
             .0

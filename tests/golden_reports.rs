@@ -65,6 +65,10 @@ struct Case {
     /// Appends the per-transaction digest suffix. Only new closed-loop
     /// cases set this, so the 75 pre-existing lines stay byte-identical.
     txn_digest: bool,
+    /// `Some` enables the fault plane and appends the fault-counter
+    /// digest suffix. Only new fault cases set this, so every
+    /// pre-existing line stays byte-identical.
+    fault: Option<FaultConfig>,
 }
 
 fn pattern_label(c: &Case) -> String {
@@ -99,6 +103,7 @@ fn case_4x4(
         mshrs: None,
         three_hop: None,
         txn_digest: false,
+        fault: None,
     }
 }
 
@@ -117,6 +122,7 @@ fn case_closed(algo: ArbAlgorithm, rate: f64, mshrs: u32, three_hop: f64, seed: 
         mshrs: Some(mshrs),
         three_hop: Some(three_hop),
         txn_digest: true,
+        fault: None,
     }
 }
 
@@ -134,6 +140,27 @@ fn case_shape(topology: NetTopology, algo: ArbAlgorithm, rate: f64, seed: u64) -
         mshrs: None,
         three_hop: None,
         txn_digest: false,
+        fault: None,
+    }
+}
+
+/// Fault-plane case on the 4x4 shapes: same window as the torus cases,
+/// with the given fault configuration active and the fault-counter
+/// suffix appended to the digest line.
+fn case_fault(topology: NetTopology, algo: ArbAlgorithm, fault: FaultConfig, seed: u64) -> Case {
+    Case {
+        algo,
+        topology,
+        pattern: TrafficPattern::Uniform,
+        bursty: false,
+        rate: 0.04,
+        seed,
+        warmup_cycles: 400,
+        measure_cycles: 1600,
+        mshrs: None,
+        three_hop: None,
+        txn_digest: false,
+        fault: Some(fault),
     }
 }
 
@@ -158,6 +185,7 @@ fn case_16x16(
         mshrs: None,
         three_hop: None,
         txn_digest: false,
+        fault: None,
     }
 }
 
@@ -267,6 +295,49 @@ fn cases() -> Vec<Case> {
     }
     cases.push(case_closed(ArbAlgorithm::SpaaRotary, 0.05, 8, 0.0, 1));
     cases.push(case_closed(ArbAlgorithm::SpaaRotary, 0.05, 8, 1.0, 1));
+    // Fault plane (appended so every digest above keeps its position):
+    // the full storm — corruption, flaps, a mid-run kill, boot-time dead
+    // links — on both grid shapes, plus BER-only and death-only planes
+    // that isolate the recovery and rerouting halves. These lines carry
+    // the extra ` ber=… rlat=` suffix pinning the fault counters and the
+    // retransmit-latency histogram bit-for-bit.
+    let storm = FaultConfig {
+        ber: 2e-3,
+        flap: Some(LinkFlap::new(300.0, 30.0)),
+        kill_links: vec![LinkKill {
+            node: 5,
+            port: arbitration::ports::OutputPort::East,
+            at_cycle: 500,
+        }],
+        dead_link_fraction: 0.05,
+        ..FaultConfig::default()
+    };
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Pim1,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        cases.push(case_fault(Torus::net_4x4().into(), algo, storm.clone(), 1));
+        cases.push(case_fault(Mesh::new(4, 4).into(), algo, storm.clone(), 1));
+    }
+    cases.push(case_fault(
+        Torus::net_4x4().into(),
+        ArbAlgorithm::SpaaRotary,
+        FaultConfig {
+            ber: 1e-3,
+            ..FaultConfig::default()
+        },
+        2,
+    ));
+    cases.push(case_fault(
+        Torus::net_4x4().into(),
+        ArbAlgorithm::SpaaRotary,
+        FaultConfig {
+            dead_link_fraction: 0.1,
+            ..FaultConfig::default()
+        },
+        2,
+    ));
     cases
 }
 
@@ -277,6 +348,7 @@ fn digest_line(c: &Case) -> String {
         seed: c.seed,
         warmup_cycles: c.warmup_cycles,
         measure_cycles: c.measure_cycles,
+        fault: c.fault.clone().unwrap_or_default(),
     };
     let mut wl = match c.mshrs {
         Some(mshrs) => WorkloadConfig::closed_loop(c.pattern, c.rate, mshrs),
@@ -350,6 +422,24 @@ fn digest_line(c: &Case) -> String {
             txn.0,
         ));
     }
+    if let Some(f) = &c.fault {
+        let mut rlat = Fnv::new();
+        rlat.u64(r.retransmit_latency_hist.underflow());
+        for &b in r.retransmit_latency_hist.bins() {
+            rlat.u64(b);
+        }
+        rlat.u64(r.retransmit_latency_hist.overflow());
+        line.push_str(&format!(
+            " ber={} corr={} retx={} exh={} dead={} drops={} rlat={:016x}",
+            f.ber,
+            r.flits_corrupted,
+            r.retransmissions,
+            r.retry_exhaustions,
+            r.links_dead,
+            r.unreachable_drops,
+            rlat.0,
+        ));
+    }
     line
 }
 
@@ -367,6 +457,8 @@ fn oracle_observation_does_not_perturb_reports() {
             seed: 3,
             warmup_cycles: 400,
             measure_cycles: 1600,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.04);
         let endpoints = build_endpoints(&cfg, &wl);

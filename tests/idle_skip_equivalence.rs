@@ -25,6 +25,8 @@ fn run_workload(
         seed,
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+
+        fault: network::FaultConfig::default(),
     };
     let endpoints = workload::build_endpoints(&cfg, wl);
     let mut sim = NetworkSim::new(cfg, endpoints);
@@ -139,6 +141,36 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         a.txn_latency_hist.overflow(),
         b.txn_latency_hist.overflow(),
         "{label}: txn histogram overflow"
+    );
+    // Fault-plane counters: corruption draws, retransmit timers, and
+    // link-death events must land on the same cycles regardless of how
+    // many router steps were skipped or which shard owned the link.
+    assert_eq!(
+        a.flits_corrupted, b.flits_corrupted,
+        "{label}: corrupted flits"
+    );
+    assert_eq!(
+        a.retransmissions, b.retransmissions,
+        "{label}: retransmissions"
+    );
+    assert_eq!(
+        a.retry_exhaustions, b.retry_exhaustions,
+        "{label}: retry exhaustions"
+    );
+    assert_eq!(a.links_dead, b.links_dead, "{label}: links dead");
+    assert_eq!(
+        a.unreachable_drops, b.unreachable_drops,
+        "{label}: unreachable drops"
+    );
+    assert_eq!(
+        a.retransmit_latency_hist.bins(),
+        b.retransmit_latency_hist.bins(),
+        "{label}: retransmit latency histogram"
+    );
+    assert_eq!(
+        a.retransmit_latency_hist.overflow(),
+        b.retransmit_latency_hist.overflow(),
+        "{label}: retransmit histogram overflow"
     );
 }
 
@@ -281,6 +313,8 @@ fn idle_skip_equivalence_on_mesh_and_full_mesh() {
             seed: 17,
             warmup_cycles: 500,
             measure_cycles: 2_500,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.01);
         let endpoints = workload::build_endpoints(&cfg, &wl);
@@ -321,6 +355,8 @@ fn idle_skip_equivalence_holds_with_matching_weight_oracle() {
                 seed: 51,
                 warmup_cycles: 600,
                 measure_cycles: 2_400,
+
+                fault: network::FaultConfig::default(),
             };
             let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.03);
             let endpoints = workload::build_endpoints(&cfg, &wl);
@@ -394,6 +430,8 @@ fn idle_skip_equivalence_on_scaled_pipeline() {
             seed: 11,
             warmup_cycles: 500,
             measure_cycles: 2_500,
+
+            fault: network::FaultConfig::default(),
         };
         let wl = WorkloadConfig::paper(TrafficPattern::BitReversal, 0.01);
         let endpoints = workload::build_endpoints(&cfg, &wl);
@@ -402,4 +440,66 @@ fn idle_skip_equivalence_on_scaled_pipeline() {
         sim.run()
     };
     assert_reports_identical(&cfg(false), &cfg(true), "scaled 2x");
+}
+
+/// Every fault class at once: per-flit corruption, geometric link flaps,
+/// one scheduled mid-run kill, and a seeded boot-time dead fraction.
+fn fault_storm() -> FaultConfig {
+    FaultConfig {
+        ber: 2e-3,
+        flap: Some(LinkFlap::new(400.0, 40.0)),
+        kill_links: vec![LinkKill {
+            node: 5,
+            port: OutputPort::East,
+            at_cycle: 1_000,
+        }],
+        dead_link_fraction: 0.05,
+        ..FaultConfig::default()
+    }
+}
+
+fn run_faulted(seed: u64, rate: f64, algo: ArbAlgorithm, idle_skip: bool) -> (NetworkReport, u64) {
+    let cycles = 4_000u64;
+    let cfg = NetworkConfig {
+        topology: Torus::net_4x4().into(),
+        router: RouterConfig::alpha_21364(algo),
+        seed,
+        warmup_cycles: cycles / 5,
+        measure_cycles: cycles - cycles / 5,
+        fault: fault_storm(),
+    };
+    let wl = WorkloadConfig::paper(TrafficPattern::Uniform, rate);
+    let endpoints = workload::build_endpoints(&cfg, &wl);
+    let mut sim = NetworkSim::new(cfg, endpoints);
+    sim.set_idle_skip(idle_skip);
+    let report = sim.run();
+    (report, sim.skipped_router_steps())
+}
+
+#[test]
+fn idle_skip_equivalence_under_fault_storms() {
+    // Retransmit timers park between cycles on the fault plane's wheel,
+    // so the idle-skip fast path must treat a pending NACK retry exactly
+    // like any other future wake: skipping past a due retransmission
+    // would shift a CRC draw and desynchronize every later fault event.
+    // Corruption, flaps, a mid-run kill and boot-time dead links are all
+    // active at once; the new fault counters compare inside
+    // assert_reports_identical.
+    for algo in [
+        ArbAlgorithm::SpaaRotary,
+        ArbAlgorithm::Islip { iterations: 2 },
+    ] {
+        for (seed, rate) in [(51u64, 0.002), (52, 0.03)] {
+            let label = format!("fault storm {algo} seed={seed} rate={rate}");
+            let (off, skipped_off) = run_faulted(seed, rate, algo, false);
+            let (on, _) = run_faulted(seed, rate, algo, true);
+            assert_eq!(skipped_off, 0, "{label}: disabled mode must not skip");
+            assert_reports_identical(&off, &on, &label);
+            // The storm must actually exercise the machinery, or the
+            // equivalence proves nothing.
+            assert!(off.flits_corrupted > 0, "{label}: no corruption drawn");
+            assert!(off.retransmissions > 0, "{label}: no retries fired");
+            assert!(off.links_dead > 0, "{label}: no link died");
+        }
+    }
 }

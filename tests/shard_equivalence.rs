@@ -29,6 +29,7 @@ fn config(
         seed,
         warmup_cycles: cycles / 5,
         measure_cycles: cycles - cycles / 5,
+        fault: network::FaultConfig::default(),
     }
 }
 
@@ -147,6 +148,36 @@ fn assert_reports_identical(a: &NetworkReport, b: &NetworkReport, label: &str) {
         a.txn_latency_hist.overflow(),
         b.txn_latency_hist.overflow(),
         "{label}: txn histogram overflow"
+    );
+    // Fault-plane counters: CRC draws, retransmit timers, flap schedules
+    // and link-death broadcasts must replay identically when the faulty
+    // link's receiver sits in a different shard than its sender.
+    assert_eq!(
+        a.flits_corrupted, b.flits_corrupted,
+        "{label}: corrupted flits"
+    );
+    assert_eq!(
+        a.retransmissions, b.retransmissions,
+        "{label}: retransmissions"
+    );
+    assert_eq!(
+        a.retry_exhaustions, b.retry_exhaustions,
+        "{label}: retry exhaustions"
+    );
+    assert_eq!(a.links_dead, b.links_dead, "{label}: links dead");
+    assert_eq!(
+        a.unreachable_drops, b.unreachable_drops,
+        "{label}: unreachable drops"
+    );
+    assert_eq!(
+        a.retransmit_latency_hist.bins(),
+        b.retransmit_latency_hist.bins(),
+        "{label}: retransmit latency histogram"
+    );
+    assert_eq!(
+        a.retransmit_latency_hist.overflow(),
+        b.retransmit_latency_hist.overflow(),
+        "{label}: retransmit histogram overflow"
     );
 }
 
@@ -360,4 +391,48 @@ fn sharded_worker_request_is_clamped_to_node_count() {
     let endpoints = workload::build_endpoints(&cfg, &wl);
     let sim = ShardedNetworkSim::new(cfg, endpoints, 1_000);
     assert_eq!(sim.workers(), 16, "one shard per node at most");
+}
+
+#[test]
+fn sharded_engine_is_equivalent_under_fault_storms() {
+    // The fault plane is the newest cross-shard coupling: a link's CRC
+    // and flap streams are owned by the *receiving* shard, retry timers
+    // park on per-shard wheels, and an exhaustion death broadcasts a
+    // LinkDead event to every shard's replica mask. Any partition
+    // sensitivity in that machinery — a draw taken by the wrong shard, a
+    // broadcast applied at a different stream position — shows up as a
+    // counter or raw-bit mismatch here. Every fault class at once, both
+    // grid topologies, workers {1, 2, 4, 8}, idle-skip both ways.
+    let storm = FaultConfig {
+        ber: 2e-3,
+        flap: Some(LinkFlap::new(400.0, 40.0)),
+        kill_links: vec![LinkKill {
+            node: 5,
+            port: OutputPort::East,
+            at_cycle: 1_000,
+        }],
+        dead_link_fraction: 0.05,
+        ..FaultConfig::default()
+    };
+    for (name, topology) in [
+        ("torus4x4", NetTopology::from(Torus::net_4x4())),
+        ("mesh4x4", NetTopology::from(Mesh::new(4, 4))),
+    ] {
+        let mut cfg = config(topology, ArbAlgorithm::SpaaRotary, 57, 4_000);
+        cfg.fault = storm.clone();
+        let wl = WorkloadConfig::paper(TrafficPattern::Uniform, 0.02);
+        for idle_skip in [false, true] {
+            let single = run_single(&cfg, &wl, idle_skip);
+            assert!(
+                single.flits_corrupted > 0,
+                "{name}: storm must corrupt flits"
+            );
+            assert!(single.links_dead > 0, "{name}: storm must kill links");
+            for workers in [1, 2, 4, 8] {
+                let label = format!("fault storm {name} idle_skip={idle_skip} workers={workers}");
+                let sharded = run_sharded(&cfg, &wl, workers, idle_skip);
+                assert_reports_identical(&single, &sharded, &label);
+            }
+        }
+    }
 }

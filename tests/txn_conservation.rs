@@ -21,6 +21,8 @@ fn assert_conserves(algo: ArbAlgorithm, three_hop: f64, rate: f64, mshrs: u32, s
         seed,
         warmup_cycles: 0,
         measure_cycles: 3_000,
+
+        fault: network::FaultConfig::default(),
     };
     let wl = WorkloadConfig::closed_loop(TrafficPattern::Uniform, rate, mshrs)
         .with_three_hop_fraction(three_hop);
